@@ -1,0 +1,57 @@
+// Regenerates Fig. 10: sensitivity of the STSM variants to the sub-graph
+// threshold epsilon_sg (larger threshold -> smaller 1-hop sub-graphs).
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace stsm {
+namespace bench {
+namespace {
+
+std::vector<double> SweepValues(double default_eps, BenchScale scale) {
+  if (scale == BenchScale::kSmoke) return {default_eps};
+  if (scale == BenchScale::kFull) {
+    return {default_eps - 0.2, default_eps - 0.1, default_eps,
+            default_eps + 0.1, default_eps + 0.2};
+  }
+  return {std::max(0.1, default_eps - 0.2), default_eps,
+          std::min(0.9, default_eps + 0.2)};
+}
+
+void Run() {
+  const BenchScale scale = ScaleFromEnv();
+  const std::vector<ModelKind> variants = {ModelKind::kStsm, ModelKind::kStsmNc,
+                                           ModelKind::kStsmR,
+                                           ModelKind::kStsmRnc};
+  Table table({"Dataset", "eps_sg", "STSM", "STSM-NC", "STSM-R", "STSM-RNC"});
+  for (const std::string& name : RegisteredDatasets()) {
+    const StsmConfig base = ScaledConfig(name, scale, /*effort=*/0.25);
+    const SpatioTemporalDataset dataset =
+        MakeDataset(name, DataScaleFor(scale));
+    const std::vector<SpaceSplit> splits = BenchSplits(dataset.coords, 1);
+    for (double eps : SweepValues(base.epsilon_sg, scale)) {
+      std::fprintf(stderr, "[fig10] %s eps=%.2f ...\n", name.c_str(), eps);
+      StsmConfig config = base;
+      config.epsilon_sg = eps;
+      std::vector<std::string> row = {name, FormatFloat(eps, 2)};
+      for (const ModelKind kind : variants) {
+        const ExperimentResult result =
+            RunAveraged(kind, dataset, splits, config);
+        row.push_back(FormatFloat(result.metrics.rmse, 3));
+      }
+      table.AddRow(row);
+    }
+  }
+  EmitTable("fig10_epsilon", "Fig. 10: model performance vs epsilon_sg",
+            table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stsm
+
+int main() {
+  stsm::bench::Run();
+  return 0;
+}

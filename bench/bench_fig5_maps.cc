@@ -1,0 +1,62 @@
+// Regenerates the paper's map figures as SVG files:
+//   Fig. 5  - sensor distribution of every dataset,
+//   Fig. 6  - horizontal split on bay-sim (train/validation/test colours),
+//   Fig. 11 - ring split on bay-sim.
+// Files are written to the current working directory.
+
+#include <cstdio>
+
+#include "data/svg_map.h"
+#include "harness.h"
+
+namespace stsm {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = ScaleFromEnv();
+  Table table({"Figure", "File", "#Sensors"});
+
+  for (const std::string& name : RegisteredDatasets()) {
+    const SpatioTemporalDataset dataset =
+        MakeDataset(name, DataScaleFor(scale));
+    SvgMapOptions options;
+    options.title = name + " sensor distribution";
+    const std::string path = "fig5_" + name + ".svg";
+    if (WriteSvg(RenderSensorMapSvg(dataset.coords, options), path)) {
+      table.AddRow({"Fig. 5", path, std::to_string(dataset.num_nodes())});
+    }
+  }
+
+  const SpatioTemporalDataset bay = MakeDataset("bay-sim", DataScaleFor(scale));
+  {
+    SvgMapOptions options;
+    options.title = "bay-sim horizontal split (Fig. 6)";
+    const SpaceSplit split = SplitSpace(bay.coords, SplitAxis::kHorizontal);
+    if (WriteSvg(RenderSplitMapSvg(bay.coords, split, options),
+                 "fig6_bay_split.svg")) {
+      table.AddRow({"Fig. 6", "fig6_bay_split.svg",
+                    std::to_string(bay.num_nodes())});
+    }
+  }
+  {
+    SvgMapOptions options;
+    options.title = "bay-sim ring split (Fig. 11)";
+    const SpaceSplit split = SplitSpaceRing(bay.coords);
+    if (WriteSvg(RenderSplitMapSvg(bay.coords, split, options),
+                 "fig11_bay_ring.svg")) {
+      table.AddRow({"Fig. 11", "fig11_bay_ring.svg",
+                    std::to_string(bay.num_nodes())});
+    }
+  }
+  EmitTable("fig5_maps", "Fig. 5/6/11: sensor maps rendered to SVG", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stsm
+
+int main() {
+  stsm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Regenerates Fig. 8: RMSE of STSM vs INCREASE (the strongest baseline in
+// this setting) as the unobserved ratio grows from 0.2 to 0.5 on every
+// dataset.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace stsm {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = ScaleFromEnv();
+  const std::vector<double> ratios =
+      scale == BenchScale::kSmoke ? std::vector<double>{0.3, 0.5}
+                                  : std::vector<double>{0.2, 0.3, 0.4, 0.5};
+
+  Table table({"Dataset", "UnobservedRatio", "INCREASE RMSE", "STSM RMSE"});
+  for (const std::string& name : RegisteredDatasets()) {
+    const SpatioTemporalDataset dataset =
+        MakeDataset(name, DataScaleFor(scale));
+    const StsmConfig config = ScaledConfig(name, scale, /*effort=*/0.5);
+    for (double ratio : ratios) {
+      std::fprintf(stderr, "[fig8] %s ratio=%.1f ...\n", name.c_str(), ratio);
+      // The paper averages the horizontal/vertical x normal/reversed
+      // settings; smoke/fast use the first setting only.
+      std::vector<SpaceSplit> splits = {SplitSpaceWithRatio(
+          dataset.coords, SplitAxis::kVertical, ratio)};
+      if (scale == BenchScale::kFull) {
+        splits.push_back(SplitSpaceWithRatio(dataset.coords,
+                                             SplitAxis::kVertical, ratio,
+                                             /*reverse=*/true));
+        splits.push_back(SplitSpaceWithRatio(dataset.coords,
+                                             SplitAxis::kHorizontal, ratio));
+        splits.push_back(SplitSpaceWithRatio(dataset.coords,
+                                             SplitAxis::kHorizontal, ratio,
+                                             /*reverse=*/true));
+      }
+      const ExperimentResult increase =
+          RunAveraged(ModelKind::kIncrease, dataset, splits, config);
+      const ExperimentResult stsm_result =
+          RunAveraged(ModelKind::kStsm, dataset, splits, config);
+      table.AddRow({name, FormatFloat(ratio, 1),
+                    FormatFloat(increase.metrics.rmse, 3),
+                    FormatFloat(stsm_result.metrics.rmse, 3)});
+    }
+  }
+  EmitTable("fig8_unobserved_ratio",
+            "Fig. 8: model performance vs unobserved ratio", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stsm
+
+int main() {
+  stsm::bench::Run();
+  return 0;
+}

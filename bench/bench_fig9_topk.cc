@@ -1,0 +1,50 @@
+// Regenerates Fig. 9: sensitivity of STSM and STSM-NC (the two variants
+// using selective masking) to the number of top similar sub-graphs K.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace stsm {
+namespace bench {
+namespace {
+
+// K sweep values per dataset, scaled around the Table 3 defaults.
+std::vector<int> SweepValues(int default_k, BenchScale scale) {
+  if (scale == BenchScale::kSmoke) return {default_k};
+  return {std::max(2, default_k / 4), std::max(3, default_k / 2), default_k,
+          default_k * 2};
+}
+
+void Run() {
+  const BenchScale scale = ScaleFromEnv();
+  Table table({"Dataset", "K", "STSM RMSE", "STSM-NC RMSE"});
+  for (const std::string& name : RegisteredDatasets()) {
+    const StsmConfig base = ScaledConfig(name, scale, /*effort=*/0.35);
+    const SpatioTemporalDataset dataset =
+        MakeDataset(name, DataScaleFor(scale));
+    const std::vector<SpaceSplit> splits = BenchSplits(dataset.coords, 1);
+    for (int k : SweepValues(base.top_k, scale)) {
+      std::fprintf(stderr, "[fig9] %s K=%d ...\n", name.c_str(), k);
+      StsmConfig config = base;
+      config.top_k = k;
+      const ExperimentResult full =
+          RunAveraged(ModelKind::kStsm, dataset, splits, config);
+      const ExperimentResult nc =
+          RunAveraged(ModelKind::kStsmNc, dataset, splits, config);
+      table.AddRow({name, std::to_string(k),
+                    FormatFloat(full.metrics.rmse, 3),
+                    FormatFloat(nc.metrics.rmse, 3)});
+    }
+  }
+  EmitTable("fig9_topk", "Fig. 9: model performance vs K", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stsm
+
+int main() {
+  stsm::bench::Run();
+  return 0;
+}

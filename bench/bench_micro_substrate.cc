@@ -1,0 +1,144 @@
+// Micro-benchmarks of the substrate the models are built on: tensor kernels,
+// graph convolution, DTW, and pseudo-observation filling. Uses
+// google-benchmark; run in Release mode for meaningful numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/adjacency.h"
+#include "graph/geo.h"
+#include "nn/gcn.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+#include "timeseries/dtw.h"
+#include "timeseries/pseudo_observations.h"
+
+namespace stsm {
+namespace {
+
+void BM_MatMulGcnShaped(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  Rng rng(1);
+  const Tensor adj = Tensor::Uniform(Shape({nodes, nodes}), 0, 1, &rng);
+  const Tensor h = Tensor::Uniform(Shape({8, 12, nodes, 16}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(adj, h).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 12 * nodes * nodes * 16);
+}
+BENCHMARK(BM_MatMulGcnShaped)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  const int64_t nodes = state.range(0);
+  Rng rng(1);
+  const Tensor adj = Tensor::Uniform(Shape({nodes, nodes}), 0, 1, &rng);
+  Tensor h =
+      Tensor::Uniform(Shape({8, 12, nodes, 16}), -1, 1, &rng, true);
+  for (auto _ : state) {
+    h.ZeroGrad();
+    Tensor loss = Sum(MatMul(adj, h));
+    loss.Backward();
+    benchmark::DoNotOptimize(h.grad_data());
+  }
+}
+BENCHMARK(BM_MatMulBackward)->Arg(50)->Arg(100);
+
+void BM_Conv1dTime(benchmark::State& state) {
+  Rng rng(2);
+  const Tensor x = Tensor::Uniform(Shape({8, 12, 100, 16}), -1, 1, &rng);
+  const Tensor w = Tensor::Uniform(Shape({16, 16, 2}), -1, 1, &rng);
+  const Tensor b = Tensor::Zeros(Shape({16}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Conv1dTime(x, w, b, 2).data());
+  }
+}
+BENCHMARK(BM_Conv1dTime);
+
+void BM_GcnlLayerForward(benchmark::State& state) {
+  Rng rng(3);
+  const GcnlLayer layer(16, 16, &rng);
+  const Tensor adj = Tensor::Uniform(Shape({100, 100}), 0, 0.1f, &rng);
+  const Tensor x = Tensor::Uniform(Shape({8, 12, 100, 16}), -1, 1, &rng);
+  for (auto _ : state) {
+    NoGradGuard no_grad;
+    benchmark::DoNotOptimize(layer.Forward(adj, x).data());
+  }
+}
+BENCHMARK(BM_GcnlLayerForward);
+
+void BM_DtwDistance(benchmark::State& state) {
+  const int band = static_cast<int>(state.range(0));
+  Rng rng(4);
+  std::vector<float> a(288), b(288);
+  for (auto& v : a) v = static_cast<float>(rng.Uniform());
+  for (auto& v : b) v = static_cast<float>(rng.Uniform());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DtwDistance(a, b, band));
+  }
+}
+BENCHMARK(BM_DtwDistance)->Arg(0)->Arg(12);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(5);
+  const Tensor x = Tensor::Uniform(Shape({64, 8, 24, 24}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(x, -1).data());
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_InfoNce(benchmark::State& state) {
+  Rng rng(6);
+  Tensor a = Tensor::Uniform(Shape({16, 32}), -1, 1, &rng, true);
+  Tensor b = Tensor::Uniform(Shape({16, 32}), -1, 1, &rng, true);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Tensor loss = InfoNceLoss(a, b, 0.5f);
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_InfoNce);
+
+void BM_PseudoObservations(benchmark::State& state) {
+  const int nodes = 200;
+  Rng rng(7);
+  std::vector<GeoPoint> coords;
+  for (int i = 0; i < nodes; ++i) {
+    coords.push_back({rng.Uniform(0, 40), rng.Uniform(0, 40)});
+  }
+  const auto distances = PairwiseDistances(coords);
+  std::vector<int> sources, targets;
+  for (int i = 0; i < nodes; ++i) {
+    (i < nodes / 2 ? sources : targets).push_back(i);
+  }
+  SeriesMatrix series(288, nodes);
+  for (auto& v : series.values) v = static_cast<float>(rng.Uniform());
+  for (auto _ : state) {
+    FillPseudoObservations(&series, distances, targets, sources);
+    benchmark::DoNotOptimize(series.values.data());
+  }
+}
+BENCHMARK(BM_PseudoObservations);
+
+void BM_AdjacencyBuild(benchmark::State& state) {
+  const int nodes = 400;
+  Rng rng(8);
+  std::vector<GeoPoint> coords;
+  for (int i = 0; i < nodes; ++i) {
+    coords.push_back({rng.Uniform(0, 40), rng.Uniform(0, 40)});
+  }
+  const auto distances = PairwiseDistances(coords);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        NormalizeSymmetric(GaussianThresholdAdjacency(distances, nodes, 0.05))
+            .data());
+  }
+}
+BENCHMARK(BM_AdjacencyBuild);
+
+}  // namespace
+}  // namespace stsm
+
+BENCHMARK_MAIN();

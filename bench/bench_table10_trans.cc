@@ -1,0 +1,39 @@
+// Regenerates Table 10: STSM vs STSM-trans (transformer temporal module +
+// gated fusion, Section 5.2.5) on bay-sim.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace stsm {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = ScaleFromEnv();
+  const SpatioTemporalDataset dataset =
+      MakeDataset("bay-sim", DataScaleFor(scale));
+  const StsmConfig config = ScaledConfig("bay-sim", scale);
+  const std::vector<SpaceSplit> splits =
+      BenchSplits(dataset.coords, NumSplits(scale));
+
+  Table table({"Model", "RMSE", "MAE", "MAPE", "R2"});
+  for (const ModelKind kind : {ModelKind::kStsm, ModelKind::kStsmTrans}) {
+    std::fprintf(stderr, "[table10] %s ...\n", ModelName(kind).c_str());
+    const ExperimentResult result = RunAveraged(kind, dataset, splits, config);
+    std::vector<std::string> row = {ModelName(kind)};
+    for (const auto& cell : MetricCells(result.metrics)) row.push_back(cell);
+    table.AddRow(row);
+  }
+  EmitTable("table10_trans",
+            "Table 10: advanced temporal correlation modules", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stsm
+
+int main() {
+  stsm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Regenerates Table 11: impact of the distance function on bay-sim —
+// Euclidean (STSM) vs road-network distance for adjacency+pseudo-obs
+// (STSM-rd-a) vs adjacency only (STSM-rd-m), Section 5.2.6.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace stsm {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = ScaleFromEnv();
+  const SpatioTemporalDataset dataset =
+      MakeDataset("bay-sim", DataScaleFor(scale));
+  const StsmConfig config = ScaledConfig("bay-sim", scale);
+  const std::vector<SpaceSplit> splits =
+      BenchSplits(dataset.coords, NumSplits(scale));
+
+  Table table({"Model", "RMSE", "MAE", "MAPE", "R2"});
+  for (const ModelKind kind :
+       {ModelKind::kStsm, ModelKind::kStsmRdA, ModelKind::kStsmRdM}) {
+    std::fprintf(stderr, "[table11] %s ...\n", ModelName(kind).c_str());
+    const ExperimentResult result = RunAveraged(kind, dataset, splits, config);
+    std::vector<std::string> row = {ModelName(kind)};
+    for (const auto& cell : MetricCells(result.metrics)) row.push_back(cell);
+    table.AddRow(row);
+  }
+  EmitTable("table11_distance", "Table 11: impact of distance functions",
+            table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stsm
+
+int main() {
+  stsm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Regenerates Table 4: overall forecasting accuracy of GE-GAN, IGNNK,
+// INCREASE and the four STSM variants on all five datasets, averaged over
+// space splits, plus the "Improvement" row (best STSM variant vs best
+// baseline).
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "harness.h"
+
+namespace stsm {
+namespace bench {
+namespace {
+
+std::string SignedPercent(double value) {
+  return (value >= 0 ? "+" : "") + FormatFloat(value, 2) + "%";
+}
+
+std::string ImprovementCell(double best_baseline, double best_ours,
+                            bool larger_is_better) {
+  if (larger_is_better) {
+    if (best_baseline <= 0.0) return "N/A";
+    return SignedPercent((best_ours - best_baseline) / best_baseline * 100.0);
+  }
+  return SignedPercent((best_baseline - best_ours) / best_baseline * 100.0);
+}
+
+void Run() {
+  const BenchScale scale = ScaleFromEnv();
+  const std::vector<ModelKind> models = Table4Models();
+  const std::vector<ModelKind> baselines = {
+      ModelKind::kGeGan, ModelKind::kIgnnk, ModelKind::kIncrease};
+
+  Table table({"Dataset", "Model", "RMSE", "MAE", "MAPE", "R2"});
+  for (const std::string& name : RegisteredDatasets()) {
+    const SpatioTemporalDataset dataset =
+        MakeDataset(name, DataScaleFor(scale));
+    const StsmConfig config = ScaledConfig(name, scale);
+    const std::vector<SpaceSplit> splits =
+        BenchSplits(dataset.coords, NumSplits(scale));
+
+    std::map<ModelKind, Metrics> metrics;
+    for (const ModelKind kind : models) {
+      std::fprintf(stderr, "[table4] %s / %s ...\n", name.c_str(),
+                   ModelName(kind).c_str());
+      const ExperimentResult result =
+          RunAveraged(kind, dataset, splits, config);
+      metrics[kind] = result.metrics;
+      std::vector<std::string> row = {name, ModelName(kind)};
+      for (const auto& cell : MetricCells(result.metrics)) row.push_back(cell);
+      table.AddRow(row);
+    }
+
+    // Improvement of the best STSM variant over the best baseline.
+    auto best = [&](const std::vector<ModelKind>& kinds, auto proj,
+                    bool larger) {
+      double value = larger ? -1e18 : 1e18;
+      for (const ModelKind kind : kinds) {
+        const double v = proj(metrics[kind]);
+        value = larger ? std::max(value, v) : std::min(value, v);
+      }
+      return value;
+    };
+    const std::vector<ModelKind> ours = {ModelKind::kStsmRnc,
+                                         ModelKind::kStsmNc, ModelKind::kStsmR,
+                                         ModelKind::kStsm};
+    table.AddRow(
+        {name, "Improvement",
+         ImprovementCell(best(baselines, [](const Metrics& m) { return m.rmse; },
+                              false),
+                         best(ours, [](const Metrics& m) { return m.rmse; },
+                              false),
+                         false),
+         ImprovementCell(best(baselines, [](const Metrics& m) { return m.mae; },
+                              false),
+                         best(ours, [](const Metrics& m) { return m.mae; },
+                              false),
+                         false),
+         ImprovementCell(best(baselines, [](const Metrics& m) { return m.mape; },
+                              false),
+                         best(ours, [](const Metrics& m) { return m.mape; },
+                              false),
+                         false),
+         ImprovementCell(best(baselines, [](const Metrics& m) { return m.r2; },
+                              true),
+                         best(ours, [](const Metrics& m) { return m.r2; },
+                              true),
+                         true)});
+  }
+  EmitTable("table4_overall", "Table 4: overall model performance", table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stsm
+
+int main() {
+  stsm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Regenerates Table 6: varying the number of sensors. The paper merges the
+// PEMS-07 and PEMS-08 regions into one large region and grows the sensor
+// set 200 -> 800 by taking 1..4 vertical partitions. Here one large merged
+// freeway region is simulated and subset the same way.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "harness.h"
+
+namespace stsm {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = ScaleFromEnv();
+  int total = 0;
+  std::vector<int> counts;
+  switch (scale) {
+    case BenchScale::kSmoke:
+      total = 120;
+      counts = {60, 120};
+      break;
+    case BenchScale::kFast:
+      total = 240;
+      counts = {60, 120, 180, 240};
+      break;
+    case BenchScale::kFull:
+      total = 800;
+      counts = {200, 400, 600, 800};
+      break;
+  }
+  const SpatioTemporalDataset merged = MakeMergedFreewayRegion(total);
+  // Order sensors left-to-right so partitions grow like the paper's.
+  std::vector<int> order(merged.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return merged.coords[a].x < merged.coords[b].x;
+  });
+
+  Table table({"#Sensors", "Model", "RMSE", "MAE", "MAPE", "R2"});
+  for (int count : counts) {
+    const std::vector<int> subset(order.begin(), order.begin() + count);
+    const SpatioTemporalDataset dataset = SelectSensors(merged, subset);
+    StsmConfig config = ScaledConfig("pems08-sim", scale, /*effort=*/0.5);
+    const std::vector<SpaceSplit> splits = BenchSplits(dataset.coords, 1);
+    for (const ModelKind kind : ComparisonModels()) {
+      std::fprintf(stderr, "[table6] %d sensors / %s ...\n", count,
+                   ModelName(kind).c_str());
+      const ExperimentResult result =
+          RunAveraged(kind, dataset, splits, config);
+      std::vector<std::string> row = {std::to_string(count), ModelName(kind)};
+      for (const auto& cell : MetricCells(result.metrics)) row.push_back(cell);
+      table.AddRow(row);
+    }
+  }
+  EmitTable("table6_sensors", "Table 6: varying the number of sensors",
+            table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stsm
+
+int main() {
+  stsm::bench::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Regenerates Table 7: varying the density of sensors on the pems08-sim
+// region (fixed area, growing sensor count; paper: 200 -> 964).
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace stsm {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = ScaleFromEnv();
+  std::vector<int> counts;
+  switch (scale) {
+    case BenchScale::kSmoke: counts = {40, 80}; break;
+    case BenchScale::kFast:  counts = {60, 120, 180, 240}; break;
+    case BenchScale::kFull:  counts = {200, 400, 600, 800, 964}; break;
+  }
+
+  Table table({"#Sensors", "Model", "RMSE", "MAE", "MAPE", "R2"});
+  for (int count : counts) {
+    const SpatioTemporalDataset dataset = MakePems08WithDensity(count);
+    StsmConfig config = ScaledConfig("pems08-sim", scale, /*effort=*/0.5);
+    const std::vector<SpaceSplit> splits = BenchSplits(dataset.coords, 1);
+    for (const ModelKind kind : ComparisonModels()) {
+      std::fprintf(stderr, "[table7] %d sensors / %s ...\n", count,
+                   ModelName(kind).c_str());
+      const ExperimentResult result =
+          RunAveraged(kind, dataset, splits, config);
+      std::vector<std::string> row = {std::to_string(count), ModelName(kind)};
+      for (const auto& cell : MetricCells(result.metrics)) row.push_back(cell);
+      table.AddRow(row);
+    }
+  }
+  EmitTable("table7_density", "Table 7: varying the density of sensors",
+            table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stsm
+
+int main() {
+  stsm::bench::Run();
+  return 0;
+}

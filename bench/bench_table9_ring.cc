@@ -1,0 +1,62 @@
+// Regenerates Table 9: model performance on bay-sim under the ring split
+// (Section 5.2.4, Fig. 11): the city centre is observed, the outer ring is
+// the unobserved region of interest.
+
+#include <cstdio>
+
+#include "harness.h"
+
+namespace stsm {
+namespace bench {
+namespace {
+
+void Run() {
+  const BenchScale scale = ScaleFromEnv();
+  const SpatioTemporalDataset dataset =
+      MakeDataset("bay-sim", DataScaleFor(scale));
+  const StsmConfig config = ScaledConfig("bay-sim", scale);
+  const std::vector<SpaceSplit> splits = {SplitSpaceRing(dataset.coords)};
+
+  Table table({"Model", "RMSE", "MAE", "MAPE", "R2"});
+  Metrics best_baseline;
+  best_baseline.rmse = 1e18;
+  Metrics stsm_metrics;
+  for (const ModelKind kind : ComparisonModels()) {
+    std::fprintf(stderr, "[table9] %s ...\n", ModelName(kind).c_str());
+    const ExperimentResult result = RunAveraged(kind, dataset, splits, config);
+    std::vector<std::string> row = {ModelName(kind)};
+    for (const auto& cell : MetricCells(result.metrics)) row.push_back(cell);
+    table.AddRow(row);
+    if (kind == ModelKind::kStsm) {
+      stsm_metrics = result.metrics;
+    } else if (result.metrics.rmse < best_baseline.rmse) {
+      best_baseline = result.metrics;
+    }
+  }
+  auto signed_percent = [](double value) {
+    return (value >= 0 ? "+" : "") + FormatFloat(value, 1) + "%";
+  };
+  table.AddRow(
+      {"Improvement",
+       signed_percent((best_baseline.rmse - stsm_metrics.rmse) /
+                      best_baseline.rmse * 100.0),
+       signed_percent((best_baseline.mae - stsm_metrics.mae) /
+                      best_baseline.mae * 100.0),
+       signed_percent((best_baseline.mape - stsm_metrics.mape) /
+                      best_baseline.mape * 100.0),
+       best_baseline.r2 > 0
+           ? signed_percent((stsm_metrics.r2 - best_baseline.r2) /
+                            best_baseline.r2 * 100.0)
+           : "N/A"});
+  EmitTable("table9_ring", "Table 9: performance under the ring split",
+            table);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stsm
+
+int main() {
+  stsm::bench::Run();
+  return 0;
+}

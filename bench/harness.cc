@@ -1,0 +1,111 @@
+#include "harness.h"
+
+#include <cstdio>
+
+#include "common/env.h"
+
+namespace stsm {
+namespace bench {
+
+BenchScale ScaleFromEnv() {
+  const std::string scale = GetEnvOr("STSM_BENCH_SCALE", std::string("fast"));
+  if (scale == "smoke") return BenchScale::kSmoke;
+  if (scale == "full") return BenchScale::kFull;
+  return BenchScale::kFast;
+}
+
+const char* ScaleName(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke: return "smoke";
+    case BenchScale::kFast:  return "fast";
+    case BenchScale::kFull:  return "full";
+  }
+  return "fast";
+}
+
+DataScale DataScaleFor(BenchScale scale) {
+  return scale == BenchScale::kFull ? DataScale::kFull : DataScale::kFast;
+}
+
+StsmConfig ScaledConfig(const std::string& dataset_name, BenchScale scale,
+                        double effort) {
+  StsmConfig config = ConfigForDataset(dataset_name);
+  switch (scale) {
+    case BenchScale::kSmoke:
+      config.epochs = 2;
+      config.batches_per_epoch = 4;
+      config.batch_size = 4;
+      config.hidden_dim = 8;
+      config.max_eval_windows = 8;
+      break;
+    case BenchScale::kFast:
+      config.epochs = static_cast<int>(14 * effort + 0.5);
+      config.batches_per_epoch = 10;
+      config.batch_size = 8;
+      config.hidden_dim = 16;
+      config.max_eval_windows = 48;
+      break;
+    case BenchScale::kFull:
+      config.epochs = static_cast<int>(30 * effort + 0.5);
+      config.batches_per_epoch = 20;
+      config.batch_size = 16;
+      config.hidden_dim = 32;
+      config.max_eval_windows = 120;
+      // Paper windows: 2 h at 5-minute resolution for the traffic sets
+      // (the AirQ / Melbourne configs already set their own windows).
+      if (config.input_length == 12) {
+        config.input_length = 24;
+        config.horizon = 24;
+      }
+      break;
+  }
+  if (config.epochs < 2) config.epochs = 2;
+  return config;
+}
+
+int NumSplits(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke: return 1;
+    case BenchScale::kFast:  return 2;
+    case BenchScale::kFull:  return 4;
+  }
+  return 1;
+}
+
+std::vector<SpaceSplit> BenchSplits(const std::vector<GeoPoint>& coords,
+                                    int count) {
+  std::vector<SpaceSplit> splits = FourSplits(coords);
+  if (count < static_cast<int>(splits.size())) splits.resize(count);
+  return splits;
+}
+
+ExperimentResult RunAveraged(ModelKind kind,
+                             const SpatioTemporalDataset& dataset,
+                             const std::vector<SpaceSplit>& splits,
+                             const StsmConfig& config) {
+  std::vector<ExperimentResult> results;
+  results.reserve(splits.size());
+  for (const SpaceSplit& split : splits) {
+    results.push_back(RunModel(kind, dataset, split, config));
+  }
+  return AverageResults(results);
+}
+
+std::vector<std::string> MetricCells(const Metrics& metrics) {
+  return {FormatFloat(metrics.rmse, 3), FormatFloat(metrics.mae, 3),
+          FormatFloat(metrics.mape, 3), FormatFloat(metrics.r2, 3)};
+}
+
+void EmitTable(const std::string& name, const std::string& heading,
+               const Table& table) {
+  std::printf("\n=== %s (%s scale) ===\n%s", heading.c_str(),
+              ScaleName(ScaleFromEnv()), table.ToText().c_str());
+  const std::string csv_path = name + ".csv";
+  if (table.WriteCsv(csv_path)) {
+    std::printf("[csv written to %s]\n", csv_path.c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace stsm

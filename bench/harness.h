@@ -1,0 +1,65 @@
+// Shared scaffolding for the paper-reproduction benchmark binaries.
+//
+// Every bench binary regenerates one table or figure of the paper. The
+// STSM_BENCH_SCALE environment variable selects the run size:
+//   smoke - minutes-long sanity sweep (tiny datasets, 2 epochs);
+//   fast  - default; laptop-scale run preserving the papers' result shape;
+//   full  - paper-scale sensor counts and training budgets.
+
+#ifndef STSM_BENCH_HARNESS_H_
+#define STSM_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/zoo.h"
+#include "common/table.h"
+#include "core/config.h"
+#include "core/experiment.h"
+#include "data/registry.h"
+#include "data/splits.h"
+
+namespace stsm {
+namespace bench {
+
+enum class BenchScale { kSmoke, kFast, kFull };
+
+// Reads STSM_BENCH_SCALE (default "fast").
+BenchScale ScaleFromEnv();
+const char* ScaleName(BenchScale scale);
+
+// Dataset scale matching the bench scale (smoke uses fast's datasets with a
+// reduced sensor count cap applied by the config below).
+DataScale DataScaleFor(BenchScale scale);
+
+// STSM config for `dataset_name` with Table 3 hyper-parameters and
+// scale-appropriate training knobs. `effort` scales the training budget:
+// 1.0 for headline tables, < 1 for parameter sweeps with many cells.
+StsmConfig ScaledConfig(const std::string& dataset_name, BenchScale scale,
+                        double effort = 1.0);
+
+// Number of space splits to average over (paper: 4).
+int NumSplits(BenchScale scale);
+
+// The first `count` of the paper's four splits.
+std::vector<SpaceSplit> BenchSplits(const std::vector<GeoPoint>& coords,
+                                    int count);
+
+// Runs `kind` averaged over `splits`.
+ExperimentResult RunAveraged(ModelKind kind,
+                             const SpatioTemporalDataset& dataset,
+                             const std::vector<SpaceSplit>& splits,
+                             const StsmConfig& config);
+
+// Formats a metric row [rmse, mae, mape, r2].
+std::vector<std::string> MetricCells(const Metrics& metrics);
+
+// Prints the table with a heading and writes `<name>.csv` beside the binary
+// (current working directory).
+void EmitTable(const std::string& name, const std::string& heading,
+               const Table& table);
+
+}  // namespace bench
+}  // namespace stsm
+
+#endif  // STSM_BENCH_HARNESS_H_

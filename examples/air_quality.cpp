@@ -1,0 +1,53 @@
+// Air-quality forecasting for a city without monitoring stations.
+//
+// Uses the simulated AirQ stand-in (two adjacent cities, hourly PM2.5): the
+// model trains on one part of the region and forecasts a full day ahead for
+// the stations it has never seen, mirroring the paper's AirQ experiment
+// (T = T' = 24 hours). Also demonstrates the per-horizon error breakdown.
+//
+// Run: ./build/examples/air_quality
+
+#include <cstdio>
+
+#include "core/config.h"
+#include "core/stsm.h"
+#include "data/registry.h"
+#include "data/splits.h"
+
+int main() {
+  using namespace stsm;
+
+  const SpatioTemporalDataset dataset =
+      MakeDataset("airq-sim", DataScale::kFast);
+  std::printf("Simulated AirQ: %d PM2.5 stations, %d days hourly\n",
+              dataset.num_nodes(), dataset.num_days());
+
+  // Horizontal split: the southern stations are unobserved.
+  const SpaceSplit split = SplitSpace(dataset.coords, SplitAxis::kHorizontal);
+  std::printf("Observed: %zu stations; forecasting for %zu unobserved\n",
+              split.Observed().size(), split.test.size());
+
+  // Table 3 hyper-parameters for AirQ (lambda = 1, eps_sg = 0.6, K = 5) and
+  // the paper's 24 h -> 24 h window come from ConfigForDataset.
+  StsmConfig config = ConfigForDataset("airq-sim");
+  config.epochs = 10;
+  config.batches_per_epoch = 8;
+  config.hidden_dim = 16;
+  config.max_eval_windows = 24;
+
+  StsmRunner runner(dataset, split, config);
+  const ExperimentResult result = runner.Run();
+
+  std::printf("\n24-hour-ahead PM2.5 forecasts for unseen stations:\n");
+  std::printf("  RMSE = %.2f ug/m3, MAE = %.2f ug/m3, R2 = %.3f\n",
+              result.metrics.rmse, result.metrics.mae, result.metrics.r2);
+
+  std::printf("\nError growth with forecast horizon:\n");
+  for (size_t t = 0; t < result.horizon_rmse.size(); t += 4) {
+    std::printf("  +%2zu h: RMSE %.2f\n", t + 1, result.horizon_rmse[t]);
+  }
+  std::printf(
+      "\n(Short horizons lean on the diurnal cycle the model has learned;\n"
+      " long horizons show how far the spatial transfer carries.)\n");
+  return 0;
+}

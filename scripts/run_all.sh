@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the library, runs the full test suite, and regenerates every table
+# and figure of the paper, recording outputs at the repository root.
+#
+# Usage: scripts/run_all.sh [smoke|fast|full]
+#   smoke - minutes-long sanity pass
+#   fast  - default; laptop-scale reproduction preserving result shapes
+#   full  - paper-scale sensor counts and budgets (hours on CPU)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-fast}"
+export STSM_BENCH_SCALE="$SCALE"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt
+
+echo "Done. See test_output.txt, bench_output.txt, and *.csv / *.svg files."

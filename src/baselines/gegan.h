@@ -1,0 +1,32 @@
+// GE-GAN baseline (Xu et al., 2020): graph-embedding conditioned generative
+// adversarial network for road traffic state estimation, adapted to
+// forecasting per Section 5.1.3 of the STSM paper.
+//
+// Node embeddings are learned transductively from the spatial adjacency
+// (first-order proximity, LINE-style — standing in for the original graph
+// embedding; see DESIGN.md §4). The generator consumes a node's embedding,
+// an inverse-distance aggregation of its observed neighbours' input window,
+// and noise, and emits the future window; the discriminator judges
+// (embedding, future window) pairs. Being transductive, the unobserved
+// region's embeddings are trained purely from graph structure with no data
+// signal — which is why the model struggles when a large contiguous region
+// is unobserved (Section 5.2.1) but remains competitive on the small urban
+// dataset.
+
+#ifndef STSM_BASELINES_GEGAN_H_
+#define STSM_BASELINES_GEGAN_H_
+
+#include "baselines/context.h"
+#include "core/experiment.h"
+#include "data/dataset.h"
+#include "data/splits.h"
+
+namespace stsm {
+
+ExperimentResult RunGeGan(const SpatioTemporalDataset& dataset,
+                          const SpaceSplit& split,
+                          const BaselineConfig& config);
+
+}  // namespace stsm
+
+#endif  // STSM_BASELINES_GEGAN_H_

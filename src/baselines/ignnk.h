@@ -1,0 +1,29 @@
+// IGNNK baseline (Wu et al., AAAI 2021): Inductive Graph Neural Network
+// Kriging, adapted to forecasting per Section 5.1.3 of the STSM paper (the
+// training target is the future window instead of the reconstruction of the
+// current one).
+//
+// The model treats the input time window as node features, stacks graph
+// convolutions over the spatial adjacency, and emits the future window per
+// node. During training, random scattered nodes are masked to zero; at test
+// time the unobserved region enters as zeros. Because the unobserved region
+// is contiguous in the STSM setting, interior unobserved nodes aggregate
+// mostly zeros — the failure mode the paper reports (Section 5.2.1).
+
+#ifndef STSM_BASELINES_IGNNK_H_
+#define STSM_BASELINES_IGNNK_H_
+
+#include "baselines/context.h"
+#include "core/experiment.h"
+#include "data/dataset.h"
+#include "data/splits.h"
+
+namespace stsm {
+
+ExperimentResult RunIgnnk(const SpatioTemporalDataset& dataset,
+                          const SpaceSplit& split,
+                          const BaselineConfig& config);
+
+}  // namespace stsm
+
+#endif  // STSM_BASELINES_IGNNK_H_

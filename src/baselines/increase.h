@@ -1,0 +1,30 @@
+// INCREASE baseline (Zheng et al., WWW 2023): Inductive Graph Representation
+// Learning for Spatio-Temporal Kriging, adapted to forecasting per
+// Section 5.1.3 of the STSM paper.
+//
+// For every target location the model aggregates its k nearest observed
+// neighbours under two heterogeneous relations — spatial proximity and
+// temporal-pattern (DTW) similarity — into a per-step feature sequence,
+// encodes the sequence with a GRU, and decodes the future window. Weights
+// are shared across locations, so the model is inductive and can be applied
+// to the unobserved region at test time. Its known weakness (Section 1 of
+// the paper): only the nearest neighbours are consulted, so global spatial
+// patterns are missed.
+
+#ifndef STSM_BASELINES_INCREASE_H_
+#define STSM_BASELINES_INCREASE_H_
+
+#include "baselines/context.h"
+#include "core/experiment.h"
+#include "data/dataset.h"
+#include "data/splits.h"
+
+namespace stsm {
+
+ExperimentResult RunIncrease(const SpatioTemporalDataset& dataset,
+                             const SpaceSplit& split,
+                             const BaselineConfig& config);
+
+}  // namespace stsm
+
+#endif  // STSM_BASELINES_INCREASE_H_

@@ -1,0 +1,84 @@
+#include "baselines/zoo.h"
+
+#include "baselines/gegan.h"
+#include "baselines/ignnk.h"
+#include "baselines/increase.h"
+#include "common/check.h"
+#include "core/stsm.h"
+
+namespace stsm {
+
+std::string ModelName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kGeGan:     return "GE-GAN";
+    case ModelKind::kIgnnk:     return "IGNNK";
+    case ModelKind::kIncrease:  return "INCREASE";
+    case ModelKind::kStsmRnc:   return VariantName(StsmVariant::kRnc);
+    case ModelKind::kStsmNc:    return VariantName(StsmVariant::kNc);
+    case ModelKind::kStsmR:     return VariantName(StsmVariant::kR);
+    case ModelKind::kStsm:      return VariantName(StsmVariant::kFull);
+    case ModelKind::kStsmTrans: return VariantName(StsmVariant::kTrans);
+    case ModelKind::kStsmRdA:   return VariantName(StsmVariant::kRdA);
+    case ModelKind::kStsmRdM:   return VariantName(StsmVariant::kRdM);
+  }
+  STSM_CHECK(false) << "unknown model kind";
+  return "";
+}
+
+BaselineConfig BaselineFromStsm(const StsmConfig& config) {
+  BaselineConfig baseline;
+  baseline.input_length = config.input_length;
+  baseline.horizon = config.horizon;
+  baseline.hidden_dim = config.hidden_dim;
+  baseline.epochs = config.epochs;
+  baseline.batches_per_epoch = config.batches_per_epoch;
+  baseline.batch_size = config.batch_size;
+  baseline.learning_rate = config.learning_rate;
+  baseline.grad_clip = config.grad_clip;
+  baseline.epsilon_s = config.epsilon_s;
+  baseline.seed = config.seed;
+  baseline.eval_stride = config.eval_stride;
+  baseline.max_eval_windows = config.max_eval_windows;
+  return baseline;
+}
+
+ExperimentResult RunModel(ModelKind kind, const SpatioTemporalDataset& dataset,
+                          const SpaceSplit& split, const StsmConfig& config) {
+  switch (kind) {
+    case ModelKind::kGeGan:
+      return RunGeGan(dataset, split, BaselineFromStsm(config));
+    case ModelKind::kIgnnk:
+      return RunIgnnk(dataset, split, BaselineFromStsm(config));
+    case ModelKind::kIncrease:
+      return RunIncrease(dataset, split, BaselineFromStsm(config));
+    case ModelKind::kStsmRnc:
+      return RunStsmVariant(dataset, split, StsmVariant::kRnc, config);
+    case ModelKind::kStsmNc:
+      return RunStsmVariant(dataset, split, StsmVariant::kNc, config);
+    case ModelKind::kStsmR:
+      return RunStsmVariant(dataset, split, StsmVariant::kR, config);
+    case ModelKind::kStsm:
+      return RunStsmVariant(dataset, split, StsmVariant::kFull, config);
+    case ModelKind::kStsmTrans:
+      return RunStsmVariant(dataset, split, StsmVariant::kTrans, config);
+    case ModelKind::kStsmRdA:
+      return RunStsmVariant(dataset, split, StsmVariant::kRdA, config);
+    case ModelKind::kStsmRdM:
+      return RunStsmVariant(dataset, split, StsmVariant::kRdM, config);
+  }
+  STSM_CHECK(false) << "unknown model kind";
+  return {};
+}
+
+std::vector<ModelKind> Table4Models() {
+  return {ModelKind::kGeGan,   ModelKind::kIgnnk, ModelKind::kIncrease,
+          ModelKind::kStsmRnc, ModelKind::kStsmNc, ModelKind::kStsmR,
+          ModelKind::kStsm};
+}
+
+std::vector<ModelKind> ComparisonModels() {
+  return {ModelKind::kGeGan, ModelKind::kIgnnk, ModelKind::kIncrease,
+          ModelKind::kStsm};
+}
+
+}  // namespace stsm

@@ -1,0 +1,50 @@
+// Model zoo: unified dispatch over STSM, its ablation variants, and the
+// adapted baselines — the full set of models compared in Tables 4-11.
+
+#ifndef STSM_BASELINES_ZOO_H_
+#define STSM_BASELINES_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/context.h"
+#include "core/config.h"
+#include "core/experiment.h"
+#include "data/dataset.h"
+#include "data/splits.h"
+
+namespace stsm {
+
+enum class ModelKind {
+  kGeGan,
+  kIgnnk,
+  kIncrease,
+  kStsmRnc,
+  kStsmNc,
+  kStsmR,
+  kStsm,
+  kStsmTrans,
+  kStsmRdA,
+  kStsmRdM,
+};
+
+// Name as printed in the paper's tables.
+std::string ModelName(ModelKind kind);
+
+// Derives a baseline config sharing the STSM config's scale knobs, so all
+// models in a comparison get the same training budget.
+BaselineConfig BaselineFromStsm(const StsmConfig& config);
+
+// Trains and evaluates one model on one dataset split.
+ExperimentResult RunModel(ModelKind kind, const SpatioTemporalDataset& dataset,
+                          const SpaceSplit& split, const StsmConfig& config);
+
+// The model columns of Table 4, in order.
+std::vector<ModelKind> Table4Models();
+
+// Baselines + STSM, the rows of Tables 6/7/9.
+std::vector<ModelKind> ComparisonModels();
+
+}  // namespace stsm
+
+#endif  // STSM_BASELINES_ZOO_H_

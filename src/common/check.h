@@ -1,0 +1,71 @@
+// Lightweight assertion and logging macros used across the STSM library.
+//
+// The library follows a no-exceptions policy: programmer errors (shape
+// mismatches, invalid configurations, out-of-range indices) terminate the
+// program with a diagnostic message. Recoverable conditions are expressed
+// through return values instead.
+
+#ifndef STSM_COMMON_CHECK_H_
+#define STSM_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace stsm {
+namespace internal {
+
+// Collects a streamed message and aborts the process when destroyed.
+// Used only via the STSM_CHECK* macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace stsm
+
+// Aborts with a message when `condition` is false. Additional context can be
+// streamed: STSM_CHECK(a == b) << "while combining" << name;
+#define STSM_CHECK(condition)                                          \
+  if (!(condition))                                                    \
+  ::stsm::internal::CheckFailureStream("STSM_CHECK", __FILE__, __LINE__, \
+                                       #condition)
+
+// Binary comparison checks that print both operand values on failure.
+#define STSM_CHECK_OP(op, a, b)                                           \
+  if (!((a)op(b)))                                                        \
+  ::stsm::internal::CheckFailureStream("STSM_CHECK", __FILE__, __LINE__,  \
+                                       #a " " #op " " #b)                 \
+      << "(" << (a) << " vs " << (b) << ")"
+
+#define STSM_CHECK_EQ(a, b) STSM_CHECK_OP(==, a, b)
+#define STSM_CHECK_NE(a, b) STSM_CHECK_OP(!=, a, b)
+#define STSM_CHECK_LT(a, b) STSM_CHECK_OP(<, a, b)
+#define STSM_CHECK_LE(a, b) STSM_CHECK_OP(<=, a, b)
+#define STSM_CHECK_GT(a, b) STSM_CHECK_OP(>, a, b)
+#define STSM_CHECK_GE(a, b) STSM_CHECK_OP(>=, a, b)
+
+#endif  // STSM_COMMON_CHECK_H_

@@ -1,0 +1,26 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace stsm {
+
+std::string GetEnvOr(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  return value == nullptr ? fallback : std::string(value);
+}
+
+int GetEnvOr(const std::string& name, int fallback) {
+  const char* value = std::getenv(name.c_str());
+  return value == nullptr ? fallback : std::atoi(value);
+}
+
+double GetEnvOr(const std::string& name, double fallback) {
+  const char* value = std::getenv(name.c_str());
+  return value == nullptr ? fallback : std::atof(value);
+}
+
+bool BenchFullScale() {
+  return GetEnvOr("STSM_BENCH_SCALE", std::string("fast")) == "full";
+}
+
+}  // namespace stsm

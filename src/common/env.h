@@ -1,0 +1,22 @@
+// Helpers for reading benchmark-scaling knobs from the environment.
+
+#ifndef STSM_COMMON_ENV_H_
+#define STSM_COMMON_ENV_H_
+
+#include <string>
+
+namespace stsm {
+
+// Returns the value of environment variable `name`, or `fallback` when unset.
+std::string GetEnvOr(const std::string& name, const std::string& fallback);
+
+// Integer / double variants.
+int GetEnvOr(const std::string& name, int fallback);
+double GetEnvOr(const std::string& name, double fallback);
+
+// True when STSM_BENCH_SCALE=full; benches then run closer to paper scale.
+bool BenchFullScale();
+
+}  // namespace stsm
+
+#endif  // STSM_COMMON_ENV_H_

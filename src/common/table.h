@@ -1,0 +1,42 @@
+// Text-table and CSV output helpers used by the benchmark harness to print
+// paper-style tables and persist their contents.
+
+#ifndef STSM_COMMON_TABLE_H_
+#define STSM_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace stsm {
+
+// Accumulates rows of string cells and renders them as an aligned text table
+// (markdown-ish, like the tables in the paper) or as CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with aligned columns.
+  std::string ToText() const;
+
+  // Renders the table as CSV.
+  std::string ToCsv() const;
+
+  // Writes the CSV rendering to `path`. Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` digits after the decimal point.
+std::string FormatFloat(double value, int digits = 3);
+
+}  // namespace stsm
+
+#endif  // STSM_COMMON_TABLE_H_

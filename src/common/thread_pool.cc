@@ -1,0 +1,101 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace stsm {
+
+ThreadPool::ThreadPool(int num_threads) {
+  STSM_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    int64_t begin, int64_t end,
+    const std::function<void(int64_t, int64_t)>& chunk_fn) {
+  const int64_t total = end - begin;
+  if (total <= 0) return;
+  const int threads = num_threads();
+  // Small ranges are cheaper inline than through the queue.
+  if (total == 1 || threads == 1) {
+    chunk_fn(begin, end);
+    return;
+  }
+  const int num_chunks = static_cast<int>(
+      std::min<int64_t>(threads, total));
+  const int64_t chunk_size = (total + num_chunks - 1) / num_chunks;
+
+  std::atomic<int> remaining{num_chunks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (int c = 0; c < num_chunks; ++c) {
+    const int64_t chunk_begin = begin + c * chunk_size;
+    const int64_t chunk_end = std::min(end, chunk_begin + chunk_size);
+    Enqueue([&, chunk_begin, chunk_end] {
+      chunk_fn(chunk_begin, chunk_end);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    int threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (const char* env = std::getenv("STSM_NUM_THREADS")) {
+      threads = std::atoi(env);
+    }
+    threads = std::max(1, std::min(threads, 16));
+    return new ThreadPool(threads);
+  }();
+  return *pool;
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& chunk_fn) {
+  ThreadPool::Global().ParallelFor(begin, end, chunk_fn);
+}
+
+}  // namespace stsm

@@ -1,0 +1,59 @@
+// A minimal fixed-size thread pool with a parallel-for helper.
+//
+// Used by the tensor library to parallelise large matrix multiplications and
+// by the experiment harness to evaluate independent windows concurrently.
+
+#ifndef STSM_COMMON_THREAD_POOL_H_
+#define STSM_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace stsm {
+
+// Fixed-size worker pool. Tasks are arbitrary std::function<void()>; the pool
+// provides no futures — use ParallelFor for fork-join workloads.
+class ThreadPool {
+ public:
+  // Creates a pool with `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Runs `fn(i)` for all i in [begin, end), splitting the range into
+  // contiguous chunks across the workers, and blocks until all complete.
+  // Falls back to inline execution for small ranges.
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t, int64_t)>& chunk_fn);
+
+  // Returns the process-wide pool, sized from the hardware concurrency (or
+  // the STSM_NUM_THREADS environment variable when set).
+  static ThreadPool& Global();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Convenience wrapper over ThreadPool::Global().ParallelFor that hands each
+// worker a [chunk_begin, chunk_end) range.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& chunk_fn);
+
+}  // namespace stsm
+
+#endif  // STSM_COMMON_THREAD_POOL_H_

@@ -1,0 +1,98 @@
+#include "core/config.h"
+
+#include "common/check.h"
+
+namespace stsm {
+
+StsmConfig ApplyVariant(StsmConfig config, StsmVariant variant) {
+  switch (variant) {
+    case StsmVariant::kFull:
+      config.selective_masking = true;
+      config.contrastive = true;
+      break;
+    case StsmVariant::kNc:
+      config.selective_masking = true;
+      config.contrastive = false;
+      break;
+    case StsmVariant::kR:
+      config.selective_masking = false;
+      config.contrastive = true;
+      break;
+    case StsmVariant::kRnc:
+      config.selective_masking = false;
+      config.contrastive = false;
+      break;
+    case StsmVariant::kTrans:
+      config.selective_masking = true;
+      config.contrastive = true;
+      config.temporal_module = TemporalModule::kTransformer;
+      break;
+    case StsmVariant::kRdA:
+      config.selective_masking = true;
+      config.contrastive = true;
+      config.distance_mode = DistanceMode::kRoadAll;
+      break;
+    case StsmVariant::kRdM:
+      config.selective_masking = true;
+      config.contrastive = true;
+      config.distance_mode = DistanceMode::kRoadMatrixOnly;
+      break;
+  }
+  return config;
+}
+
+std::string VariantName(StsmVariant variant) {
+  switch (variant) {
+    case StsmVariant::kFull:  return "STSM";
+    case StsmVariant::kNc:    return "STSM-NC";
+    case StsmVariant::kR:     return "STSM-R";
+    case StsmVariant::kRnc:   return "STSM-RNC";
+    case StsmVariant::kTrans: return "STSM-trans";
+    case StsmVariant::kRdA:   return "STSM-rd-a";
+    case StsmVariant::kRdM:   return "STSM-rd-m";
+  }
+  STSM_CHECK(false) << "unknown variant";
+  return "";
+}
+
+StsmConfig ConfigForDataset(const std::string& dataset_name) {
+  StsmConfig config;
+  // Table 3 of the paper.
+  // lambda / epsilon_sg / K follow Table 3; pseudo_neighbors is this
+  // reproduction's extra per-dataset knob (DESIGN.md §5.6), tuned on the
+  // validation region like the paper's grid-searched parameters.
+  if (dataset_name == "bay-sim") {
+    config.lambda = 0.01f;
+    config.epsilon_sg = 0.5;
+    config.top_k = 35;
+    config.pseudo_neighbors = 0;  // All observed sources (paper-literal).
+  } else if (dataset_name == "pems07-sim") {
+    config.lambda = 1.0f;
+    config.epsilon_sg = 0.7;
+    config.top_k = 35;
+    config.pseudo_neighbors = 8;
+  } else if (dataset_name == "pems08-sim") {
+    config.lambda = 0.5f;
+    config.epsilon_sg = 0.5;
+    config.top_k = 35;
+    config.pseudo_neighbors = 8;
+  } else if (dataset_name == "melbourne-sim") {
+    config.lambda = 0.5f;
+    config.epsilon_sg = 0.4;
+    config.top_k = 45;
+    config.input_length = 8;   // 2 h at 15-minute resolution.
+    config.horizon = 8;
+    config.pseudo_neighbors = 8;
+  } else if (dataset_name == "airq-sim") {
+    config.lambda = 1.0f;
+    config.epsilon_sg = 0.6;
+    config.top_k = 5;
+    config.input_length = 24;  // 24 h at hourly resolution (Section 5.1.1).
+    config.horizon = 24;
+    config.dtw_band = 4;
+    config.pseudo_neighbors = 0;
+  }
+  return config;
+}
+
+}  // namespace stsm

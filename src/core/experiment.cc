@@ -1,0 +1,31 @@
+#include "core/experiment.h"
+
+#include "common/check.h"
+
+namespace stsm {
+
+ExperimentResult AverageResults(const std::vector<ExperimentResult>& results) {
+  STSM_CHECK(!results.empty());
+  ExperimentResult avg;
+  for (const ExperimentResult& r : results) {
+    avg.metrics.rmse += r.metrics.rmse;
+    avg.metrics.mae += r.metrics.mae;
+    avg.metrics.mape += r.metrics.mape;
+    avg.metrics.r2 += r.metrics.r2;
+    avg.metrics.count += r.metrics.count;
+    avg.train_seconds += r.train_seconds;
+    avg.test_seconds += r.test_seconds;
+    avg.mean_mask_similarity += r.mean_mask_similarity;
+  }
+  const double n = static_cast<double>(results.size());
+  avg.metrics.rmse /= n;
+  avg.metrics.mae /= n;
+  avg.metrics.mape /= n;
+  avg.metrics.r2 /= n;
+  avg.train_seconds /= n;
+  avg.test_seconds /= n;
+  avg.mean_mask_similarity /= n;
+  return avg;
+}
+
+}  // namespace stsm

@@ -1,0 +1,30 @@
+// Shared experiment result types for STSM and the baseline models.
+
+#ifndef STSM_CORE_EXPERIMENT_H_
+#define STSM_CORE_EXPERIMENT_H_
+
+#include <vector>
+
+#include "data/metrics.h"
+
+namespace stsm {
+
+// Outcome of one train+test run of a model on one dataset split.
+struct ExperimentResult {
+  Metrics metrics;                   // On the unobserved region, raw units.
+  double train_seconds = 0.0;
+  double test_seconds = 0.0;
+  // Mean similarity between masked sub-graphs and the unobserved region,
+  // averaged over training epochs (Table 8). 0 for baselines.
+  double mean_mask_similarity = 0.0;
+  std::vector<double> train_losses;  // Per-epoch mean training loss.
+  // RMSE per forecast step 1..T' (STSM runner only; empty for baselines).
+  std::vector<double> horizon_rmse;
+};
+
+// Element-wise average of several runs (used to average over space splits).
+ExperimentResult AverageResults(const std::vector<ExperimentResult>& results);
+
+}  // namespace stsm
+
+#endif  // STSM_CORE_EXPERIMENT_H_

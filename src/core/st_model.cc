@@ -1,0 +1,183 @@
+#include "core/st_model.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stsm {
+
+StBlock::StBlock(int64_t channels, const StsmConfig& config, Rng* rng)
+    : temporal_module_(config.temporal_module) {
+  if (temporal_module_ == TemporalModule::kTcn) {
+    // Stacked dilated convolutions with exponential dilation 2^j (Eq. 5).
+    for (int j = 0; j < 2; ++j) {
+      tcn_stack_.push_back(std::make_unique<TemporalConv>(
+          channels, channels, config.tcn_kernel, /*dilation=*/1 << j, rng));
+    }
+  } else {
+    transformer_ = std::make_unique<TransformerEncoderBlock>(
+        channels, config.attention_heads, 2 * channels, rng);
+    fusion_spatial_ = std::make_unique<Linear>(channels, channels, rng);
+    fusion_temporal_ =
+        std::make_unique<Linear>(channels, channels, rng, /*use_bias=*/false);
+  }
+  gcn_layers_.reserve(config.gcn_layers_per_block);
+  for (int q = 0; q < config.gcn_layers_per_block; ++q) {
+    gcn_layers_.emplace_back(channels, channels, rng);
+  }
+}
+
+Tensor StBlock::TemporalBranch(const Tensor& x) const {
+  if (temporal_module_ == TemporalModule::kTcn) {
+    Tensor h = x;
+    for (const auto& conv : tcn_stack_) {
+      h = Relu(conv->Forward(h));
+    }
+    return h;
+  }
+  // Transformer over time: [B, T, N, C] -> [B, N, T, C] -> [B*N, T, C].
+  const int64_t batch = x.shape()[0];
+  const int64_t time = x.shape()[1];
+  const int64_t nodes = x.shape()[2];
+  const int64_t channels = x.shape()[3];
+  Tensor h = Transpose(x, 1, 2);
+  h = Reshape(h, Shape({batch * nodes, time, channels}));
+  h = transformer_->Forward(h);
+  h = Reshape(h, Shape({batch, nodes, time, channels}));
+  return Transpose(h, 1, 2);
+}
+
+Tensor StBlock::SpatialBranch(const Tensor& x, const Tensor& adj) const {
+  // Eq. 8/9: stack gated GCN layers, elementwise-max over layer outputs.
+  Tensor h = x;
+  Tensor aggregated;
+  for (const GcnlLayer& layer : gcn_layers_) {
+    h = layer.Forward(adj, h);
+    aggregated = aggregated.defined() ? Maximum(aggregated, h) : h;
+  }
+  return aggregated;
+}
+
+Tensor StBlock::Forward(const Tensor& x, const Tensor& adj_spatial,
+                        const Tensor& adj_temporal) const {
+  const Tensor h_temporal = TemporalBranch(x);
+  // Eq. 11: max over the two adjacency variants.
+  const Tensor h_spatial = Maximum(SpatialBranch(x, adj_spatial),
+                                   SpatialBranch(x, adj_temporal));
+  if (temporal_module_ == TemporalModule::kTcn) {
+    return Add(h_spatial, h_temporal);  // Eq. 12.
+  }
+  // Gated fusion for STSM-trans.
+  const Tensor gate = Sigmoid(Add(fusion_spatial_->Forward(h_spatial),
+                                  fusion_temporal_->Forward(h_temporal)));
+  return Add(Mul(gate, h_spatial), Mul(Sub(1.0f, gate), h_temporal));
+}
+
+std::vector<Tensor> StBlock::Parameters() const {
+  std::vector<Tensor> params;
+  for (const auto& conv : tcn_stack_) {
+    const auto p = conv->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  if (transformer_ != nullptr) {
+    const auto p = transformer_->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  for (const auto* fusion :
+       {fusion_spatial_.get(), fusion_temporal_.get()}) {
+    if (fusion != nullptr) {
+      const auto p = fusion->Parameters();
+      params.insert(params.end(), p.begin(), p.end());
+    }
+  }
+  for (const GcnlLayer& layer : gcn_layers_) {
+    const auto p = layer.Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+StModel::StModel(const StsmConfig& config, Rng* rng)
+    : config_(config),
+      phi1_(1, config.hidden_dim, rng),
+      phi2_(3, config.hidden_dim, rng),
+      head1_(config.hidden_dim, config.hidden_dim, rng),
+      head2_(config.hidden_dim, config.horizon, rng) {
+  blocks_.reserve(config.num_blocks);
+  for (int l = 0; l < config.num_blocks; ++l) {
+    blocks_.push_back(std::make_unique<StBlock>(config.hidden_dim, config, rng));
+  }
+}
+
+StModel::Output StModel::Forward(const Tensor& x, const Tensor& time_features,
+                                 const Tensor& adj_spatial,
+                                 const Tensor& adj_temporal) const {
+  STSM_CHECK_EQ(x.ndim(), 4);
+  STSM_CHECK_EQ(x.shape()[3], 1);
+  STSM_CHECK_EQ(x.shape()[1], config_.input_length);
+  const int64_t batch = x.shape()[0];
+  const int64_t time = x.shape()[1];
+  const int64_t nodes = x.shape()[2];
+
+  // Eq. 4: H^0 = phi1(X) * phi2(TE). The time embedding is shared across
+  // nodes, so it broadcasts over the node dimension.
+  const Tensor h_obs = phi1_.Forward(x);  // [B, T, N, C'].
+  const Tensor h_time =
+      Unsqueeze(phi2_.Forward(time_features), 2);  // [B, T, 1, C'].
+  Tensor h = Mul(h_obs, h_time);
+
+  for (const auto& block : blocks_) {
+    h = block->Forward(h, adj_spatial, adj_temporal);
+  }
+
+  // Final features: last block output at the last input time step, which
+  // summarises the whole window through the dilated temporal stack
+  // (this is the H^{t+T',L} of Eq. 16).
+  const Tensor last =
+      Reshape(Slice(h, 1, time - 1, time),
+              Shape({batch, nodes, config_.hidden_dim}));  // [B, N, C'].
+
+  // Output head (Eq. 13): two linear maps with an inner ReLU produce all T'
+  // horizon values per node at once. No output activation — targets are
+  // z-scored and may be negative.
+  Tensor out = head2_.Forward(Relu(head1_.Forward(last)));  // [B, N, T'].
+  if (config_.input_skip) {
+    // Persistence skip: the head predicts the correction on top of the
+    // last input value (see config.h).
+    const Tensor last_value =
+        Reshape(Slice(x, 1, time - 1, time), Shape({batch, nodes, 1}));
+    out = Add(out, last_value);
+  }
+  out = Unsqueeze(Transpose(out, 1, 2), -1);                // [B, T', N, 1].
+
+  Output output;
+  output.predictions = out;
+  output.final_features = last;
+  return output;
+}
+
+std::vector<Tensor> StModel::Parameters() const {
+  std::vector<Tensor> params = ConcatParameters(
+      {phi1_.Parameters(), phi2_.Parameters(), head1_.Parameters(),
+       head2_.Parameters()});
+  for (const auto& block : blocks_) {
+    const auto p = block->Parameters();
+    params.insert(params.end(), p.begin(), p.end());
+  }
+  return params;
+}
+
+ProjectionHead::ProjectionHead(int64_t channels, Rng* rng)
+    : inner_(channels, channels, rng), outer_(channels, channels, rng) {}
+
+Tensor ProjectionHead::Forward(const Tensor& final_features) const {
+  STSM_CHECK_EQ(final_features.ndim(), 3);
+  // Eq. 16: sum over nodes, then phi(ReLU(phi(.))).
+  const Tensor pooled = Sum(final_features, 1);  // [B, C'].
+  return outer_.Forward(Relu(inner_.Forward(pooled)));
+}
+
+std::vector<Tensor> ProjectionHead::Parameters() const {
+  return ConcatParameters({inner_.Parameters(), outer_.Parameters()});
+}
+
+}  // namespace stsm

@@ -1,0 +1,423 @@
+#include "core/stsm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "common/check.h"
+#include "data/normalizer.h"
+#include "data/windows.h"
+#include "graph/adjacency.h"
+#include "graph/road.h"
+#include "masking/masking.h"
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+#include "timeseries/pseudo_observations.h"
+#include "timeseries/temporal_adjacency.h"
+
+namespace stsm {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Extracts the square sub-matrix of a binary adjacency at `indices`.
+Tensor SubAdjacency(const Tensor& adjacency, const std::vector<int>& indices) {
+  const int64_t n = adjacency.shape()[0];
+  const int64_t k = static_cast<int64_t>(indices.size());
+  Tensor sub = Tensor::Zeros(Shape({k, k}));
+  const float* a = adjacency.data();
+  float* s = sub.data();
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      s[i * k + j] = a[static_cast<int64_t>(indices[i]) * n + indices[j]];
+    }
+  }
+  return sub;
+}
+
+// Extracts the square distance sub-matrix at `indices`.
+std::vector<double> SubDistances(const std::vector<double>& distances,
+                                 int num_nodes,
+                                 const std::vector<int>& indices) {
+  const size_t k = indices.size();
+  std::vector<double> sub(k * k, 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      sub[i * k + j] =
+          distances[static_cast<size_t>(indices[i]) * num_nodes + indices[j]];
+    }
+  }
+  return sub;
+}
+
+// Evenly subsamples `starts` down to at most `cap` entries (cap <= 0: all).
+std::vector<int> CapWindows(std::vector<int> starts, int cap) {
+  if (cap <= 0 || static_cast<int>(starts.size()) <= cap) return starts;
+  std::vector<int> result;
+  result.reserve(cap);
+  const double step = static_cast<double>(starts.size()) / cap;
+  for (int i = 0; i < cap; ++i) {
+    result.push_back(starts[static_cast<size_t>(i * step)]);
+  }
+  return result;
+}
+
+}  // namespace
+
+struct StsmRunner::State {
+  explicit State(uint64_t seed) : rng(seed) {}
+
+  Rng rng;
+  std::vector<int> observed;    // Global ids, sorted.
+  std::vector<int> unobserved;  // Global ids, sorted.
+  TimeSplit time_split;
+  Normalizer normalizer;
+
+  // Normalised series over the full graph (real values everywhere; the
+  // unobserved columns are only ever used as ground truth, never as input).
+  SeriesMatrix normalized_full;
+  // Observed columns over the training period (model inputs/targets).
+  SeriesMatrix train_observed;
+
+  std::vector<double> dist_euclid;
+  std::vector<double> dist_road;  // Empty unless a road mode is active.
+  const std::vector<double>* dist_adjacency = nullptr;
+  const std::vector<double>* dist_pseudo = nullptr;
+  std::vector<double> dist_pseudo_train;  // Observed x observed.
+
+  Tensor a_s_kernel;      // Full-graph Eq. 2 adjacency (binary).
+  Tensor a_s_norm_full;   // Normalised, full graph.
+  Tensor a_s_norm_train;  // Normalised, observed sub-graph.
+  MaskingContext mask_context;
+
+  std::unique_ptr<StModel> model;
+  std::unique_ptr<ProjectionHead> projection;
+  std::unique_ptr<Adam> optimizer;
+  std::vector<Tensor> parameters;
+  WindowSpec window_spec;
+  TemporalAdjacencyOptions dtw_options;
+};
+
+StsmRunner::StsmRunner(const SpatioTemporalDataset& dataset,
+                       const SpaceSplit& split, const StsmConfig& config)
+    : dataset_(dataset), split_(split), config_(config) {
+  state_ = std::make_unique<State>(config.seed);
+  State& s = *state_;
+  const int n = dataset.num_nodes();
+
+  s.observed = split.Observed();
+  s.unobserved = split.test;
+  STSM_CHECK_GE(static_cast<int>(s.observed.size()), 4);
+  STSM_CHECK(!s.unobserved.empty());
+
+  s.time_split = SplitTime(dataset.num_steps(), 0.7);
+  STSM_CHECK_GE(s.time_split.train_steps,
+                config.input_length + config.horizon + 1);
+
+  // Normalise using observed training data only.
+  s.normalizer.Fit(dataset.series, s.observed, s.time_split.train_steps);
+  s.normalized_full = dataset.series;
+  s.normalizer.TransformInPlace(&s.normalized_full);
+
+  // Observed training slice.
+  const SeriesMatrix train_full =
+      s.normalized_full.TimeSlice(0, s.time_split.train_steps);
+  s.train_observed =
+      SeriesMatrix(s.time_split.train_steps,
+                   static_cast<int>(s.observed.size()));
+  for (int t = 0; t < s.time_split.train_steps; ++t) {
+    for (size_t c = 0; c < s.observed.size(); ++c) {
+      s.train_observed.set(t, static_cast<int>(c),
+                           train_full.at(t, s.observed[c]));
+    }
+  }
+
+  // Distance matrices under the configured distance function (Table 11).
+  s.dist_euclid = PairwiseDistances(dataset.coords);
+  if (config.distance_mode != DistanceMode::kEuclidean) {
+    Rng road_rng(config.seed + 7);
+    s.dist_road = RoadNetworkDistances(dataset.coords, /*k_nearest=*/3,
+                                       /*detour_factor=*/1.3,
+                                       /*detour_jitter=*/0.1, &road_rng);
+  }
+  s.dist_adjacency = config.distance_mode == DistanceMode::kEuclidean
+                         ? &s.dist_euclid
+                         : &s.dist_road;
+  s.dist_pseudo = config.distance_mode == DistanceMode::kRoadAll
+                      ? &s.dist_road
+                      : &s.dist_euclid;
+  s.dist_pseudo_train = SubDistances(*s.dist_pseudo, n, s.observed);
+
+  // Spatial adjacency (Eq. 2). Eq. 2 already yields a unit diagonal, so
+  // normalisation does not add a second self-loop.
+  s.a_s_kernel =
+      GaussianThresholdAdjacency(*s.dist_adjacency, n, config.epsilon_s,
+                                 /*sigma_override=*/0.0,
+                                 config.binary_spatial_kernel);
+  s.a_s_norm_full = NormalizeSymmetric(s.a_s_kernel, /*add_self_loops=*/false);
+  s.a_s_norm_train = NormalizeSymmetric(SubAdjacency(s.a_s_kernel, s.observed),
+                                        /*add_self_loops=*/false);
+
+  // Sub-graph adjacency for masking (Eq. 2 with epsilon_sg) and the
+  // masking context (Section 4.1).
+  const Tensor a_sg = GaussianThresholdAdjacency(
+      *s.dist_adjacency, n, config.epsilon_sg, /*sigma_override=*/0.0,
+      /*binary=*/true);
+  MaskingConfig mask_config;
+  mask_config.mask_ratio = config.mask_ratio;
+  mask_config.top_k = config.top_k;
+  // Multi-region splits (the paper's future-work extension) score masking
+  // candidates against their nearest unobserved region.
+  s.mask_context =
+      BuildMaskingContext(a_sg, dataset.coords, dataset.metadata, s.observed,
+                          split.TestRegions(), mask_config);
+
+  // Model, projection head, optimiser.
+  Rng init_rng(config.seed + 13);
+  s.model = std::make_unique<StModel>(config, &init_rng);
+  s.projection =
+      std::make_unique<ProjectionHead>(config.hidden_dim, &init_rng);
+  s.parameters = s.model->Parameters();
+  if (config.contrastive) {
+    const auto proj_params = s.projection->Parameters();
+    s.parameters.insert(s.parameters.end(), proj_params.begin(),
+                        proj_params.end());
+  }
+  s.optimizer = std::make_unique<Adam>(s.parameters, config.learning_rate);
+
+  s.window_spec = WindowSpec{config.input_length, config.horizon};
+  s.dtw_options.q_kk = config.q_kk;
+  s.dtw_options.q_ku = config.q_ku;
+  s.dtw_options.steps_per_day = dataset.steps_per_day;
+  s.dtw_options.dtw_band = config.dtw_band;
+}
+
+StsmRunner::~StsmRunner() = default;
+
+void StsmRunner::Train(ExperimentResult* result) {
+  State& s = *state_;
+  const int num_observed = static_cast<int>(s.observed.size());
+
+  // Global id -> local (observed-graph) index.
+  std::vector<int> global_to_local(dataset_.num_nodes(), -1);
+  for (int i = 0; i < num_observed; ++i) global_to_local[s.observed[i]] = i;
+
+  // Validation-selection state: the validation locations masked exactly
+  // like the test-time unobserved region, and the best weights seen.
+  std::vector<int> validation_local, validation_sources;
+  SeriesMatrix validation_view;
+  Tensor a_dtw_validation;
+  std::vector<std::vector<float>> best_weights;
+  double best_validation_loss = 1e300;
+  if (config_.validation_selection) {
+    std::set<int> validation_set;
+    for (int g : split_.validation) {
+      validation_local.push_back(global_to_local[g]);
+      validation_set.insert(global_to_local[g]);
+    }
+    for (int i = 0; i < num_observed; ++i) {
+      if (!validation_set.count(i)) validation_sources.push_back(i);
+    }
+    STSM_CHECK(!validation_local.empty());
+    STSM_CHECK(!validation_sources.empty());
+    validation_view = s.train_observed;
+    FillPseudoObservations(&validation_view, s.dist_pseudo_train,
+                           validation_local, validation_sources,
+                           config_.pseudo_neighbors);
+    a_dtw_validation = NormalizeRow(
+        TemporalSimilarityAdjacency(validation_view, validation_sources,
+                                    validation_local, s.dtw_options),
+        /*add_self_loops=*/true);
+  }
+
+  // Prediction MSE on the validation locations when they are masked.
+  auto validation_loss = [&]() {
+    NoGradGuard no_grad;
+    Rng eval_rng(config_.seed + 101);  // Fixed windows across epochs.
+    const std::vector<int> starts = SampleWindowStarts(
+        0, s.time_split.train_steps, s.window_spec,
+        std::max(1, config_.validation_windows), &eval_rng);
+    const WindowBatch masked_batch = MakeWindowBatch(
+        validation_view, starts, s.window_spec, dataset_.steps_per_day);
+    const WindowBatch clean_batch = MakeWindowBatch(
+        s.train_observed, starts, s.window_spec, dataset_.steps_per_day);
+    const StModel::Output out =
+        s.model->Forward(masked_batch.inputs, masked_batch.input_time,
+                         s.a_s_norm_train, a_dtw_validation);
+    const Tensor predicted =
+        IndexSelect(out.predictions, 2, validation_local);
+    const Tensor truth = IndexSelect(clean_batch.targets, 2, validation_local);
+    return static_cast<double>(MseLoss(predicted, truth).item());
+  };
+
+  double similarity_sum = 0.0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Draw the epoch's mask (Section 3.3 / 4.1).
+    const std::vector<int> masked_global =
+        config_.selective_masking ? DrawSelectiveMask(s.mask_context, &s.rng)
+                                  : DrawRandomMask(s.mask_context, &s.rng);
+    similarity_sum += MeanMaskSimilarity(s.mask_context, masked_global);
+
+    std::vector<int> masked_local;
+    masked_local.reserve(masked_global.size());
+    std::set<int> masked_set;
+    for (int g : masked_global) {
+      masked_local.push_back(global_to_local[g]);
+      masked_set.insert(global_to_local[g]);
+    }
+    std::vector<int> source_local;
+    for (int i = 0; i < num_observed; ++i) {
+      if (!masked_set.count(i)) source_local.push_back(i);
+    }
+    STSM_CHECK(!source_local.empty());
+
+    // Masked view G_o^m: masked columns replaced by pseudo-observations.
+    SeriesMatrix masked_view = s.train_observed;
+    FillPseudoObservations(&masked_view, s.dist_pseudo_train, masked_local,
+                           source_local, config_.pseudo_neighbors);
+
+    // Temporal-similarity adjacency, rebuilt every epoch because the mask
+    // changes (Section 3.4.1).
+    const Tensor a_dtw_train = NormalizeRow(
+        TemporalSimilarityAdjacency(masked_view, source_local, masked_local,
+                                    s.dtw_options),
+        /*add_self_loops=*/true);
+
+    double epoch_loss = 0.0;
+    for (int batch = 0; batch < config_.batches_per_epoch; ++batch) {
+      const std::vector<int> starts =
+          SampleWindowStarts(0, s.time_split.train_steps, s.window_spec,
+                             config_.batch_size, &s.rng);
+      const WindowBatch masked_batch = MakeWindowBatch(
+          masked_view, starts, s.window_spec, dataset_.steps_per_day);
+      const WindowBatch clean_batch = MakeWindowBatch(
+          s.train_observed, starts, s.window_spec, dataset_.steps_per_day);
+
+      const StModel::Output masked_out =
+          s.model->Forward(masked_batch.inputs, masked_batch.input_time,
+                           s.a_s_norm_train, a_dtw_train);
+      // Eq. 14: prediction loss over all observed locations.
+      Tensor loss = MseLoss(masked_out.predictions, clean_batch.targets);
+
+      if (config_.contrastive && static_cast<int>(starts.size()) >= 2) {
+        // Original view G_o shares weights and adjacency (Section 4.2).
+        const StModel::Output clean_out =
+            s.model->Forward(clean_batch.inputs, clean_batch.input_time,
+                             s.a_s_norm_train, a_dtw_train);
+        const Tensor z_original =
+            s.projection->Forward(clean_out.final_features);
+        const Tensor z_masked =
+            s.projection->Forward(masked_out.final_features);
+        const Tensor contrastive =
+            InfoNceLoss(z_original, z_masked, config_.tau);
+        loss = Add(loss, Mul(contrastive, config_.lambda));  // Eq. 18.
+      }
+
+      s.optimizer->ZeroGrad();
+      loss.Backward();
+      ClipGradNorm(s.parameters, config_.grad_clip);
+      s.optimizer->Step();
+      epoch_loss += loss.item();
+    }
+    result->train_losses.push_back(epoch_loss / config_.batches_per_epoch);
+
+    if (config_.validation_selection) {
+      const double loss = validation_loss();
+      if (loss < best_validation_loss) {
+        best_validation_loss = loss;
+        best_weights.clear();
+        for (const Tensor& p : s.parameters) {
+          best_weights.emplace_back(p.data(), p.data() + p.numel());
+        }
+      }
+    }
+  }
+  if (config_.validation_selection && !best_weights.empty()) {
+    for (size_t i = 0; i < s.parameters.size(); ++i) {
+      std::copy(best_weights[i].begin(), best_weights[i].end(),
+                s.parameters[i].data());
+    }
+  }
+  result->mean_mask_similarity = similarity_sum / config_.epochs;
+}
+
+void StsmRunner::Evaluate(ExperimentResult* result) {
+  State& s = *state_;
+  NoGradGuard no_grad;
+
+  // Section 3.5: fill the unobserved region with pseudo-observations and
+  // build the temporal adjacency over the full graph from them.
+  SeriesMatrix test_input = s.normalized_full;
+  FillPseudoObservations(&test_input, *s.dist_pseudo, s.unobserved,
+                         s.observed, config_.pseudo_neighbors);
+  const SeriesMatrix test_period = test_input.TimeSlice(
+      s.time_split.train_steps, s.time_split.total_steps);
+  const Tensor a_dtw_full = NormalizeRow(
+      TemporalSimilarityAdjacency(test_period, s.observed, s.unobserved,
+                                  s.dtw_options),
+      /*add_self_loops=*/true);
+
+  std::vector<int> starts = CapWindows(
+      ValidWindowStarts(s.time_split.train_steps, s.time_split.total_steps,
+                        s.window_spec, config_.eval_stride),
+      config_.max_eval_windows);
+  STSM_CHECK(!starts.empty()) << "test period too short for a window";
+
+  MetricsAccumulator accumulator;
+  std::vector<MetricsAccumulator> per_horizon(config_.horizon);
+  const int chunk = std::max(1, config_.batch_size);
+  for (size_t begin = 0; begin < starts.size(); begin += chunk) {
+    const std::vector<int> chunk_starts(
+        starts.begin() + begin,
+        starts.begin() + std::min(starts.size(), begin + chunk));
+    const WindowBatch batch = MakeWindowBatch(
+        test_input, chunk_starts, s.window_spec, dataset_.steps_per_day);
+    const StModel::Output out = s.model->Forward(
+        batch.inputs, batch.input_time, s.a_s_norm_full, a_dtw_full);
+
+    // Collect predictions for the unobserved region, in raw units.
+    const Tensor preds = out.predictions;  // [B, T', N, 1].
+    for (size_t b = 0; b < chunk_starts.size(); ++b) {
+      for (int t = 0; t < config_.horizon; ++t) {
+        const int absolute_t = chunk_starts[b] + config_.input_length + t;
+        for (int node : s.unobserved) {
+          const float predicted = s.normalizer.Inverse(
+              preds.at({static_cast<int64_t>(b), t, node, 0}));
+          accumulator.Add(predicted, dataset_.series.at(absolute_t, node));
+          per_horizon[t].Add(predicted, dataset_.series.at(absolute_t, node));
+        }
+      }
+    }
+  }
+  result->metrics = accumulator.Compute();
+  result->horizon_rmse.resize(config_.horizon);
+  for (int t = 0; t < config_.horizon; ++t) {
+    result->horizon_rmse[t] = per_horizon[t].Compute().rmse;
+  }
+}
+
+ExperimentResult StsmRunner::Run() {
+  ExperimentResult result;
+  const auto train_start = std::chrono::steady_clock::now();
+  Train(&result);
+  result.train_seconds = SecondsSince(train_start);
+  const auto test_start = std::chrono::steady_clock::now();
+  Evaluate(&result);
+  result.test_seconds = SecondsSince(test_start);
+  return result;
+}
+
+ExperimentResult RunStsmVariant(const SpatioTemporalDataset& dataset,
+                                const SpaceSplit& split, StsmVariant variant,
+                                const StsmConfig& base_config) {
+  const StsmConfig config = ApplyVariant(base_config, variant);
+  StsmRunner runner(dataset, split, config);
+  return runner.Run();
+}
+
+}  // namespace stsm

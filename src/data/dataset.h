@@ -1,0 +1,32 @@
+// The spatio-temporal dataset container shared by simulators, the model,
+// and the benchmark harness.
+
+#ifndef STSM_DATA_DATASET_H_
+#define STSM_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "data/metadata.h"
+#include "graph/geo.h"
+#include "timeseries/series.h"
+
+namespace stsm {
+
+// A region with N sensor locations observed over time (the paper's region
+// graph G plus its feature matrix L and observation history X).
+struct SpatioTemporalDataset {
+  std::string name;
+  int steps_per_day = 288;
+  std::vector<GeoPoint> coords;        // Sensor locations (planar km).
+  SeriesMatrix series;                 // [num_steps x num_nodes].
+  std::vector<NodeMetadata> metadata;  // Region + road features per node.
+
+  int num_nodes() const { return static_cast<int>(coords.size()); }
+  int num_steps() const { return series.num_steps; }
+  int num_days() const { return series.num_steps / steps_per_day; }
+};
+
+}  // namespace stsm
+
+#endif  // STSM_DATA_DATASET_H_

@@ -1,0 +1,57 @@
+#include "data/metadata.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stsm {
+
+const std::array<const char*, kNumPoiCategories> kPoiCategoryNames = {
+    "education",      "commercial",   "retail",        "hotel",
+    "culture",        "health",       "bridges",       "cinema",
+    "park",           "nightlife",    "worship",       "food",
+    "parking",        "transport",    "warehouse",     "industrial",
+    "residential",    "construction", "marketplace",   "camping",
+    "sports",         "civic",        "car_services",  "finance",
+    "boating",        "farm",
+};
+
+std::vector<float> NodeMetadata::Embedding() const {
+  std::vector<float> embedding;
+  embedding.reserve(kMetadataEmbeddingDim);
+  embedding.insert(embedding.end(), poi_counts.begin(), poi_counts.end());
+  embedding.push_back(scale);
+  embedding.push_back(highway_level);
+  embedding.push_back(maxspeed);
+  embedding.push_back(is_oneway);
+  embedding.push_back(lanes);
+  return embedding;
+}
+
+std::vector<float> MeanEmbedding(const std::vector<NodeMetadata>& metadata,
+                                 const std::vector<int>& indices) {
+  STSM_CHECK(!indices.empty());
+  std::vector<float> mean(kMetadataEmbeddingDim, 0.0f);
+  for (int i : indices) {
+    STSM_CHECK(i >= 0 && i < static_cast<int>(metadata.size()));
+    const std::vector<float> embedding = metadata[i].Embedding();
+    for (int d = 0; d < kMetadataEmbeddingDim; ++d) mean[d] += embedding[d];
+  }
+  for (float& v : mean) v /= static_cast<float>(indices.size());
+  return mean;
+}
+
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  STSM_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    norm_a += static_cast<double>(a[i]) * a[i];
+    norm_b += static_cast<double>(b[i]) * b[i];
+  }
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+}  // namespace stsm

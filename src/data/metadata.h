@@ -1,0 +1,51 @@
+// Node metadata standing in for the OpenStreetMap region / road-network
+// features used by STSM's selective masking module (Section 4.1, Table 1).
+
+#ifndef STSM_DATA_METADATA_H_
+#define STSM_DATA_METADATA_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace stsm {
+
+// Number of POI categories (Table 1 of the paper defines 26).
+inline constexpr int kNumPoiCategories = 26;
+
+// Human-readable POI category names matching Table 1's numbering.
+extern const std::array<const char*, kNumPoiCategories> kPoiCategoryNames;
+
+// Per-location region + road features.
+//
+// Region part (Section 4.1 item 1): POI category counts within radius r_poi
+// and a prosperity scalar (building floors / park area proxy).
+// Road part (item 2): highway_level, maxspeed, is_oneway, lanes.
+struct NodeMetadata {
+  std::array<float, kNumPoiCategories> poi_counts{};  // l_i^poi
+  float scale = 0.0f;                                 // l_i^scale
+  float highway_level = 0.0f;                         // 0 = minor ... 5 = motorway
+  float maxspeed = 0.0f;                              // km/h
+  float is_oneway = 0.0f;                             // 0 or 1
+  float lanes = 1.0f;
+
+  // Flattens into the paper's l_i = [l^poi || l^scale || l^road]
+  // embedding of dimension Gamma + 5.
+  std::vector<float> Embedding() const;
+};
+
+// Dimension of NodeMetadata::Embedding().
+inline constexpr int kMetadataEmbeddingDim = kNumPoiCategories + 5;
+
+// Mean embedding over a set of locations (the sub-graph / region embedding
+// l_SG of Section 4.1). `indices` must be non-empty.
+std::vector<float> MeanEmbedding(const std::vector<NodeMetadata>& metadata,
+                                 const std::vector<int>& indices);
+
+// Cosine similarity between two embeddings of equal dimension.
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b);
+
+}  // namespace stsm
+
+#endif  // STSM_DATA_METADATA_H_

@@ -1,0 +1,61 @@
+#include "data/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stsm {
+
+Metrics ComputeMetrics(const std::vector<float>& predictions,
+                       const std::vector<float>& targets,
+                       double mape_threshold) {
+  STSM_CHECK_EQ(predictions.size(), targets.size());
+  STSM_CHECK(!targets.empty());
+  const size_t n = targets.size();
+
+  double sum_sq = 0.0, sum_abs = 0.0, sum_ape = 0.0, target_sum = 0.0;
+  int64_t ape_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double err = static_cast<double>(predictions[i]) - targets[i];
+    sum_sq += err * err;
+    sum_abs += std::fabs(err);
+    target_sum += targets[i];
+    if (std::fabs(targets[i]) >= mape_threshold) {
+      sum_ape += std::fabs(err) / std::fabs(targets[i]);
+      ++ape_count;
+    }
+  }
+  const double target_mean = target_sum / static_cast<double>(n);
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dev = targets[i] - target_mean;
+    ss_tot += dev * dev;
+  }
+
+  Metrics metrics;
+  metrics.count = static_cast<int64_t>(n);
+  metrics.rmse = std::sqrt(sum_sq / static_cast<double>(n));
+  metrics.mae = sum_abs / static_cast<double>(n);
+  metrics.mape = ape_count > 0 ? sum_ape / static_cast<double>(ape_count) : 0.0;
+  metrics.r2 = ss_tot > 0.0 ? 1.0 - sum_sq / ss_tot : 0.0;
+  return metrics;
+}
+
+void MetricsAccumulator::Add(float prediction, float target) {
+  predictions_.push_back(prediction);
+  targets_.push_back(target);
+}
+
+void MetricsAccumulator::AddAll(const std::vector<float>& predictions,
+                                const std::vector<float>& targets) {
+  STSM_CHECK_EQ(predictions.size(), targets.size());
+  predictions_.insert(predictions_.end(), predictions.begin(),
+                      predictions.end());
+  targets_.insert(targets_.end(), targets.begin(), targets.end());
+}
+
+Metrics MetricsAccumulator::Compute(double mape_threshold) const {
+  return ComputeMetrics(predictions_, targets_, mape_threshold);
+}
+
+}  // namespace stsm

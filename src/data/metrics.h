@@ -1,0 +1,44 @@
+// Evaluation metrics (Section 5.1.3): RMSE, MAE, MAPE, and R-squared.
+
+#ifndef STSM_DATA_METRICS_H_
+#define STSM_DATA_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace stsm {
+
+struct Metrics {
+  double rmse = 0.0;
+  double mae = 0.0;
+  double mape = 0.0;
+  double r2 = 0.0;
+  int64_t count = 0;
+};
+
+// Computes all four metrics over paired prediction/target vectors.
+// MAPE skips targets with |y| < `mape_threshold` (division blow-up guard,
+// standard practice for traffic data). R2 = 1 - SS_res / SS_tot, i.e. how
+// much better the model is than predicting the mean observation.
+Metrics ComputeMetrics(const std::vector<float>& predictions,
+                       const std::vector<float>& targets,
+                       double mape_threshold = 1.0);
+
+// Streaming accumulator so benchmark sweeps can merge windows without
+// storing all predictions.
+class MetricsAccumulator {
+ public:
+  void Add(float prediction, float target);
+  void AddAll(const std::vector<float>& predictions,
+              const std::vector<float>& targets);
+  Metrics Compute(double mape_threshold = 1.0) const;
+  int64_t count() const { return static_cast<int64_t>(targets_.size()); }
+
+ private:
+  std::vector<float> predictions_;
+  std::vector<float> targets_;
+};
+
+}  // namespace stsm
+
+#endif  // STSM_DATA_METRICS_H_

@@ -1,0 +1,40 @@
+#include "data/normalizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stsm {
+
+void Normalizer::Fit(const SeriesMatrix& series, const std::vector<int>& columns,
+                     int num_steps) {
+  STSM_CHECK(!columns.empty());
+  STSM_CHECK(num_steps > 0 && num_steps <= series.num_steps);
+  double sum = 0.0;
+  int64_t count = 0;
+  for (int t = 0; t < num_steps; ++t) {
+    for (int c : columns) {
+      sum += series.at(t, c);
+      ++count;
+    }
+  }
+  const double mean = sum / static_cast<double>(count);
+  double var = 0.0;
+  for (int t = 0; t < num_steps; ++t) {
+    for (int c : columns) {
+      const double dev = series.at(t, c) - mean;
+      var += dev * dev;
+    }
+  }
+  var /= static_cast<double>(count);
+  mean_ = static_cast<float>(mean);
+  std_ = static_cast<float>(std::sqrt(var));
+  if (std_ < 1e-6f) std_ = 1.0f;  // Constant data: avoid division by zero.
+}
+
+void Normalizer::TransformInPlace(SeriesMatrix* series) const {
+  STSM_CHECK(series != nullptr);
+  for (float& v : series->values) v = Transform(v);
+}
+
+}  // namespace stsm

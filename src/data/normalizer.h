@@ -1,0 +1,39 @@
+// Z-score normalisation fitted on the observed training data.
+
+#ifndef STSM_DATA_NORMALIZER_H_
+#define STSM_DATA_NORMALIZER_H_
+
+#include <vector>
+
+#include "timeseries/series.h"
+
+namespace stsm {
+
+// Standard score transform y = (x - mean) / std. Fit over the observed
+// columns of the training period only (the unobserved region's statistics
+// are unavailable by definition).
+class Normalizer {
+ public:
+  Normalizer() = default;
+
+  // Fits mean/std over `columns` of the first `num_steps` steps of `series`.
+  void Fit(const SeriesMatrix& series, const std::vector<int>& columns,
+           int num_steps);
+
+  float Transform(float value) const { return (value - mean_) / std_; }
+  float Inverse(float value) const { return value * std_ + mean_; }
+
+  // Applies Transform to every element in place.
+  void TransformInPlace(SeriesMatrix* series) const;
+
+  float mean() const { return mean_; }
+  float std() const { return std_; }
+
+ private:
+  float mean_ = 0.0f;
+  float std_ = 1.0f;
+};
+
+}  // namespace stsm
+
+#endif  // STSM_DATA_NORMALIZER_H_

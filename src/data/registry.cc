@@ -1,0 +1,123 @@
+#include "data/registry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace stsm {
+
+std::vector<std::string> RegisteredDatasets() {
+  return {"bay-sim", "pems07-sim", "pems08-sim", "melbourne-sim", "airq-sim"};
+}
+
+bool IsRegisteredDataset(const std::string& name) {
+  const auto names = RegisteredDatasets();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+SimulatorConfig DatasetConfig(const std::string& name, DataScale scale) {
+  const bool full = scale == DataScale::kFull;
+  SimulatorConfig config;
+  config.name = name;
+  if (name == "bay-sim") {
+    config.kind = RegionKind::kHighway;
+    config.num_sensors = full ? 325 : 84;
+    config.num_days = full ? 14 : 6;
+    config.steps_per_day = 288;
+    config.area_km = 45.0;
+    config.num_corridors = 5;
+    config.seed = 101;
+  } else if (name == "pems07-sim") {
+    config.kind = RegionKind::kHighway;
+    config.num_sensors = full ? 400 : 96;
+    config.num_days = full ? 14 : 6;
+    config.steps_per_day = 288;
+    config.area_km = 55.0;
+    config.num_corridors = 6;
+    config.seed = 102;
+  } else if (name == "pems08-sim") {
+    config.kind = RegionKind::kHighway;
+    config.num_sensors = full ? 400 : 96;
+    config.num_days = full ? 14 : 6;
+    config.steps_per_day = 288;
+    config.area_km = 50.0;
+    config.num_corridors = 5;
+    config.seed = 103;
+  } else if (name == "melbourne-sim") {
+    config.kind = RegionKind::kUrban;
+    config.num_sensors = full ? 182 : 64;
+    config.num_days = full ? 20 : 10;
+    config.steps_per_day = 96;
+    config.area_km = 6.0;
+    config.num_activity_centers = 5;
+    config.seed = 104;
+  } else if (name == "airq-sim") {
+    config.kind = RegionKind::kAirQuality;
+    config.num_sensors = 63;  // Small already; same at both scales.
+    config.num_days = full ? 120 : 60;
+    config.steps_per_day = 24;
+    config.area_km = 140.0;
+    config.num_activity_centers = 6;
+    config.events_per_day = 0.4;  // Multi-day pollution episodes.
+    config.seed = 105;
+  } else {
+    STSM_CHECK(false) << "unknown dataset" << name;
+  }
+  return config;
+}
+
+SpatioTemporalDataset MakeDataset(const std::string& name, DataScale scale) {
+  return SimulateDataset(DatasetConfig(name, scale));
+}
+
+SpatioTemporalDataset MakeMergedFreewayRegion(int total_sensors,
+                                              uint64_t seed) {
+  SimulatorConfig config;
+  config.name = "pems-merged-sim";
+  config.kind = RegionKind::kHighway;
+  config.num_sensors = total_sensors;
+  config.num_days = 6;
+  config.steps_per_day = 288;
+  config.area_km = 90.0;  // Two adjacent districts merged.
+  config.num_corridors = 8;
+  config.num_activity_centers = 9;
+  config.seed = seed;
+  return SimulateDataset(config);
+}
+
+SpatioTemporalDataset MakePems08WithDensity(int num_sensors, uint64_t seed) {
+  SimulatorConfig config;
+  config.name = "pems08-density-sim";
+  config.kind = RegionKind::kHighway;
+  config.num_sensors = num_sensors;
+  config.num_days = 6;
+  config.steps_per_day = 288;
+  config.area_km = 50.0;  // Fixed area: sensor count sets the density.
+  config.num_corridors = 5;
+  config.seed = seed;
+  return SimulateDataset(config);
+}
+
+SpatioTemporalDataset SelectSensors(const SpatioTemporalDataset& dataset,
+                                    const std::vector<int>& indices) {
+  STSM_CHECK(!indices.empty());
+  SpatioTemporalDataset out;
+  out.name = dataset.name + "-subset";
+  out.steps_per_day = dataset.steps_per_day;
+  out.coords.reserve(indices.size());
+  out.metadata.reserve(indices.size());
+  for (int i : indices) {
+    STSM_CHECK(i >= 0 && i < dataset.num_nodes());
+    out.coords.push_back(dataset.coords[i]);
+    out.metadata.push_back(dataset.metadata[i]);
+  }
+  out.series = SeriesMatrix(dataset.num_steps(), static_cast<int>(indices.size()));
+  for (int t = 0; t < dataset.num_steps(); ++t) {
+    for (size_t c = 0; c < indices.size(); ++c) {
+      out.series.set(t, static_cast<int>(c), dataset.series.at(t, indices[c]));
+    }
+  }
+  return out;
+}
+
+}  // namespace stsm

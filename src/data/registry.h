@@ -1,0 +1,50 @@
+// Dataset registry: named simulated stand-ins for the paper's five datasets
+// (Table 2) plus the merged/density variants used by Tables 6 and 7.
+
+#ifndef STSM_DATA_REGISTRY_H_
+#define STSM_DATA_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/simulator.h"
+
+namespace stsm {
+
+// Scale of the simulated datasets. Fast keeps benchmark wall-clock small;
+// Full approaches the paper's sensor counts. Selected via the
+// STSM_BENCH_SCALE environment variable in the bench binaries.
+enum class DataScale { kFast, kFull };
+
+// Registered dataset names mirroring Table 2:
+//   "bay-sim", "pems07-sim", "pems08-sim", "melbourne-sim", "airq-sim".
+std::vector<std::string> RegisteredDatasets();
+
+// True if `name` is one of RegisteredDatasets().
+bool IsRegisteredDataset(const std::string& name);
+
+// Simulator configuration for a registered dataset at the given scale.
+SimulatorConfig DatasetConfig(const std::string& name, DataScale scale);
+
+// Builds a registered dataset.
+SpatioTemporalDataset MakeDataset(const std::string& name, DataScale scale);
+
+// Table 6: one large merged freeway region; callers subset the sensors into
+// vertical partitions. `total_sensors` defaults to the paper's 800 at full
+// scale.
+SpatioTemporalDataset MakeMergedFreewayRegion(int total_sensors,
+                                              uint64_t seed = 67);
+
+// Table 7: the pems08-sim region at a chosen sensor density (fixed area).
+SpatioTemporalDataset MakePems08WithDensity(int num_sensors,
+                                            uint64_t seed = 88);
+
+// Restricts a dataset to a subset of its sensors (keeps series/metadata
+// columns aligned). Indices must be unique and in range.
+SpatioTemporalDataset SelectSensors(const SpatioTemporalDataset& dataset,
+                                    const std::vector<int>& indices);
+
+}  // namespace stsm
+
+#endif  // STSM_DATA_REGISTRY_H_

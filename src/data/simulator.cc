@@ -1,0 +1,450 @@
+#include "data/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "graph/geo.h"
+
+namespace stsm {
+namespace {
+
+// Functional archetypes for activity centres. Each drives both the POI mix
+// around a location and how strongly that location reacts to rush hours —
+// the correlation that makes region features informative for forecasting.
+enum class Archetype { kCbd, kCommercial, kResidential, kIndustrial, kLeisure };
+constexpr int kNumArchetypes = 5;
+
+struct ActivityCenter {
+  GeoPoint position;
+  Archetype archetype;
+  double radius_km;    // Influence radius.
+  double intensity;    // Peak influence in [0.5, 1.5].
+};
+
+// Expected POI counts per category (indexed by kPoiCategoryNames order) for
+// one unit of archetype intensity.
+std::array<float, kNumPoiCategories> PoiProfile(Archetype archetype) {
+  std::array<float, kNumPoiCategories> profile{};
+  auto set = [&](std::initializer_list<std::pair<int, float>> entries) {
+    for (const auto& [category, value] : entries) profile[category] = value;
+  };
+  switch (archetype) {
+    case Archetype::kCbd:
+      // Offices, finance, food, transport, culture, hotels.
+      set({{1, 12.0f}, {23, 4.0f}, {11, 10.0f}, {13, 6.0f}, {4, 3.0f},
+           {3, 3.0f}, {7, 1.0f}, {9, 2.0f}, {21, 2.0f}, {12, 5.0f}});
+      break;
+    case Archetype::kCommercial:
+      set({{2, 8.0f}, {11, 6.0f}, {12, 4.0f}, {18, 1.5f}, {22, 2.0f},
+           {1, 4.0f}, {13, 3.0f}});
+      break;
+    case Archetype::kResidential:
+      set({{16, 10.0f}, {0, 4.0f}, {8, 3.0f}, {5, 2.0f}, {10, 1.5f},
+           {20, 2.0f}, {2, 2.0f}});
+      break;
+    case Archetype::kIndustrial:
+      set({{15, 8.0f}, {14, 6.0f}, {17, 2.0f}, {22, 2.0f}, {25, 1.0f},
+           {12, 2.0f}});
+      break;
+    case Archetype::kLeisure:
+      set({{8, 6.0f}, {20, 3.0f}, {19, 1.0f}, {4, 2.5f}, {24, 1.0f},
+           {11, 3.0f}, {9, 1.5f}});
+      break;
+  }
+  return profile;
+}
+
+// How strongly each archetype reacts to commuter rush hours.
+double RushSensitivity(Archetype archetype) {
+  switch (archetype) {
+    case Archetype::kCbd:         return 1.00;
+    case Archetype::kCommercial:  return 0.80;
+    case Archetype::kResidential: return 0.55;
+    case Archetype::kIndustrial:  return 0.65;
+    case Archetype::kLeisure:     return 0.35;
+  }
+  return 0.5;
+}
+
+// Building-scale (floors) proxy per archetype.
+double ScaleLevel(Archetype archetype) {
+  switch (archetype) {
+    case Archetype::kCbd:         return 40.0;
+    case Archetype::kCommercial:  return 15.0;
+    case Archetype::kResidential: return 8.0;
+    case Archetype::kIndustrial:  return 4.0;
+    case Archetype::kLeisure:     return 2.0;
+  }
+  return 5.0;
+}
+
+std::vector<ActivityCenter> MakeActivityCenters(const SimulatorConfig& config,
+                                                Rng* rng) {
+  std::vector<ActivityCenter> centers;
+  centers.reserve(config.num_activity_centers);
+  for (int c = 0; c < config.num_activity_centers; ++c) {
+    ActivityCenter center;
+    center.position = {rng->Uniform(0.0, config.area_km),
+                       rng->Uniform(0.0, config.area_km)};
+    // First centre is always the CBD so every region has one.
+    center.archetype = (c == 0)
+                           ? Archetype::kCbd
+                           : static_cast<Archetype>(rng->UniformInt(
+                                 kNumArchetypes));
+    center.radius_km = config.area_km * rng->Uniform(0.10, 0.25);
+    center.intensity = rng->Uniform(0.5, 1.5);
+    centers.push_back(center);
+  }
+  return centers;
+}
+
+// Sensor placement --------------------------------------------------------
+
+std::vector<GeoPoint> PlaceHighwaySensors(const SimulatorConfig& config,
+                                          Rng* rng) {
+  // Corridors are straight lines crossing the region; sensors sit along
+  // them with small jitter, like loop detectors along freeways.
+  std::vector<GeoPoint> points;
+  points.reserve(config.num_sensors);
+  const double a = config.area_km;
+  struct Corridor {
+    GeoPoint from, to;
+  };
+  std::vector<Corridor> corridors;
+  for (int c = 0; c < std::max(1, config.num_corridors); ++c) {
+    // Pick two points on different edges of the square.
+    auto edge_point = [&](int edge) -> GeoPoint {
+      const double u = rng->Uniform(0.0, a);
+      switch (edge % 4) {
+        case 0: return {u, 0.0};
+        case 1: return {a, u};
+        case 2: return {u, a};
+        default: return {0.0, u};
+      }
+    };
+    const int e1 = rng->UniformInt(4);
+    int e2 = rng->UniformInt(4);
+    if (e2 == e1) e2 = (e2 + 2) % 4;
+    corridors.push_back({edge_point(e1), edge_point(e2)});
+  }
+  for (int s = 0; s < config.num_sensors; ++s) {
+    const Corridor& corridor = corridors[s % corridors.size()];
+    const double u = rng->Uniform(0.02, 0.98);
+    GeoPoint p{corridor.from.x + u * (corridor.to.x - corridor.from.x),
+               corridor.from.y + u * (corridor.to.y - corridor.from.y)};
+    p.x += rng->Normal(0.0, 0.15);
+    p.y += rng->Normal(0.0, 0.15);
+    p.x = std::clamp(p.x, 0.0, a);
+    p.y = std::clamp(p.y, 0.0, a);
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<GeoPoint> PlaceUrbanSensors(const SimulatorConfig& config,
+                                        Rng* rng) {
+  // Jittered grid over a compact city core.
+  std::vector<GeoPoint> points;
+  points.reserve(config.num_sensors);
+  const int side = static_cast<int>(std::ceil(std::sqrt(config.num_sensors)));
+  const double cell = config.area_km / side;
+  for (int s = 0; s < config.num_sensors; ++s) {
+    const int gx = s % side;
+    const int gy = s / side;
+    GeoPoint p{(gx + 0.5) * cell + rng->Normal(0.0, cell * 0.2),
+               (gy + 0.5) * cell + rng->Normal(0.0, cell * 0.2)};
+    p.x = std::clamp(p.x, 0.0, config.area_km);
+    p.y = std::clamp(p.y, 0.0, config.area_km);
+    points.push_back(p);
+  }
+  return points;
+}
+
+std::vector<GeoPoint> PlaceAirQualitySensors(const SimulatorConfig& config,
+                                             Rng* rng) {
+  // Two city clusters (Beijing + Tianjin style) along the region diagonal.
+  std::vector<GeoPoint> points;
+  points.reserve(config.num_sensors);
+  const double a = config.area_km;
+  const GeoPoint city1{a * 0.28, a * 0.70};
+  const GeoPoint city2{a * 0.72, a * 0.30};
+  for (int s = 0; s < config.num_sensors; ++s) {
+    const bool first = s < (config.num_sensors * 3) / 5;  // Bigger city 1.
+    const GeoPoint& center = first ? city1 : city2;
+    GeoPoint p{center.x + rng->Normal(0.0, a * 0.09),
+               center.y + rng->Normal(0.0, a * 0.09)};
+    p.x = std::clamp(p.x, 0.0, a);
+    p.y = std::clamp(p.y, 0.0, a);
+    points.push_back(p);
+  }
+  return points;
+}
+
+// Metadata ----------------------------------------------------------------
+
+// Influence of centre `c` at point `p` (Gaussian falloff).
+double CenterInfluence(const ActivityCenter& center, const GeoPoint& p) {
+  const double d = Distance(center.position, p);
+  return center.intensity *
+         std::exp(-(d * d) / (2.0 * center.radius_km * center.radius_km));
+}
+
+NodeMetadata MakeMetadata(const SimulatorConfig& config, const GeoPoint& p,
+                          const std::vector<ActivityCenter>& centers,
+                          Rng* rng) {
+  NodeMetadata meta;
+  double scale_accum = 0.0;
+  for (const ActivityCenter& center : centers) {
+    const double influence = CenterInfluence(center, p);
+    if (influence < 1e-3) continue;
+    const auto profile = PoiProfile(center.archetype);
+    for (int cat = 0; cat < kNumPoiCategories; ++cat) {
+      meta.poi_counts[cat] += static_cast<float>(profile[cat] * influence);
+    }
+    scale_accum += ScaleLevel(center.archetype) * influence;
+  }
+  // Count noise: POIs are discovered within a radius; jitter and floor.
+  for (int cat = 0; cat < kNumPoiCategories; ++cat) {
+    const double noisy =
+        meta.poi_counts[cat] * rng->Uniform(0.7, 1.3) + rng->Uniform(0.0, 0.4);
+    meta.poi_counts[cat] = static_cast<float>(std::floor(noisy));
+  }
+  meta.scale = static_cast<float>(scale_accum * rng->Uniform(0.8, 1.2));
+
+  switch (config.kind) {
+    case RegionKind::kHighway:
+      meta.highway_level = static_cast<float>(4 + rng->UniformInt(2));
+      meta.maxspeed = static_cast<float>(100 + 10 * rng->UniformInt(2));
+      meta.is_oneway = 1.0f;  // Directional freeway detectors.
+      meta.lanes = static_cast<float>(3 + rng->UniformInt(3));
+      break;
+    case RegionKind::kUrban:
+      meta.highway_level = static_cast<float>(1 + rng->UniformInt(3));
+      meta.maxspeed = static_cast<float>(40 + 10 * rng->UniformInt(3));
+      meta.is_oneway = rng->Bernoulli(0.3) ? 1.0f : 0.0f;
+      meta.lanes = static_cast<float>(1 + rng->UniformInt(3));
+      break;
+    case RegionKind::kAirQuality:
+      // Monitoring stations sit near arterial roads of mixed class.
+      meta.highway_level = static_cast<float>(2 + rng->UniformInt(3));
+      meta.maxspeed = static_cast<float>(50 + 10 * rng->UniformInt(4));
+      meta.is_oneway = rng->Bernoulli(0.2) ? 1.0f : 0.0f;
+      meta.lanes = static_cast<float>(2 + rng->UniformInt(3));
+      break;
+  }
+  return meta;
+}
+
+// Dynamics ----------------------------------------------------------------
+
+// A transient spatio-temporal episode (congestion incident / smog plume).
+struct Episode {
+  GeoPoint epicenter;
+  int start_step;
+  int duration_steps;
+  double magnitude;   // Peak fractional impact.
+  double radius_km;   // Spatial reach.
+};
+
+std::vector<Episode> MakeEpisodes(const SimulatorConfig& config,
+                                  const std::vector<GeoPoint>& points,
+                                  int num_steps, Rng* rng) {
+  std::vector<Episode> episodes;
+  const int count = static_cast<int>(config.events_per_day * config.num_days);
+  const bool air = config.kind == RegionKind::kAirQuality;
+  for (int e = 0; e < count; ++e) {
+    Episode ep;
+    ep.epicenter = points[rng->UniformInt(static_cast<int>(points.size()))];
+    ep.start_step = rng->UniformInt(num_steps);
+    // Incidents last 0.5-3 h; pollution episodes last 8-36 h.
+    const double hours = air ? rng->Uniform(8.0, 36.0) : rng->Uniform(0.5, 3.0);
+    ep.duration_steps = std::max(
+        2, static_cast<int>(hours * config.steps_per_day / 24.0));
+    ep.magnitude = air ? rng->Uniform(0.4, 1.4) : rng->Uniform(0.15, 0.45);
+    ep.radius_km = air ? config.area_km * rng->Uniform(0.2, 0.5)
+                       : config.area_km * rng->Uniform(0.04, 0.12);
+    episodes.push_back(ep);
+  }
+  return episodes;
+}
+
+// Smooth 0->1->0 time profile of an episode.
+double EpisodeTimeProfile(const Episode& ep, int step) {
+  if (step < ep.start_step || step >= ep.start_step + ep.duration_steps) {
+    return 0.0;
+  }
+  const double u = static_cast<double>(step - ep.start_step) /
+                   static_cast<double>(ep.duration_steps);
+  return std::sin(u * M_PI);  // Ramp up then down.
+}
+
+// Commuter rush profile for hour-of-day h in [0, 24), scaled on weekends.
+double RushProfile(double hour, bool weekend) {
+  const double morning = std::exp(-std::pow((hour - 8.0) / 1.5, 2.0));
+  const double evening = std::exp(-std::pow((hour - 17.5) / 1.9, 2.0));
+  const double midday = 0.25 * std::exp(-std::pow((hour - 13.0) / 2.5, 2.0));
+  const double profile = 0.85 * morning + 1.0 * evening + midday;
+  return weekend ? 0.35 * profile : profile;
+}
+
+void SimulateTraffic(const SimulatorConfig& config,
+                     const std::vector<GeoPoint>& points,
+                     const std::vector<ActivityCenter>& centers,
+                     const std::vector<NodeMetadata>& metadata,
+                     SeriesMatrix* series, Rng* rng) {
+  const int n = static_cast<int>(points.size());
+  const int num_steps = series->num_steps;
+  const bool urban = config.kind == RegionKind::kUrban;
+
+  // Per-node free-flow speed and congestion sensitivity.
+  std::vector<double> free_flow(n);
+  std::vector<double> sensitivity(n);
+  for (int i = 0; i < n; ++i) {
+    free_flow[i] = metadata[i].maxspeed * rng->Uniform(0.92, 1.05);
+    double s = 0.15;  // Every road reacts at least a little.
+    for (const ActivityCenter& center : centers) {
+      s += RushSensitivity(center.archetype) * CenterInfluence(center, points[i]);
+    }
+    sensitivity[i] = std::min(1.0, s * (urban ? 0.85 : 0.65));
+  }
+
+  const std::vector<Episode> episodes =
+      MakeEpisodes(config, points, num_steps, rng);
+
+  // AR(1) noise state per node.
+  std::vector<double> ar(n, 0.0);
+  for (int t = 0; t < num_steps; ++t) {
+    const int day = t / config.steps_per_day;
+    const bool weekend = (day % 7) >= 5;
+    const double hour =
+        24.0 * static_cast<double>(t % config.steps_per_day) /
+        config.steps_per_day;
+    const double rush = RushProfile(hour, weekend);
+    for (int i = 0; i < n; ++i) {
+      double congestion = rush * sensitivity[i];
+      for (const Episode& ep : episodes) {
+        const double tp = EpisodeTimeProfile(ep, t);
+        if (tp <= 0.0) continue;
+        const double d = Distance(ep.epicenter, points[i]);
+        congestion += ep.magnitude * tp *
+                      std::exp(-(d * d) / (2.0 * ep.radius_km * ep.radius_km));
+      }
+      congestion = std::clamp(congestion, 0.0, 0.88);
+      ar[i] = 0.82 * ar[i] + rng->Normal(0.0, 1.0);
+      const double noise = 1.0 + 0.02 * ar[i] + rng->Normal(0.0, 0.01);
+      const double speed =
+          std::max(3.0, free_flow[i] * (1.0 - congestion) * noise);
+      series->set(t, i, static_cast<float>(speed));
+    }
+  }
+}
+
+void SimulateAirQuality(const SimulatorConfig& config,
+                        const std::vector<GeoPoint>& points,
+                        const std::vector<ActivityCenter>& centers,
+                        SeriesMatrix* series, Rng* rng) {
+  const int n = static_cast<int>(points.size());
+  const int num_steps = series->num_steps;
+  const double a = config.area_km;
+
+  // City membership drives the synoptic phase lag (pollution waves arrive
+  // at the downwind city a few hours later).
+  const GeoPoint city1{a * 0.28, a * 0.70};
+  std::vector<double> lag_hours(n);
+  std::vector<double> urban_factor(n);
+  for (int i = 0; i < n; ++i) {
+    // Regional transport lags between adjacent cities are a few hours
+    // (Beijing-Tianjin scale), not half a synoptic cycle.
+    lag_hours[i] = Distance(points[i], city1) / a * 3.5;
+    double u = 0.75;
+    for (const ActivityCenter& center : centers) {
+      u += 0.35 * CenterInfluence(center, points[i]);
+    }
+    urban_factor[i] = std::min(1.6, u);
+  }
+
+  const std::vector<Episode> episodes =
+      MakeEpisodes(config, points, num_steps, rng);
+
+  // Station siting effects: monitoring stations sit in courtyards, near
+  // roads, on rooftops... producing spatially UNcorrelated level biases.
+  // This is what makes PM2.5 kriging hard (and why the paper's baselines
+  // all score negative R2 on AirQ): a station's nearest neighbours are not
+  // unbiased estimators of its level.
+  std::vector<double> siting(n);
+  for (int i = 0; i < n; ++i) siting[i] = rng->Uniform(0.72, 1.34);
+
+  std::vector<double> ar(n, 0.0);
+  const double synoptic_period_hours = rng->Uniform(90.0, 140.0);
+  for (int t = 0; t < num_steps; ++t) {
+    const double hour_abs =
+        24.0 * static_cast<double>(t) / config.steps_per_day;
+    const double hour = std::fmod(hour_abs, 24.0);
+    // Diurnal cycle: morning traffic peak + stagnant night accumulation.
+    const double diurnal = 12.0 * std::exp(-std::pow((hour - 8.5) / 2.2, 2)) +
+                           9.0 * std::exp(-std::pow((hour - 21.0) / 2.8, 2));
+    for (int i = 0; i < n; ++i) {
+      // Regional synoptic wave with per-node lag.
+      const double wave =
+          55.0 + 45.0 * std::sin(2.0 * M_PI * (hour_abs - lag_hours[i]) /
+                                 synoptic_period_hours);
+      double pm = (wave + diurnal) * urban_factor[i];
+      for (const Episode& ep : episodes) {
+        const double tp = EpisodeTimeProfile(ep, t);
+        if (tp <= 0.0) continue;
+        const double d = Distance(ep.epicenter, points[i]);
+        pm += 120.0 * ep.magnitude * tp *
+              std::exp(-(d * d) / (2.0 * ep.radius_km * ep.radius_km));
+      }
+      ar[i] = 0.9 * ar[i] + rng->Normal(0.0, 1.0);
+      pm *= siting[i] * (1.0 + 0.05 * ar[i]);
+      series->set(t, i, static_cast<float>(std::max(2.0, pm)));
+    }
+  }
+}
+
+}  // namespace
+
+SpatioTemporalDataset SimulateDataset(const SimulatorConfig& config) {
+  STSM_CHECK_GE(config.num_sensors, 4);
+  STSM_CHECK_GE(config.num_days, 2);
+  STSM_CHECK_GT(config.steps_per_day, 0);
+  Rng rng(config.seed);
+
+  SpatioTemporalDataset dataset;
+  dataset.name = config.name;
+  dataset.steps_per_day = config.steps_per_day;
+
+  switch (config.kind) {
+    case RegionKind::kHighway:
+      dataset.coords = PlaceHighwaySensors(config, &rng);
+      break;
+    case RegionKind::kUrban:
+      dataset.coords = PlaceUrbanSensors(config, &rng);
+      break;
+    case RegionKind::kAirQuality:
+      dataset.coords = PlaceAirQualitySensors(config, &rng);
+      break;
+  }
+
+  const std::vector<ActivityCenter> centers = MakeActivityCenters(config, &rng);
+  dataset.metadata.reserve(config.num_sensors);
+  for (const GeoPoint& p : dataset.coords) {
+    dataset.metadata.push_back(MakeMetadata(config, p, centers, &rng));
+  }
+
+  const int num_steps = config.num_days * config.steps_per_day;
+  dataset.series = SeriesMatrix(num_steps, config.num_sensors);
+  if (config.kind == RegionKind::kAirQuality) {
+    SimulateAirQuality(config, dataset.coords, centers, &dataset.series, &rng);
+  } else {
+    SimulateTraffic(config, dataset.coords, centers, dataset.metadata,
+                    &dataset.series, &rng);
+  }
+  return dataset;
+}
+
+}  // namespace stsm

@@ -1,0 +1,48 @@
+// Synthetic spatio-temporal data generation.
+//
+// These simulators replace the paper's proprietary/unavailable datasets
+// (PEMS-Bay, PEMS-07, PEMS-08, Melbourne AIMES, AirQ Beijing+Tianjin; see
+// DESIGN.md §1). They produce exactly the statistical structure the models
+// exploit:
+//   * spatial correlation that decays with distance (shared activity field
+//     and travelling congestion / pollution episodes),
+//   * daily periodicity (rush hours, diurnal pollution cycles),
+//   * node heterogeneity tied to region function (CBD vs residential ...),
+//   * node metadata (POIs, road attributes) correlated with the dynamics,
+//     which is what selective masking needs to work.
+
+#ifndef STSM_DATA_SIMULATOR_H_
+#define STSM_DATA_SIMULATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace stsm {
+
+enum class RegionKind {
+  kHighway,     // Freeway corridors (PEMS-like), 5-minute speeds.
+  kUrban,       // Dense street grid (Melbourne-like), 15-minute speeds.
+  kAirQuality,  // Two-city PM2.5 (AirQ-like), hourly concentrations.
+};
+
+struct SimulatorConfig {
+  std::string name = "sim";
+  RegionKind kind = RegionKind::kHighway;
+  int num_sensors = 120;
+  int num_days = 8;
+  int steps_per_day = 288;       // 288 = 5 min, 96 = 15 min, 24 = hourly.
+  double area_km = 40.0;         // Side length of the square region.
+  int num_corridors = 4;         // Highway corridors (kHighway only).
+  int num_activity_centers = 6;  // Functional centres (CBD, industry, ...).
+  double events_per_day = 3.0;   // Congestion incidents / pollution episodes.
+  uint64_t seed = 17;
+};
+
+// Generates a full dataset (locations, observation series, metadata).
+SpatioTemporalDataset SimulateDataset(const SimulatorConfig& config);
+
+}  // namespace stsm
+
+#endif  // STSM_DATA_SIMULATOR_H_

@@ -1,0 +1,172 @@
+#include "data/splits.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace stsm {
+namespace {
+
+// Orders node indices by a per-node key and cuts the order into three
+// contiguous groups of the given fractions.
+SpaceSplit SplitByKey(const std::vector<double>& keys, double train_fraction,
+                      double validation_fraction) {
+  const int n = static_cast<int>(keys.size());
+  STSM_CHECK_GE(n, 3);
+  STSM_CHECK_GT(train_fraction, 0.0);
+  STSM_CHECK_GE(validation_fraction, 0.0);
+  STSM_CHECK_LT(train_fraction + validation_fraction, 1.0);
+
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return keys[a] < keys[b]; });
+
+  const int train_count =
+      std::max(1, static_cast<int>(n * train_fraction + 0.5));
+  const int val_count =
+      std::max(1, static_cast<int>(n * validation_fraction + 0.5));
+  STSM_CHECK_LT(train_count + val_count, n);
+
+  SpaceSplit split;
+  split.train.assign(order.begin(), order.begin() + train_count);
+  split.validation.assign(order.begin() + train_count,
+                          order.begin() + train_count + val_count);
+  split.test.assign(order.begin() + train_count + val_count, order.end());
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.validation.begin(), split.validation.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+std::vector<double> AxisKeys(const std::vector<GeoPoint>& coords,
+                             SplitAxis axis, bool reverse) {
+  std::vector<double> keys(coords.size());
+  for (size_t i = 0; i < coords.size(); ++i) {
+    const double v = axis == SplitAxis::kHorizontal ? coords[i].y
+                                                    : coords[i].x;
+    keys[i] = reverse ? -v : v;
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::vector<int> SpaceSplit::Observed() const {
+  std::vector<int> observed = train;
+  observed.insert(observed.end(), validation.begin(), validation.end());
+  std::sort(observed.begin(), observed.end());
+  return observed;
+}
+
+std::vector<std::vector<int>> SpaceSplit::TestRegions() const {
+  if (!test_regions.empty()) return test_regions;
+  return {test};
+}
+
+SpaceSplit SplitSpace(const std::vector<GeoPoint>& coords, SplitAxis axis,
+                      double train_fraction, double validation_fraction,
+                      bool reverse) {
+  return SplitByKey(AxisKeys(coords, axis, reverse), train_fraction,
+                    validation_fraction);
+}
+
+SpaceSplit SplitSpaceRing(const std::vector<GeoPoint>& coords,
+                          double train_fraction,
+                          double validation_fraction) {
+  const GeoPoint center = Centroid(coords);
+  std::vector<double> keys(coords.size());
+  for (size_t i = 0; i < coords.size(); ++i) {
+    keys[i] = Distance(coords[i], center);
+  }
+  return SplitByKey(keys, train_fraction, validation_fraction);
+}
+
+SpaceSplit SplitSpaceWithRatio(const std::vector<GeoPoint>& coords,
+                               SplitAxis axis, double unobserved_ratio,
+                               bool reverse) {
+  STSM_CHECK_GT(unobserved_ratio, 0.0);
+  STSM_CHECK_LT(unobserved_ratio, 1.0);
+  const double observed = 1.0 - unobserved_ratio;
+  // Observed part keeps the paper's 4:1 train:validation proportion.
+  return SplitByKey(AxisKeys(coords, axis, reverse), observed * 0.8,
+                    observed * 0.2);
+}
+
+SpaceSplit SplitSpaceMultiRegion(const std::vector<GeoPoint>& coords,
+                                 SplitAxis axis, int num_regions,
+                                 double unobserved_ratio) {
+  STSM_CHECK_GE(num_regions, 1);
+  STSM_CHECK(unobserved_ratio > 0.0 && unobserved_ratio < 1.0);
+  const int n = static_cast<int>(coords.size());
+  STSM_CHECK_GE(n, 8 * num_regions);
+
+  // Order nodes along the axis, then walk alternating
+  // observed/unobserved bands sized by the ratio.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const std::vector<double> keys = AxisKeys(coords, axis, /*reverse=*/false);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int a, int b) { return keys[a] < keys[b]; });
+
+  const double band_pair = static_cast<double>(n) / num_regions;
+  const double observed_band = band_pair * (1.0 - unobserved_ratio);
+
+  SpaceSplit split;
+  split.test_regions.resize(num_regions);
+  for (int i = 0; i < n; ++i) {
+    const double pos = static_cast<double>(i);
+    const int pair_index =
+        std::min(num_regions - 1, static_cast<int>(pos / band_pair));
+    const double offset = pos - pair_index * band_pair;
+    const int node = order[i];
+    if (offset < observed_band) {
+      // Within the observed band: first 4/5 train, last 1/5 validation.
+      if (offset < observed_band * 0.8) {
+        split.train.push_back(node);
+      } else {
+        split.validation.push_back(node);
+      }
+    } else {
+      split.test.push_back(node);
+      split.test_regions[pair_index].push_back(node);
+    }
+  }
+  STSM_CHECK(!split.train.empty());
+  STSM_CHECK(!split.validation.empty());
+  STSM_CHECK(!split.test.empty());
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.validation.begin(), split.validation.end());
+  std::sort(split.test.begin(), split.test.end());
+  for (auto& region : split.test_regions) {
+    std::sort(region.begin(), region.end());
+    STSM_CHECK(!region.empty());
+  }
+  return split;
+}
+
+std::vector<SpaceSplit> FourSplits(const std::vector<GeoPoint>& coords,
+                                   double train_fraction,
+                                   double validation_fraction) {
+  std::vector<SpaceSplit> splits;
+  for (const SplitAxis axis : {SplitAxis::kHorizontal, SplitAxis::kVertical}) {
+    for (const bool reverse : {false, true}) {
+      splits.push_back(SplitSpace(coords, axis, train_fraction,
+                                  validation_fraction, reverse));
+    }
+  }
+  return splits;
+}
+
+TimeSplit SplitTime(int num_steps, double train_fraction) {
+  STSM_CHECK_GT(num_steps, 0);
+  STSM_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  TimeSplit split;
+  split.total_steps = num_steps;
+  split.train_steps = std::max(1, static_cast<int>(num_steps * train_fraction));
+  STSM_CHECK_LT(split.train_steps, num_steps);
+  return split;
+}
+
+}  // namespace stsm

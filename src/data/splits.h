@@ -1,0 +1,82 @@
+// Space-based dataset splits (Section 5.1.1, Fig. 6 and Fig. 11).
+//
+// Locations are divided into train (observed), validation (observed) and
+// test (unobserved) sets by geography — horizontally, vertically, or in
+// concentric rings — so that the unobserved region is contiguous, which is
+// the problem setting of the paper.
+
+#ifndef STSM_DATA_SPLITS_H_
+#define STSM_DATA_SPLITS_H_
+
+#include <vector>
+
+#include "graph/geo.h"
+
+namespace stsm {
+
+struct SpaceSplit {
+  std::vector<int> train;       // Observed, used for optimisation.
+  std::vector<int> validation;  // Observed, used for model selection.
+  std::vector<int> test;        // Unobserved region(s) of interest.
+
+  // Non-empty only for multi-region splits (SplitSpaceMultiRegion): the
+  // disjoint unobserved regions whose union is `test`. Selective masking
+  // then measures proximity to the nearest region rather than to the union
+  // centroid.
+  std::vector<std::vector<int>> test_regions;
+
+  // All observed locations (train + validation), sorted.
+  std::vector<int> Observed() const;
+
+  // The unobserved regions: test_regions if present, else {test}.
+  std::vector<std::vector<int>> TestRegions() const;
+};
+
+enum class SplitAxis { kHorizontal, kVertical };
+
+// Splits by coordinate along the axis into contiguous bands with the given
+// fractions (default 4:1:5 as in the paper). `reverse` flips which side is
+// unobserved, giving the paper's "two alternative settings per split".
+SpaceSplit SplitSpace(const std::vector<GeoPoint>& coords, SplitAxis axis,
+                      double train_fraction = 0.4,
+                      double validation_fraction = 0.1, bool reverse = false);
+
+// Ring split (Section 5.2.4, Fig. 11): the centre region is observed for
+// training, a middle ring for validation, and the outer ring is unobserved.
+SpaceSplit SplitSpaceRing(const std::vector<GeoPoint>& coords,
+                          double train_fraction = 0.4,
+                          double validation_fraction = 0.1);
+
+// Variant for the unobserved-ratio experiment (Fig. 8): `unobserved_ratio`
+// of locations form the test band; the remainder is split 4:1 into
+// train / validation.
+SpaceSplit SplitSpaceWithRatio(const std::vector<GeoPoint>& coords,
+                               SplitAxis axis, double unobserved_ratio,
+                               bool reverse = false);
+
+// Multiple unobserved regions — the extension the paper lists as future
+// work (Section 6). Splits the axis into num_regions alternating
+// observed/unobserved band pairs: each observed band is split 4:1 into
+// train/validation, and the odd bands form `num_regions` disjoint
+// unobserved regions (test = their union, test_regions keeps them apart).
+SpaceSplit SplitSpaceMultiRegion(const std::vector<GeoPoint>& coords,
+                                 SplitAxis axis, int num_regions,
+                                 double unobserved_ratio = 0.5);
+
+// The four paper splits (horizontal/vertical x normal/reversed), averaged
+// over in most experiments.
+std::vector<SpaceSplit> FourSplits(const std::vector<GeoPoint>& coords,
+                                   double train_fraction = 0.4,
+                                   double validation_fraction = 0.1);
+
+// Temporal split: first `train_fraction` of the steps for training, the
+// rest for testing (Section 5.1.1 uses 70% / 30%).
+struct TimeSplit {
+  int train_steps = 0;  // Steps [0, train_steps) are the training period.
+  int total_steps = 0;
+};
+TimeSplit SplitTime(int num_steps, double train_fraction = 0.7);
+
+}  // namespace stsm
+
+#endif  // STSM_DATA_SPLITS_H_

@@ -1,0 +1,109 @@
+#include "data/svg_map.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace stsm {
+namespace {
+
+struct Frame {
+  double min_x, min_y, scale;
+  int size_px;
+  double Px(double x) const { return 20.0 + (x - min_x) * scale; }
+  // SVG y grows downward; flip so north stays up.
+  double Py(double y) const {
+    return size_px - 20.0 - (y - min_y) * scale;
+  }
+};
+
+Frame FitFrame(const std::vector<GeoPoint>& coords, int size_px) {
+  STSM_CHECK(!coords.empty());
+  double min_x = 1e18, max_x = -1e18, min_y = 1e18, max_y = -1e18;
+  for (const GeoPoint& p : coords) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  const double span = std::max({max_x - min_x, max_y - min_y, 1e-9});
+  return Frame{min_x, min_y, (size_px - 40.0) / span, size_px};
+}
+
+void OpenSvg(std::ostringstream& out, const SvgMapOptions& options) {
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.size_px << "\" height=\"" << options.size_px
+      << "\" viewBox=\"0 0 " << options.size_px << " " << options.size_px
+      << "\">\n";
+  out << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty()) {
+    out << "<text x=\"" << options.size_px / 2
+        << "\" y=\"14\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+           "font-size=\"12\">"
+        << options.title << "</text>\n";
+  }
+}
+
+void EmitDots(std::ostringstream& out, const std::vector<GeoPoint>& coords,
+              const std::vector<int>& indices, const Frame& frame,
+              double radius, const char* color) {
+  for (int i : indices) {
+    out << "<circle cx=\"" << frame.Px(coords[i].x) << "\" cy=\""
+        << frame.Py(coords[i].y) << "\" r=\"" << radius << "\" fill=\""
+        << color << "\"/>\n";
+  }
+}
+
+}  // namespace
+
+std::string RenderSensorMapSvg(const std::vector<GeoPoint>& coords,
+                               const SvgMapOptions& options) {
+  const Frame frame = FitFrame(coords, options.size_px);
+  std::ostringstream out;
+  OpenSvg(out, options);
+  std::vector<int> all(coords.size());
+  for (size_t i = 0; i < coords.size(); ++i) all[i] = static_cast<int>(i);
+  EmitDots(out, coords, all, frame, options.dot_radius, "#3366cc");
+  out << "</svg>\n";
+  return out.str();
+}
+
+std::string RenderSplitMapSvg(const std::vector<GeoPoint>& coords,
+                              const SpaceSplit& split,
+                              const SvgMapOptions& options) {
+  const Frame frame = FitFrame(coords, options.size_px);
+  std::ostringstream out;
+  OpenSvg(out, options);
+  // Paper colours: train red, validation pink, unobserved/test blue.
+  EmitDots(out, coords, split.train, frame, options.dot_radius, "#cc2222");
+  EmitDots(out, coords, split.validation, frame, options.dot_radius,
+           "#ee88aa");
+  EmitDots(out, coords, split.test, frame, options.dot_radius, "#2255cc");
+  // Legend.
+  const int size = options.size_px;
+  const char* labels[3] = {"train (observed)", "validation (observed)",
+                           "test (unobserved)"};
+  const char* colors[3] = {"#cc2222", "#ee88aa", "#2255cc"};
+  for (int row = 0; row < 3; ++row) {
+    const int y = size - 48 + row * 15;
+    out << "<circle cx=\"14\" cy=\"" << y << "\" r=\"4\" fill=\""
+        << colors[row] << "\"/>\n";
+    out << "<text x=\"24\" y=\"" << y + 4
+        << "\" font-family=\"sans-serif\" font-size=\"11\">" << labels[row]
+        << "</text>\n";
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+bool WriteSvg(const std::string& svg, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << svg;
+  return static_cast<bool>(out);
+}
+
+}  // namespace stsm

@@ -1,0 +1,38 @@
+// SVG rendering of sensor maps — reproduces the paper's sensor-distribution
+// figures (Fig. 5), the split visualisations (Fig. 6, red/pink/blue for
+// train/validation/test), and the ring split (Fig. 11) as standalone .svg
+// files.
+
+#ifndef STSM_DATA_SVG_MAP_H_
+#define STSM_DATA_SVG_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "data/splits.h"
+#include "graph/geo.h"
+
+namespace stsm {
+
+struct SvgMapOptions {
+  int size_px = 480;        // Canvas is square.
+  double dot_radius = 4.0;  // Sensor marker radius in px.
+  std::string title;        // Optional caption rendered at the top.
+};
+
+// Renders the sensor layout with every sensor in one colour (Fig. 5 style).
+std::string RenderSensorMapSvg(const std::vector<GeoPoint>& coords,
+                               const SvgMapOptions& options = {});
+
+// Renders a split: train = red, validation = pink, test = blue — the
+// colour scheme of the paper's Fig. 6 and Fig. 11.
+std::string RenderSplitMapSvg(const std::vector<GeoPoint>& coords,
+                              const SpaceSplit& split,
+                              const SvgMapOptions& options = {});
+
+// Writes `svg` to `path`. Returns false on I/O failure.
+bool WriteSvg(const std::string& svg, const std::string& path);
+
+}  // namespace stsm
+
+#endif  // STSM_DATA_SVG_MAP_H_

@@ -1,0 +1,107 @@
+#include "graph/adjacency.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/geo.h"
+
+namespace stsm {
+
+Tensor GaussianThresholdAdjacency(const std::vector<double>& distances, int n,
+                                  double epsilon, double sigma_override,
+                                  bool binary) {
+  STSM_CHECK_EQ(static_cast<int64_t>(distances.size()),
+                static_cast<int64_t>(n) * n);
+  STSM_CHECK_GT(epsilon, 0.0);
+  const double sigma =
+      sigma_override > 0.0 ? sigma_override : DistanceStd(distances);
+  STSM_CHECK_GT(sigma, 0.0) << "degenerate distance matrix";
+
+  Tensor adjacency = Tensor::Zeros(Shape({n, n}));
+  float* a = adjacency.data();
+  const double sigma_sq = sigma * sigma;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double d = distances[static_cast<size_t>(i) * n + j];
+      const double w = std::exp(-(d * d) / sigma_sq);
+      a[static_cast<int64_t>(i) * n + j] =
+          (w >= epsilon) ? (binary ? 1.0f : static_cast<float>(w)) : 0.0f;
+    }
+  }
+  return adjacency;
+}
+
+Tensor NormalizeSymmetric(const Tensor& adjacency, bool add_self_loops) {
+  STSM_CHECK_EQ(adjacency.ndim(), 2);
+  const int64_t n = adjacency.shape()[0];
+  STSM_CHECK_EQ(adjacency.shape()[1], n);
+
+  std::vector<float> a_tilde(adjacency.data(), adjacency.data() + n * n);
+  if (add_self_loops) {
+    for (int64_t i = 0; i < n; ++i) a_tilde[i * n + i] += 1.0f;
+  }
+  std::vector<double> degree(n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) degree[i] += a_tilde[i * n + j];
+  }
+  Tensor result = Tensor::Zeros(Shape({n, n}));
+  float* out = result.data();
+  for (int64_t i = 0; i < n; ++i) {
+    if (degree[i] <= 0.0) continue;  // Isolated node: row stays zero.
+    const double di = 1.0 / std::sqrt(degree[i]);
+    for (int64_t j = 0; j < n; ++j) {
+      if (a_tilde[i * n + j] == 0.0f || degree[j] <= 0.0) continue;
+      const double dj = 1.0 / std::sqrt(degree[j]);
+      out[i * n + j] = static_cast<float>(a_tilde[i * n + j] * di * dj);
+    }
+  }
+  return result;
+}
+
+Tensor NormalizeRow(const Tensor& adjacency, bool add_self_loops) {
+  STSM_CHECK_EQ(adjacency.ndim(), 2);
+  const int64_t n = adjacency.shape()[0];
+  STSM_CHECK_EQ(adjacency.shape()[1], n);
+
+  std::vector<float> a_tilde(adjacency.data(), adjacency.data() + n * n);
+  if (add_self_loops) {
+    for (int64_t i = 0; i < n; ++i) a_tilde[i * n + i] += 1.0f;
+  }
+  Tensor result = Tensor::Zeros(Shape({n, n}));
+  float* out = result.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (int64_t j = 0; j < n; ++j) degree += a_tilde[i * n + j];
+    if (degree <= 0.0) continue;
+    for (int64_t j = 0; j < n; ++j) {
+      out[i * n + j] = static_cast<float>(a_tilde[i * n + j] / degree);
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<int>> NeighborLists(const Tensor& adjacency) {
+  STSM_CHECK_EQ(adjacency.ndim(), 2);
+  const int64_t n = adjacency.shape()[0];
+  const float* a = adjacency.data();
+  std::vector<std::vector<int>> neighbors(n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i != j && a[i * n + j] != 0.0f) {
+        neighbors[i].push_back(static_cast<int>(j));
+      }
+    }
+  }
+  return neighbors;
+}
+
+int64_t CountEdges(const Tensor& adjacency) {
+  int64_t count = 0;
+  const float* a = adjacency.data();
+  for (int64_t i = 0; i < adjacency.numel(); ++i) {
+    if (a[i] != 0.0f) ++count;
+  }
+  return count;
+}
+
+}  // namespace stsm

@@ -1,0 +1,62 @@
+#include "graph/geo.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stsm {
+
+double Distance(const GeoPoint& a, const GeoPoint& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::vector<double> PairwiseDistances(const std::vector<GeoPoint>& points) {
+  const int n = static_cast<int>(points.size());
+  std::vector<double> result(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double d = Distance(points[i], points[j]);
+      result[static_cast<size_t>(i) * n + j] = d;
+      result[static_cast<size_t>(j) * n + i] = d;
+    }
+  }
+  return result;
+}
+
+GeoPoint Centroid(const std::vector<GeoPoint>& points,
+                  const std::vector<int>& indices) {
+  STSM_CHECK(!points.empty());
+  GeoPoint c;
+  if (indices.empty()) {
+    for (const GeoPoint& p : points) {
+      c.x += p.x;
+      c.y += p.y;
+    }
+    c.x /= static_cast<double>(points.size());
+    c.y /= static_cast<double>(points.size());
+  } else {
+    for (int i : indices) {
+      STSM_CHECK(i >= 0 && i < static_cast<int>(points.size()));
+      c.x += points[i].x;
+      c.y += points[i].y;
+    }
+    c.x /= static_cast<double>(indices.size());
+    c.y /= static_cast<double>(indices.size());
+  }
+  return c;
+}
+
+double DistanceStd(const std::vector<double>& distances) {
+  STSM_CHECK(!distances.empty());
+  double mean = 0.0;
+  for (double d : distances) mean += d;
+  mean /= static_cast<double>(distances.size());
+  double var = 0.0;
+  for (double d : distances) var += (d - mean) * (d - mean);
+  var /= static_cast<double>(distances.size());
+  return std::sqrt(var);
+}
+
+}  // namespace stsm

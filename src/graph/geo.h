@@ -1,0 +1,34 @@
+// Planar geo coordinates and pairwise distances.
+//
+// Sensor locations are represented in a local planar frame (kilometres); the
+// paper's Euclidean distance function (Section 3.3) maps directly onto this.
+
+#ifndef STSM_GRAPH_GEO_H_
+#define STSM_GRAPH_GEO_H_
+
+#include <vector>
+
+namespace stsm {
+
+struct GeoPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// Euclidean distance between two points.
+double Distance(const GeoPoint& a, const GeoPoint& b);
+
+// Row-major N x N matrix of pairwise Euclidean distances.
+std::vector<double> PairwiseDistances(const std::vector<GeoPoint>& points);
+
+// Mean point of the selected indices (all points when `indices` is empty).
+GeoPoint Centroid(const std::vector<GeoPoint>& points,
+                  const std::vector<int>& indices = {});
+
+// Standard deviation of the entries of a distance matrix (the sigma of the
+// Gaussian kernel in Eq. 2, following the DCRNN convention).
+double DistanceStd(const std::vector<double>& distances);
+
+}  // namespace stsm
+
+#endif  // STSM_GRAPH_GEO_H_

@@ -1,0 +1,136 @@
+#include "graph/road.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "common/check.h"
+
+namespace stsm {
+namespace {
+
+// Union-find for connectivity stitching.
+class DisjointSets {
+ public:
+  explicit DisjointSets(int n) : parent_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+RoadGraph BuildRoadGraph(const std::vector<GeoPoint>& points, int k_nearest,
+                         double detour_factor, double detour_jitter,
+                         Rng* rng) {
+  STSM_CHECK_GE(k_nearest, 1);
+  STSM_CHECK_GE(detour_factor, 1.0);
+  STSM_CHECK(rng != nullptr);
+  const int n = static_cast<int>(points.size());
+  STSM_CHECK_GE(n, 2);
+
+  RoadGraph graph;
+  graph.num_nodes = n;
+  std::set<std::pair<int, int>> added;
+  auto add_edge = [&](int u, int v) {
+    if (u > v) std::swap(u, v);
+    if (u == v || !added.insert({u, v}).second) return;
+    const double jitter = 1.0 + rng->Uniform() * detour_jitter;
+    graph.edges.push_back(
+        {u, v, Distance(points[u], points[v]) * detour_factor * jitter});
+  };
+
+  // k-nearest-neighbour edges.
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::pair<double, int>> dists;
+    dists.reserve(n - 1);
+    for (int j = 0; j < n; ++j) {
+      if (j != i) dists.emplace_back(Distance(points[i], points[j]), j);
+    }
+    const int k = std::min<int>(k_nearest, static_cast<int>(dists.size()));
+    std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+    for (int q = 0; q < k; ++q) add_edge(i, dists[q].second);
+  }
+
+  // Stitch disconnected components through their closest cross pair.
+  DisjointSets components(n);
+  for (const auto& edge : graph.edges) components.Union(edge.u, edge.v);
+  for (;;) {
+    // Find any two distinct components and their closest bridging pair.
+    double best = std::numeric_limits<double>::infinity();
+    int best_u = -1, best_v = -1;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (components.Find(i) == components.Find(j)) continue;
+        const double d = Distance(points[i], points[j]);
+        if (d < best) {
+          best = d;
+          best_u = i;
+          best_v = j;
+        }
+      }
+    }
+    if (best_u < 0) break;  // Fully connected.
+    add_edge(best_u, best_v);
+    components.Union(best_u, best_v);
+  }
+  return graph;
+}
+
+std::vector<double> RoadNetworkDistances(const RoadGraph& graph) {
+  const int n = graph.num_nodes;
+  // Adjacency lists.
+  std::vector<std::vector<std::pair<int, double>>> adj(n);
+  for (const auto& edge : graph.edges) {
+    adj[edge.u].emplace_back(edge.v, edge.length);
+    adj[edge.v].emplace_back(edge.u, edge.length);
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> result(static_cast<size_t>(n) * n, kInf);
+  for (int source = 0; source < n; ++source) {
+    double* dist = result.data() + static_cast<size_t>(source) * n;
+    dist[source] = 0.0;
+    using Entry = std::pair<double, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+    queue.emplace(0.0, source);
+    while (!queue.empty()) {
+      const auto [d, u] = queue.top();
+      queue.pop();
+      if (d > dist[u]) continue;
+      for (const auto& [v, w] : adj[u]) {
+        if (d + w < dist[v]) {
+          dist[v] = d + w;
+          queue.emplace(dist[v], v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> RoadNetworkDistances(const std::vector<GeoPoint>& points,
+                                         int k_nearest, double detour_factor,
+                                         double detour_jitter, Rng* rng) {
+  return RoadNetworkDistances(
+      BuildRoadGraph(points, k_nearest, detour_factor, detour_jitter, rng));
+}
+
+}  // namespace stsm

@@ -1,0 +1,46 @@
+// Synthetic road-network shortest-path distances (used by the STSM-rd-a and
+// STSM-rd-m variants, Table 11).
+
+#ifndef STSM_GRAPH_ROAD_H_
+#define STSM_GRAPH_ROAD_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/geo.h"
+
+namespace stsm {
+
+// A simple undirected weighted road graph over the sensor locations.
+struct RoadGraph {
+  int num_nodes = 0;
+  // Flattened edge list: (u, v, length). Undirected.
+  struct Edge {
+    int u;
+    int v;
+    double length;
+  };
+  std::vector<Edge> edges;
+};
+
+// Builds a connected road graph by linking each sensor to its `k_nearest`
+// nearest sensors with edge length = Euclidean distance * detour factor
+// (roads are never straight lines); disconnected components are stitched via
+// their closest cross pair. `detour_jitter` adds per-edge multiplicative
+// noise in [1, 1 + detour_jitter].
+RoadGraph BuildRoadGraph(const std::vector<GeoPoint>& points, int k_nearest,
+                         double detour_factor, double detour_jitter, Rng* rng);
+
+// All-pairs shortest-path distances over the road graph (Dijkstra from every
+// node). Row-major N x N. Unreachable pairs (impossible after stitching)
+// would be +inf; the builder guarantees connectivity.
+std::vector<double> RoadNetworkDistances(const RoadGraph& graph);
+
+// Convenience: build the graph and return its all-pairs distances.
+std::vector<double> RoadNetworkDistances(const std::vector<GeoPoint>& points,
+                                         int k_nearest, double detour_factor,
+                                         double detour_jitter, Rng* rng);
+
+}  // namespace stsm
+
+#endif  // STSM_GRAPH_ROAD_H_

@@ -1,0 +1,260 @@
+#include "masking/masking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <set>
+
+#include "common/check.h"
+#include "graph/adjacency.h"
+
+namespace stsm {
+namespace {
+
+// Masks sub-graphs chosen by `pick_root` until the target number of masked
+// locations is reached. The final sub-graph is truncated (in shuffled node
+// order) so both masking strategies land on exactly N_o * delta_m masked
+// locations — keeping the training task's difficulty matched to the
+// unobserved ratio regardless of sub-graph sizes.
+std::vector<int> MaskToTarget(const MaskingContext& context,
+                              const std::function<int(Rng*)>& pick_root,
+                              Rng* rng) {
+  const size_t observed = context.observed.size();
+  // Never mask everything: keep at least a quarter of the observed set.
+  const size_t target = std::min(
+      std::max<size_t>(
+          1, static_cast<size_t>(context.config.mask_ratio *
+                                 static_cast<double>(observed))),
+      observed - std::max<size_t>(2, observed / 4));
+
+  std::set<int> masked;
+  int attempts = 0;
+  const int max_attempts = static_cast<int>(observed) * 40;
+  while (masked.size() < target && attempts++ < max_attempts) {
+    const int root = pick_root(rng);
+    if (root < 0) break;
+    std::vector<int> subgraph = context.subgraphs[root];
+    // Shuffle so truncation keeps a random part of the sub-graph.
+    for (int i = static_cast<int>(subgraph.size()) - 1; i > 0; --i) {
+      std::swap(subgraph[i], subgraph[rng->UniformInt(i + 1)]);
+    }
+    for (int node : subgraph) {
+      if (masked.size() >= target) break;
+      masked.insert(node);
+    }
+  }
+  return std::vector<int>(masked.begin(), masked.end());
+}
+
+}  // namespace
+
+MaskingContext BuildMaskingContext(const Tensor& a_sg,
+                                   const std::vector<GeoPoint>& coords,
+                                   const std::vector<NodeMetadata>& metadata,
+                                   const std::vector<int>& observed,
+                                   const std::vector<int>& unobserved,
+                                   const MaskingConfig& config) {
+  return BuildMaskingContext(a_sg, coords, metadata, observed,
+                             std::vector<std::vector<int>>{unobserved},
+                             config);
+}
+
+MaskingContext BuildMaskingContext(
+    const Tensor& a_sg, const std::vector<GeoPoint>& coords,
+    const std::vector<NodeMetadata>& metadata,
+    const std::vector<int>& observed,
+    const std::vector<std::vector<int>>& regions,
+    const MaskingConfig& config) {
+  STSM_CHECK(!observed.empty());
+  STSM_CHECK(!regions.empty());
+  for (const auto& region : regions) STSM_CHECK(!region.empty());
+  STSM_CHECK_EQ(coords.size(), metadata.size());
+  STSM_CHECK_EQ(a_sg.shape()[0], static_cast<int64_t>(coords.size()));
+
+  MaskingContext context;
+  context.observed = observed;
+  context.config = config;
+
+  const std::set<int> observed_set(observed.begin(), observed.end());
+  const auto neighbors = NeighborLists(a_sg);
+
+  // 1-hop sub-graphs restricted to observed locations.
+  context.subgraphs.resize(observed.size());
+  double total_size = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const int root = observed[i];
+    std::vector<int>& subgraph = context.subgraphs[i];
+    subgraph.push_back(root);
+    for (int neighbor : neighbors[root]) {
+      if (observed_set.count(neighbor)) subgraph.push_back(neighbor);
+    }
+    std::sort(subgraph.begin(), subgraph.end());
+    total_size += static_cast<double>(subgraph.size());
+  }
+  context.average_subgraph_size =
+      total_size / static_cast<double>(observed.size());
+
+  // Standardise each embedding dimension across nodes before comparing:
+  // raw POI counts / road attributes are all positive and on very different
+  // scales, which would drive every cosine similarity towards 1 and destroy
+  // the selectivity signal.
+  std::vector<std::vector<float>> standardized(metadata.size());
+  {
+    std::vector<double> mean(kMetadataEmbeddingDim, 0.0);
+    std::vector<double> var(kMetadataEmbeddingDim, 0.0);
+    std::vector<std::vector<float>> raw(metadata.size());
+    for (size_t n = 0; n < metadata.size(); ++n) {
+      raw[n] = metadata[n].Embedding();
+      for (int d = 0; d < kMetadataEmbeddingDim; ++d) mean[d] += raw[n][d];
+    }
+    for (double& m : mean) m /= static_cast<double>(metadata.size());
+    for (size_t n = 0; n < metadata.size(); ++n) {
+      for (int d = 0; d < kMetadataEmbeddingDim; ++d) {
+        const double dev = raw[n][d] - mean[d];
+        var[d] += dev * dev;
+      }
+    }
+    for (double& v : var) {
+      v = std::sqrt(v / static_cast<double>(metadata.size()));
+      if (v < 1e-9) v = 1.0;  // Constant feature carries no signal.
+    }
+    for (size_t n = 0; n < metadata.size(); ++n) {
+      standardized[n].resize(kMetadataEmbeddingDim);
+      for (int d = 0; d < kMetadataEmbeddingDim; ++d) {
+        standardized[n][d] = static_cast<float>((raw[n][d] - mean[d]) / var[d]);
+      }
+    }
+  }
+  auto mean_of = [&](const std::vector<int>& indices) {
+    std::vector<float> result(kMetadataEmbeddingDim, 0.0f);
+    for (int i : indices) {
+      for (int d = 0; d < kMetadataEmbeddingDim; ++d) {
+        result[d] += standardized[i][d];
+      }
+    }
+    for (float& v : result) v /= static_cast<float>(indices.size());
+    return result;
+  };
+
+  // Embedding and centroid of every unobserved region.
+  std::vector<std::vector<float>> region_embeddings;
+  std::vector<GeoPoint> region_centroids;
+  for (const auto& region : regions) {
+    region_embeddings.push_back(mean_of(region));
+    region_centroids.push_back(Centroid(coords, region));
+  }
+
+  // Per-candidate similarity and proximity: each candidate scores against
+  // its best-matching / nearest region.
+  context.similarity.resize(observed.size());
+  context.proximity.resize(observed.size());
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const std::vector<float> subgraph_embedding =
+        mean_of(context.subgraphs[i]);
+    double best_similarity = -1.0;
+    double best_proximity = 0.0;
+    for (size_t r = 0; r < regions.size(); ++r) {
+      // Cosine in [-1, 1]; shift to [0, 1] so Eq. 15 stays a probability.
+      const double cosine =
+          CosineSimilarity(subgraph_embedding, region_embeddings[r]);
+      best_similarity = std::max(best_similarity, 0.5 * (cosine + 1.0));
+      const double distance =
+          Distance(coords[observed[i]], region_centroids[r]);
+      best_proximity =
+          std::max(best_proximity, 1.0 / std::max(distance, 1e-6));
+    }
+    context.similarity[i] = best_similarity;
+    context.proximity[i] = best_proximity;
+  }
+
+  // Eq. 15: p_i = (s_i * dms / mean(s) + sp_i * dms / mean(sp)) / 2, with
+  // the top-K filter zeroing non-candidates.
+  const double delta_ms =
+      config.mask_ratio / std::max(1.0, context.average_subgraph_size);
+  const double mean_similarity =
+      std::accumulate(context.similarity.begin(), context.similarity.end(),
+                      0.0) /
+      static_cast<double>(observed.size());
+  const double mean_proximity =
+      std::accumulate(context.proximity.begin(), context.proximity.end(),
+                      0.0) /
+      static_cast<double>(observed.size());
+
+  // Rank by combined normalised score to apply the top-K filter.
+  std::vector<double> score(observed.size());
+  for (size_t i = 0; i < observed.size(); ++i) {
+    score[i] = context.similarity[i] / std::max(mean_similarity, 1e-12) +
+               context.proximity[i] / std::max(mean_proximity, 1e-12);
+  }
+  std::vector<size_t> order(observed.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return score[a] > score[b]; });
+  std::vector<bool> in_top_k(observed.size(), false);
+  const size_t k =
+      std::min<size_t>(static_cast<size_t>(std::max(1, config.top_k)),
+                       observed.size());
+  for (size_t q = 0; q < k; ++q) in_top_k[order[q]] = true;
+
+  context.probability.assign(observed.size(), 0.0);
+  for (size_t i = 0; i < observed.size(); ++i) {
+    if (!in_top_k[i]) continue;
+    const double p =
+        0.5 * (context.similarity[i] * delta_ms /
+                   std::max(mean_similarity, 1e-12) +
+               context.proximity[i] * delta_ms /
+                   std::max(mean_proximity, 1e-12));
+    context.probability[i] = std::clamp(p, 0.0, 1.0);
+  }
+  return context;
+}
+
+std::vector<int> DrawSelectiveMask(const MaskingContext& context, Rng* rng) {
+  STSM_CHECK(rng != nullptr);
+  // Draw roots from the Eq. 15 distribution: a Bernoulli acceptance over
+  // uniformly proposed candidates reproduces "mask sub-graph i with
+  // probability proportional to p_i" while MaskToTarget enforces the
+  // delta_m masking ratio.
+  const double max_probability = *std::max_element(
+      context.probability.begin(), context.probability.end());
+  STSM_CHECK_GT(max_probability, 0.0);
+  auto pick_root = [&context, max_probability](Rng* r) -> int {
+    for (int attempt = 0; attempt < 10000; ++attempt) {
+      const int candidate =
+          r->UniformInt(static_cast<int>(context.observed.size()));
+      const double acceptance =
+          context.probability[candidate] / max_probability;
+      if (acceptance > 0.0 && r->Bernoulli(acceptance)) return candidate;
+    }
+    return -1;
+  };
+  return MaskToTarget(context, pick_root, rng);
+}
+
+std::vector<int> DrawRandomMask(const MaskingContext& context, Rng* rng) {
+  STSM_CHECK(rng != nullptr);
+  auto pick_root = [&context](Rng* r) -> int {
+    return r->UniformInt(static_cast<int>(context.observed.size()));
+  };
+  return MaskToTarget(context, pick_root, rng);
+}
+
+double MeanMaskSimilarity(const MaskingContext& context,
+                          const std::vector<int>& masked) {
+  STSM_CHECK(!masked.empty());
+  // Index similarity by global node id.
+  const std::set<int> masked_set(masked.begin(), masked.end());
+  double total = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < context.observed.size(); ++i) {
+    if (masked_set.count(context.observed[i])) {
+      total += context.similarity[i];
+      ++count;
+    }
+  }
+  STSM_CHECK_GT(count, 0);
+  return total / count;
+}
+
+}  // namespace stsm

@@ -1,0 +1,86 @@
+// Sub-graph masking strategies.
+//
+// STSM trains by masking sub-regions of the observed graph and predicting
+// their values, then transfers that capability to the truly unobserved
+// region. The base model masks random 1-hop sub-graphs (Section 3.3); the
+// full model masks selectively, preferring sub-graphs whose region/road
+// features and spatial position resemble the unobserved region
+// (Section 4.1, Eq. 15).
+
+#ifndef STSM_MASKING_MASKING_H_
+#define STSM_MASKING_MASKING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/metadata.h"
+#include "graph/geo.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+
+struct MaskingConfig {
+  double mask_ratio = 0.5;  // delta_m: fraction of observed nodes to mask.
+  int top_k = 35;           // K: only the top-K similar sub-graphs may mask.
+};
+
+// Everything precomputed once per experiment for masking draws.
+struct MaskingContext {
+  // Global node ids of the observed locations (the candidates).
+  std::vector<int> observed;
+  // For each observed location: its 1-hop sub-graph (global ids, restricted
+  // to observed locations, including the root).
+  std::vector<std::vector<int>> subgraphs;
+  // Per observed location: cosine similarity between its sub-graph embedding
+  // and the unobserved-region embedding (s_i^sg).
+  std::vector<double> similarity;
+  // Per observed location: spatial proximity 1/dist to the unobserved
+  // region's centroid (sp_i^sg).
+  std::vector<double> proximity;
+  // Per observed location: masking probability p_i of Eq. 15 (0 outside the
+  // top-K).
+  std::vector<double> probability;
+  // Average sub-graph size delta_s.
+  double average_subgraph_size = 1.0;
+  MaskingConfig config;
+};
+
+// Builds the context. `a_sg` is the sub-graph adjacency built from Eq. 2
+// with threshold epsilon_sg over ALL nodes; sub-graphs are intersected with
+// the observed set. `unobserved` defines the region of interest.
+MaskingContext BuildMaskingContext(const Tensor& a_sg,
+                                   const std::vector<GeoPoint>& coords,
+                                   const std::vector<NodeMetadata>& metadata,
+                                   const std::vector<int>& observed,
+                                   const std::vector<int>& unobserved,
+                                   const MaskingConfig& config);
+
+// Multi-region variant (the paper's future-work extension): each candidate
+// scores against its most similar / nearest unobserved region, so masking
+// prefers sub-graphs resembling ANY of the regions of interest.
+// `regions` must be non-empty and each region non-empty.
+MaskingContext BuildMaskingContext(
+    const Tensor& a_sg, const std::vector<GeoPoint>& coords,
+    const std::vector<NodeMetadata>& metadata,
+    const std::vector<int>& observed,
+    const std::vector<std::vector<int>>& regions,
+    const MaskingConfig& config);
+
+// Selective masking draw (Section 4.1): Bernoulli draws with the Eq. 15
+// probabilities; sub-graphs of the selected roots are masked. Guarantees at
+// least one masked location and never masks every observed location.
+// Returns sorted global node ids.
+std::vector<int> DrawSelectiveMask(const MaskingContext& context, Rng* rng);
+
+// Random masking draw (Section 3.3): repeatedly pick a random observed root
+// and mask its sub-graph until mask_ratio of the observed set is masked.
+std::vector<int> DrawRandomMask(const MaskingContext& context, Rng* rng);
+
+// Mean similarity (s_i^sg) over the masked locations — the quantity the
+// paper compares in Table 8 ("similarity gain" of selective over random).
+double MeanMaskSimilarity(const MaskingContext& context,
+                          const std::vector<int>& masked);
+
+}  // namespace stsm
+
+#endif  // STSM_MASKING_MASKING_H_

@@ -1,0 +1,75 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stsm {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t model_dim,
+                                               int num_heads, Rng* rng)
+    : model_dim_(model_dim),
+      num_heads_(num_heads),
+      head_dim_(model_dim / num_heads),
+      query_(model_dim, model_dim, rng),
+      key_(model_dim, model_dim, rng),
+      value_(model_dim, model_dim, rng),
+      output_(model_dim, model_dim, rng) {
+  STSM_CHECK_EQ(head_dim_ * num_heads, model_dim)
+      << "model_dim must be divisible by num_heads";
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
+  STSM_CHECK_EQ(x.ndim(), 3) << "attention expects [B, T, C]";
+  STSM_CHECK_EQ(x.shape()[-1], model_dim_);
+  const int64_t batch = x.shape()[0];
+  const int64_t time = x.shape()[1];
+
+  auto split_heads = [&](const Tensor& t) {
+    // [B, T, C] -> [B, H, T, Dh].
+    return Transpose(
+        Reshape(t, Shape({batch, time, num_heads_, head_dim_})), 1, 2);
+  };
+  const Tensor q = split_heads(query_.Forward(x));
+  const Tensor k = split_heads(key_.Forward(x));
+  const Tensor v = split_heads(value_.Forward(x));
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  const Tensor scores =
+      Mul(MatMul(q, Transpose(k, -1, -2)), scale);     // [B, H, T, T]
+  const Tensor weights = Softmax(scores, -1);
+  const Tensor context = MatMul(weights, v);           // [B, H, T, Dh]
+  const Tensor merged = Reshape(Transpose(context, 1, 2),
+                                Shape({batch, time, model_dim_}));
+  return output_.Forward(merged);
+}
+
+std::vector<Tensor> MultiHeadSelfAttention::Parameters() const {
+  return ConcatParameters({query_.Parameters(), key_.Parameters(),
+                           value_.Parameters(), output_.Parameters()});
+}
+
+TransformerEncoderBlock::TransformerEncoderBlock(int64_t model_dim,
+                                                 int num_heads,
+                                                 int64_t ffn_dim, Rng* rng)
+    : attention_(model_dim, num_heads, rng),
+      norm1_(model_dim),
+      norm2_(model_dim),
+      ffn1_(model_dim, ffn_dim, rng),
+      ffn2_(ffn_dim, model_dim, rng) {}
+
+Tensor TransformerEncoderBlock::Forward(const Tensor& x) const {
+  const Tensor attended = Add(x, attention_.Forward(norm1_.Forward(x)));
+  const Tensor ffn_out =
+      ffn2_.Forward(Relu(ffn1_.Forward(norm2_.Forward(attended))));
+  return Add(attended, ffn_out);
+}
+
+std::vector<Tensor> TransformerEncoderBlock::Parameters() const {
+  return ConcatParameters({attention_.Parameters(), norm1_.Parameters(),
+                           norm2_.Parameters(), ffn1_.Parameters(),
+                           ffn2_.Parameters()});
+}
+
+}  // namespace stsm

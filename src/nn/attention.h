@@ -1,0 +1,53 @@
+// Multi-head self-attention over the time axis and a transformer encoder
+// block, used by the STSM-trans variant (Section 5.2.5).
+
+#ifndef STSM_NN_ATTENTION_H_
+#define STSM_NN_ATTENTION_H_
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/norm.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+
+// Scaled dot-product multi-head self-attention along dimension -2 of a
+// [..., T, C] tensor (every leading dimension is treated as batch).
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int64_t model_dim, int num_heads, Rng* rng);
+
+  // x: [..., T, C] -> [..., T, C].
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+ private:
+  int64_t model_dim_;
+  int num_heads_;
+  int64_t head_dim_;
+  Linear query_, key_, value_, output_;
+};
+
+// Pre-norm transformer encoder block: x + MHSA(LN(x)), then x + FFN(LN(x)).
+class TransformerEncoderBlock : public Module {
+ public:
+  TransformerEncoderBlock(int64_t model_dim, int num_heads, int64_t ffn_dim,
+                          Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+ private:
+  MultiHeadSelfAttention attention_;
+  LayerNorm norm1_;
+  LayerNorm norm2_;
+  Linear ffn1_;
+  Linear ffn2_;
+};
+
+}  // namespace stsm
+
+#endif  // STSM_NN_ATTENTION_H_

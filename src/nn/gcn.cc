@@ -1,0 +1,42 @@
+#include "nn/gcn.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stsm {
+
+GcnLayer::GcnLayer(int64_t in_features, int64_t out_features, Rng* rng)
+    : in_features_(in_features), out_features_(out_features) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+  weight_ = Tensor::Uniform(Shape({in_features, out_features}), -bound, bound,
+                            rng, /*requires_grad=*/true);
+  bias_ = Tensor::Zeros(Shape({out_features}), /*requires_grad=*/true);
+}
+
+Tensor GcnLayer::Forward(const Tensor& adj, const Tensor& x) const {
+  STSM_CHECK_EQ(adj.ndim(), 2);
+  STSM_CHECK_EQ(adj.shape()[0], adj.shape()[1]);
+  STSM_CHECK_EQ(x.shape()[-2], adj.shape()[0]);
+  STSM_CHECK_EQ(x.shape()[-1], in_features_);
+  // Â mixes the node dimension; W mixes features. Batch dims broadcast.
+  return Add(MatMul(MatMul(adj, x), weight_), bias_);
+}
+
+std::vector<Tensor> GcnLayer::Parameters() const { return {weight_, bias_}; }
+
+GcnlLayer::GcnlLayer(int64_t in_features, int64_t out_features, Rng* rng)
+    : value_(in_features, out_features, rng),
+      gate_(in_features, out_features, rng) {}
+
+Tensor GcnlLayer::Forward(const Tensor& adj, const Tensor& x) const {
+  return Mul(value_.Forward(adj, x), Sigmoid(gate_.Forward(adj, x)));
+}
+
+std::vector<Tensor> GcnlLayer::Parameters() const {
+  return ConcatParameters({value_.Parameters(), gate_.Parameters()});
+}
+
+}  // namespace stsm

@@ -1,0 +1,66 @@
+#include "nn/gru.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stsm {
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : hidden_size_(hidden_size),
+      input_z_(input_size, hidden_size, rng),
+      input_r_(input_size, hidden_size, rng),
+      input_n_(input_size, hidden_size, rng),
+      hidden_z_(hidden_size, hidden_size, rng, /*use_bias=*/false),
+      hidden_r_(hidden_size, hidden_size, rng, /*use_bias=*/false),
+      hidden_n_(hidden_size, hidden_size, rng, /*use_bias=*/false) {}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  const Tensor z = Sigmoid(Add(input_z_.Forward(x), hidden_z_.Forward(h)));
+  const Tensor r = Sigmoid(Add(input_r_.Forward(x), hidden_r_.Forward(h)));
+  const Tensor n = Tanh(Add(input_n_.Forward(x), hidden_n_.Forward(Mul(r, h))));
+  return Add(Mul(Sub(1.0f, z), n), Mul(z, h));
+}
+
+Tensor GruCell::InitialState(int64_t batch) const {
+  return Tensor::Zeros(Shape({batch, hidden_size_}));
+}
+
+std::vector<Tensor> GruCell::Parameters() const {
+  return ConcatParameters({input_z_.Parameters(), input_r_.Parameters(),
+                           input_n_.Parameters(), hidden_z_.Parameters(),
+                           hidden_r_.Parameters(), hidden_n_.Parameters()});
+}
+
+Gru::Gru(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : cell_(input_size, hidden_size, rng) {}
+
+Tensor Gru::ForwardFinal(const Tensor& sequence) const {
+  STSM_CHECK_EQ(sequence.ndim(), 3) << "Gru expects [B, T, C]";
+  const int64_t batch = sequence.shape()[0];
+  const int64_t time = sequence.shape()[1];
+  Tensor h = cell_.InitialState(batch);
+  for (int64_t t = 0; t < time; ++t) {
+    const Tensor x_t = Squeeze(Slice(sequence, 1, t, t + 1), 1);
+    h = cell_.Forward(x_t, h);
+  }
+  return h;
+}
+
+Tensor Gru::ForwardSequence(const Tensor& sequence) const {
+  STSM_CHECK_EQ(sequence.ndim(), 3) << "Gru expects [B, T, C]";
+  const int64_t batch = sequence.shape()[0];
+  const int64_t time = sequence.shape()[1];
+  Tensor h = cell_.InitialState(batch);
+  std::vector<Tensor> states;
+  states.reserve(time);
+  for (int64_t t = 0; t < time; ++t) {
+    const Tensor x_t = Squeeze(Slice(sequence, 1, t, t + 1), 1);
+    h = cell_.Forward(x_t, h);
+    states.push_back(Unsqueeze(h, 1));
+  }
+  return Concat(states, 1);
+}
+
+std::vector<Tensor> Gru::Parameters() const { return cell_.Parameters(); }
+
+}  // namespace stsm

@@ -1,0 +1,57 @@
+// Gated recurrent unit, used by the INCREASE baseline's temporal encoder.
+
+#ifndef STSM_NN_GRU_H_
+#define STSM_NN_GRU_H_
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+
+// Single GRU cell.
+//   z = sigmoid(x @ Wz + h @ Uz + bz)
+//   r = sigmoid(x @ Wr + h @ Ur + br)
+//   n = tanh(x @ Wn + (r * h) @ Un + bn)
+//   h' = (1 - z) * n + z * h
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  // x: [B, input], h: [B, hidden] -> new hidden [B, hidden].
+  Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+  // Zero-initialised hidden state for batch size `batch`.
+  Tensor InitialState(int64_t batch) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t hidden_size_;
+  Linear input_z_, input_r_, input_n_;
+  Linear hidden_z_, hidden_r_, hidden_n_;
+};
+
+// Runs a GruCell over a [B, T, C] sequence, returning either the final
+// hidden state or the full [B, T, H] sequence of hidden states.
+class Gru : public Module {
+ public:
+  Gru(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  // Returns the final hidden state [B, hidden].
+  Tensor ForwardFinal(const Tensor& sequence) const;
+  // Returns all hidden states [B, T, hidden].
+  Tensor ForwardSequence(const Tensor& sequence) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+ private:
+  GruCell cell_;
+};
+
+}  // namespace stsm
+
+#endif  // STSM_NN_GRU_H_

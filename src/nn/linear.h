@@ -1,0 +1,35 @@
+// Fully connected layer applied to the last dimension of its input.
+
+#ifndef STSM_NN_LINEAR_H_
+#define STSM_NN_LINEAR_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+
+// y = x @ W + b where x is [..., in_features] and y is [..., out_features].
+// Weights use Glorot-uniform initialisation.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool use_bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] (undefined when use_bias is false)
+};
+
+}  // namespace stsm
+
+#endif  // STSM_NN_LINEAR_H_

@@ -1,0 +1,55 @@
+#include "nn/loss.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stsm {
+
+Tensor MseLoss(const Tensor& prediction, const Tensor& target) {
+  STSM_CHECK(prediction.shape() == target.shape())
+      << prediction.shape().ToString() << "vs" << target.shape().ToString();
+  return Mean(Square(Sub(prediction, target)));
+}
+
+Tensor MaeLoss(const Tensor& prediction, const Tensor& target) {
+  STSM_CHECK(prediction.shape() == target.shape());
+  return Mean(Abs(Sub(prediction, target)));
+}
+
+Tensor BinaryCrossEntropy(const Tensor& probability, const Tensor& target) {
+  STSM_CHECK(probability.shape() == target.shape());
+  const Tensor pos = Mul(target, Log(probability));
+  const Tensor neg = Mul(Sub(1.0f, target), Log(Sub(1.0f, probability)));
+  return Neg(Mean(Add(pos, neg)));
+}
+
+Tensor L2NormalizeRows(const Tensor& x, float epsilon) {
+  STSM_CHECK_EQ(x.ndim(), 2);
+  const Tensor norm =
+      Sqrt(Add(Sum(Square(x), 1, /*keepdim=*/true), epsilon));
+  return Div(x, norm);
+}
+
+Tensor InfoNceLoss(const Tensor& anchor, const Tensor& positive,
+                   float temperature) {
+  STSM_CHECK_EQ(anchor.ndim(), 2);
+  STSM_CHECK(anchor.shape() == positive.shape());
+  const int64_t m = anchor.shape()[0];
+  STSM_CHECK_GE(m, 2) << "InfoNCE needs at least one negative pair";
+
+  const Tensor a = L2NormalizeRows(anchor);
+  const Tensor p = L2NormalizeRows(positive);
+  // Cosine similarities between every anchor row and every positive row.
+  const Tensor sim =
+      Div(MatMul(a, Transpose(p, 0, 1)), temperature);  // [M, M]
+
+  const Tensor eye = Tensor::Eye(m);
+  const Tensor off_diagonal = Sub(1.0f, eye);
+  // Positive similarity per row (the diagonal).
+  const Tensor pos = Sum(Mul(sim, eye), 1);  // [M]
+  // Paper Eq. 17: denominator sums only the t' != t pairs.
+  const Tensor denom = Sum(Mul(Exp(sim), off_diagonal), 1);  // [M]
+  return Neg(Mean(Sub(pos, Log(denom))));
+}
+
+}  // namespace stsm

@@ -1,0 +1,37 @@
+// Loss functions: regression losses and the InfoNCE contrastive loss used by
+// STSM's graph contrastive module (Eq. 17).
+
+#ifndef STSM_NN_LOSS_H_
+#define STSM_NN_LOSS_H_
+
+#include "tensor/tensor.h"
+
+namespace stsm {
+
+// Mean squared error over all elements (STSM Eq. 14 up to the normalising
+// constant, which Mean already applies).
+Tensor MseLoss(const Tensor& prediction, const Tensor& target);
+
+// Mean absolute error.
+Tensor MaeLoss(const Tensor& prediction, const Tensor& target);
+
+// Binary cross entropy on probabilities in (0, 1); used by the GE-GAN
+// baseline's discriminator.
+Tensor BinaryCrossEntropy(const Tensor& probability, const Tensor& target);
+
+// Normalises rows of a [M, D] matrix to unit L2 norm.
+Tensor L2NormalizeRows(const Tensor& x, float epsilon = 1e-8f);
+
+// Graph-contrastive InfoNCE loss (STSM Eq. 17).
+//
+// `anchor` and `positive` are [M, D] graph representations from the two
+// views (G_o and G_o^m) of the same M time windows: row t of `anchor` pairs
+// positively with row t of `positive`, while rows t' != t of `positive` in
+// the same batch act as negatives. `temperature` is the tau of Eq. 17.
+// Following the paper, the denominator contains only the negative pairs.
+Tensor InfoNceLoss(const Tensor& anchor, const Tensor& positive,
+                   float temperature);
+
+}  // namespace stsm
+
+#endif  // STSM_NN_LOSS_H_

@@ -1,0 +1,46 @@
+// Base interface for neural-network modules: anything that owns trainable
+// parameters. Composite modules concatenate their children's parameters.
+
+#ifndef STSM_NN_MODULE_H_
+#define STSM_NN_MODULE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stsm {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // All trainable parameters of this module (leaf tensors with
+  // requires_grad set). Order is stable across calls.
+  virtual std::vector<Tensor> Parameters() const = 0;
+
+  // Total number of scalar parameters.
+  int64_t NumParameters() const {
+    int64_t total = 0;
+    for (const Tensor& p : Parameters()) total += p.numel();
+    return total;
+  }
+
+  // Zeroes the gradient buffers of every parameter.
+  void ZeroGrad() {
+    for (Tensor p : Parameters()) p.ZeroGrad();
+  }
+};
+
+// Concatenates parameter lists (helper for composite modules).
+inline std::vector<Tensor> ConcatParameters(
+    std::initializer_list<std::vector<Tensor>> lists) {
+  std::vector<Tensor> all;
+  for (const auto& list : lists) {
+    all.insert(all.end(), list.begin(), list.end());
+  }
+  return all;
+}
+
+}  // namespace stsm
+
+#endif  // STSM_NN_MODULE_H_

@@ -1,0 +1,30 @@
+// Layer normalisation over the last (feature) dimension.
+
+#ifndef STSM_NN_NORM_H_
+#define STSM_NN_NORM_H_
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+
+// y = (x - mean) / sqrt(var + eps) * gamma + beta, with statistics computed
+// over the last dimension.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t features, float epsilon = 1e-5f);
+
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() const override;
+
+ private:
+  int64_t features_;
+  float epsilon_;
+  Tensor gamma_;  // [features]
+  Tensor beta_;   // [features]
+};
+
+}  // namespace stsm
+
+#endif  // STSM_NN_NORM_H_

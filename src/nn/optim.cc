@@ -1,0 +1,109 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stsm {
+
+Optimizer::Optimizer(std::vector<Tensor> parameters)
+    : parameters_(std::move(parameters)) {
+  for (const Tensor& p : parameters_) {
+    STSM_CHECK(p.defined());
+    STSM_CHECK(p.requires_grad()) << "optimised tensors must require grad";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : parameters_) p.ZeroGrad();
+}
+
+int64_t Optimizer::num_parameters() const {
+  int64_t total = 0;
+  for (const Tensor& p : parameters_) total += p.numel();
+  return total;
+}
+
+Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate, float momentum)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      momentum_(momentum) {
+  velocity_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    velocity_[i].assign(parameters_[i].numel(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor& p = parameters_[i];
+    float* data = p.data();
+    const float* grad = p.grad_data();
+    float* vel = velocity_[i].data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      vel[j] = momentum_ * vel[j] + grad[j];
+      data[j] -= learning_rate_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> parameters, float learning_rate, float beta1,
+           float beta2, float epsilon)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon) {
+  first_moment_.resize(parameters_.size());
+  second_moment_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    first_moment_[i].assign(parameters_[i].numel(), 0.0f);
+    second_moment_[i].assign(parameters_[i].numel(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor& p = parameters_[i];
+    float* data = p.data();
+    const float* grad = p.grad_data();
+    float* m = first_moment_[i].data();
+    float* v = second_moment_[i].data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      data[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+float ClipGradNorm(std::vector<Tensor>& parameters, float max_norm) {
+  STSM_CHECK_GT(max_norm, 0.0f);
+  double sum_sq = 0.0;
+  for (Tensor& p : parameters) {
+    const float* grad = p.grad_data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      sum_sq += static_cast<double>(grad[j]) * grad[j];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(sum_sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (Tensor& p : parameters) {
+      float* grad = p.grad_data();
+      const int64_t n = p.numel();
+      for (int64_t j = 0; j < n; ++j) grad[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace stsm

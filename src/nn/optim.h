@@ -1,0 +1,76 @@
+// First-order optimisers operating on parameter tensors.
+
+#ifndef STSM_NN_OPTIM_H_
+#define STSM_NN_OPTIM_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stsm {
+
+// Base class holding the parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> parameters);
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the gradients currently stored in the
+  // parameters' grad buffers.
+  virtual void Step() = 0;
+
+  // Clears all parameter gradients (call between steps).
+  void ZeroGrad();
+
+  int64_t num_parameters() const;
+
+ protected:
+  std::vector<Tensor> parameters_;
+};
+
+// Stochastic gradient descent with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> parameters, float learning_rate,
+      float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+// Adam (Kingma & Ba, 2015) — the optimiser used to train STSM
+// (Section 5.1.3, learning rate 0.01).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> parameters, float learning_rate,
+       float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f);
+
+  void Step() override;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> first_moment_;
+  std::vector<std::vector<float>> second_moment_;
+};
+
+// Scales gradients in place so their global L2 norm is at most `max_norm`.
+// Returns the pre-clipping norm.
+float ClipGradNorm(std::vector<Tensor>& parameters, float max_norm);
+
+}  // namespace stsm
+
+#endif  // STSM_NN_OPTIM_H_

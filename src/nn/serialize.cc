@@ -1,0 +1,93 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace stsm {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'S', 'M', 'T', 'N', 'S', 'R'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool SaveTensors(const std::vector<Tensor>& tensors, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(tensors.size()));
+  for (const Tensor& tensor : tensors) {
+    STSM_CHECK(tensor.defined());
+    const auto& dims = tensor.shape().dims();
+    WritePod(out, static_cast<uint32_t>(dims.size()));
+    for (int64_t d : dims) WritePod(out, d);
+    out.write(reinterpret_cast<const char*>(tensor.data()),
+              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  }
+  return static_cast<bool>(out);
+}
+
+std::vector<Tensor> LoadTensors(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return {};
+  uint32_t version = 0, count = 0;
+  if (!ReadPod(in, &version) || version != kVersion) return {};
+  if (!ReadPod(in, &count)) return {};
+
+  std::vector<Tensor> tensors;
+  tensors.reserve(count);
+  for (uint32_t t = 0; t < count; ++t) {
+    uint32_t ndim = 0;
+    if (!ReadPod(in, &ndim) || ndim > 16) return {};
+    std::vector<int64_t> dims(ndim);
+    for (uint32_t d = 0; d < ndim; ++d) {
+      if (!ReadPod(in, &dims[d]) || dims[d] < 0) return {};
+    }
+    const Shape shape(dims);
+    std::vector<float> data(shape.numel());
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in) return {};
+    tensors.push_back(Tensor::FromVector(shape, std::move(data)));
+  }
+  return tensors;
+}
+
+bool SaveModule(const Module& module, const std::string& path) {
+  return SaveTensors(module.Parameters(), path);
+}
+
+bool LoadModule(Module* module, const std::string& path) {
+  STSM_CHECK(module != nullptr);
+  const std::vector<Tensor> loaded = LoadTensors(path);
+  std::vector<Tensor> parameters = module->Parameters();
+  if (loaded.size() != parameters.size()) return false;
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    if (loaded[i].shape() != parameters[i].shape()) return false;
+  }
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    std::copy(loaded[i].data(), loaded[i].data() + loaded[i].numel(),
+              parameters[i].data());
+  }
+  return true;
+}
+
+}  // namespace stsm

@@ -1,0 +1,63 @@
+#include "tensor/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stsm {
+
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double epsilon, double tolerance) {
+  for (auto& input : inputs) {
+    STSM_CHECK(input.requires_grad())
+        << "all grad-check inputs must require gradients";
+    input.ZeroGrad();
+  }
+
+  // Analytic gradients.
+  Tensor loss = fn(inputs);
+  STSM_CHECK_EQ(loss.numel(), 1);
+  loss.Backward();
+
+  GradCheckResult result;
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    Tensor& input = inputs[t];
+    const int64_t n = input.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      const float original = input.data()[i];
+
+      input.data()[i] = original + static_cast<float>(epsilon);
+      double plus;
+      {
+        NoGradGuard no_grad;
+        plus = fn(inputs).item();
+      }
+      input.data()[i] = original - static_cast<float>(epsilon);
+      double minus;
+      {
+        NoGradGuard no_grad;
+        minus = fn(inputs).item();
+      }
+      input.data()[i] = original;
+
+      const double numeric = (plus - minus) / (2.0 * epsilon);
+      const double analytic = input.grad_data()[i];
+      const double abs_err = std::fabs(numeric - analytic);
+      const double denom =
+          std::max(1.0, std::max(std::fabs(numeric), std::fabs(analytic)));
+      const double rel_err = abs_err / denom;
+      if (rel_err > result.max_rel_error) {
+        result.max_rel_error = rel_err;
+        result.worst_input = static_cast<int>(t);
+        result.worst_element = i;
+      }
+      result.max_abs_error = std::max(result.max_abs_error, abs_err);
+      if (std::min(abs_err, rel_err) > tolerance) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace stsm

@@ -1,0 +1,35 @@
+// Numerical gradient checking, used by the test suite to validate every
+// differentiable operation against central finite differences.
+
+#ifndef STSM_TENSOR_GRAD_CHECK_H_
+#define STSM_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stsm {
+
+struct GradCheckResult {
+  bool ok = true;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  // Index (input tensor, flat element) of the worst mismatch.
+  int worst_input = -1;
+  int64_t worst_element = -1;
+};
+
+// Checks the analytic gradient of `fn` (a scalar-valued function of the
+// given inputs) against central differences.
+//
+// The inputs must be leaf tensors with requires_grad set. `epsilon` is the
+// finite-difference step; `tolerance` bounds max(abs_err, rel_err).
+GradCheckResult CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, double epsilon = 1e-3,
+    double tolerance = 2e-2);
+
+}  // namespace stsm
+
+#endif  // STSM_TENSOR_GRAD_CHECK_H_

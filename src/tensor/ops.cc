@@ -1,0 +1,1123 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace stsm {
+namespace {
+
+using ImplPtr = std::shared_ptr<TensorImpl>;
+
+constexpr float kLogEpsilon = 1e-12f;
+
+// Strides of `in` aligned to the dimensions of `out`, with 0 where `in` is
+// broadcast (size 1 or missing dimension).
+std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
+  const std::vector<int64_t> in_strides = in.Strides();
+  std::vector<int64_t> result(out.ndim(), 0);
+  for (int i = 0; i < in.ndim(); ++i) {
+    const int out_d = out.ndim() - 1 - i;
+    const int in_d = in.ndim() - 1 - i;
+    result[out_d] = (in.dims()[in_d] == 1) ? 0 : in_strides[in_d];
+  }
+  return result;
+}
+
+// Maps a linear index in `out` to a linear index in a broadcast input.
+class BroadcastIndexMapper {
+ public:
+  BroadcastIndexMapper(const Shape& in, const Shape& out)
+      : out_dims_(out.dims()), in_strides_(BroadcastStrides(in, out)) {}
+
+  int64_t operator()(int64_t out_index) const {
+    int64_t in_index = 0;
+    for (int d = static_cast<int>(out_dims_.size()) - 1; d >= 0; --d) {
+      const int64_t coord = out_index % out_dims_[d];
+      out_index /= out_dims_[d];
+      in_index += coord * in_strides_[d];
+    }
+    return in_index;
+  }
+
+ private:
+  std::vector<int64_t> out_dims_;
+  std::vector<int64_t> in_strides_;
+};
+
+// Precomputed element-index maps for a broadcast binary op: for every output
+// element, the source element in each input. Built once with an odometer
+// walk (no per-element division) and shared between forward and backward.
+struct BroadcastIndexTable {
+  // Empty when the corresponding input needs no mapping (same shape as out).
+  std::vector<int64_t> index_a;
+  std::vector<int64_t> index_b;
+};
+
+std::vector<int64_t> BuildIndexTable(const Shape& in, const Shape& out) {
+  const int64_t n = out.numel();
+  std::vector<int64_t> table(n);
+  const std::vector<int64_t> strides = BroadcastStrides(in, out);
+  const std::vector<int64_t>& dims = out.dims();
+  const int nd = out.ndim();
+  std::vector<int64_t> coord(nd, 0);
+  int64_t in_index = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    table[i] = in_index;
+    for (int d = nd - 1; d >= 0; --d) {
+      if (++coord[d] < dims[d]) {
+        in_index += strides[d];
+        break;
+      }
+      coord[d] = 0;
+      in_index -= strides[d] * (dims[d] - 1);
+    }
+  }
+  return table;
+}
+
+// True when `in` equals the trailing dimensions of `out` (after dropping
+// leading 1s), i.e. its elements repeat with period in.numel() — the common
+// bias-add pattern, handled with a modulo instead of an index table.
+bool IsSuffixBroadcast(const Shape& in, const Shape& out) {
+  int in_d = in.ndim() - 1;
+  // Skip trailing agreement.
+  for (int out_d = out.ndim() - 1; out_d >= 0 && in_d >= 0; --out_d, --in_d) {
+    if (in.dims()[in_d] != out.dims()[out_d]) return false;
+  }
+  for (; in_d >= 0; --in_d) {
+    if (in.dims()[in_d] != 1) return false;
+  }
+  return true;
+}
+
+// Generic broadcasting elementwise binary op.
+//
+// `fwd(a, b)` computes the result; `dfa(a, b)` and `dfb(a, b)` compute the
+// local partial derivatives d out / d a and d out / d b.
+//
+// Three execution strategies, fastest first: identical shapes (flat loop),
+// suffix broadcast on either side (modulo indexing), and a precomputed
+// odometer index table for arbitrary broadcasts.
+template <typename Fwd, typename DfA, typename DfB>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfA dfa, DfB dfb) {
+  STSM_CHECK(a.defined() && b.defined());
+  const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
+  ImplPtr result = internal::MakeResult(out_shape, {a.impl(), b.impl()});
+  const int64_t n = out_shape.numel();
+  const int64_t an = a.numel();
+  const int64_t bn = b.numel();
+  const bool a_same = a.shape() == out_shape;
+  const bool b_same = b.shape() == out_shape;
+  const bool a_suffix = a_same || IsSuffixBroadcast(a.shape(), out_shape);
+  const bool b_suffix = b_same || IsSuffixBroadcast(b.shape(), out_shape);
+
+  auto table = std::make_shared<BroadcastIndexTable>();
+  if (!a_suffix) table->index_a = BuildIndexTable(a.shape(), out_shape);
+  if (!b_suffix) table->index_b = BuildIndexTable(b.shape(), out_shape);
+
+  // Maps an output element index to the input element index.
+  auto a_index = [&](int64_t i) {
+    return a_same ? i : (a_suffix ? i % an : table->index_a[i]);
+  };
+  auto b_index = [&](int64_t i) {
+    return b_same ? i : (b_suffix ? i % bn : table->index_b[i]);
+  };
+
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* out = result->data.data();
+  if (a_same && b_same) {
+    for (int64_t i = 0; i < n; ++i) out[i] = fwd(ad[i], bd[i]);
+  } else {
+    for (int64_t i = 0; i < n; ++i) out[i] = fwd(ad[a_index(i)], bd[b_index(i)]);
+  }
+
+  if (result->requires_grad) {
+    ImplPtr ai = a.impl();
+    ImplPtr bi = b.impl();
+    TensorImpl* self = result.get();
+    result->backward_fn = [ai, bi, self, table, n, an, bn, a_same, b_same,
+                           a_suffix, b_suffix, dfa, dfb]() {
+      const float* gout = self->grad.data();
+      const float* av = ai->data.data();
+      const float* bv = bi->data.data();
+      auto a_index = [&](int64_t i) {
+        return a_same ? i : (a_suffix ? i % an : table->index_a[i]);
+      };
+      auto b_index = [&](int64_t i) {
+        return b_same ? i : (b_suffix ? i % bn : table->index_b[i]);
+      };
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        float* ga = ai->grad.data();
+        if (a_same && b_same) {
+          for (int64_t i = 0; i < n; ++i) {
+            ga[i] += gout[i] * dfa(av[i], bv[i]);
+          }
+        } else {
+          for (int64_t i = 0; i < n; ++i) {
+            const int64_t ia = a_index(i);
+            ga[ia] += gout[i] * dfa(av[ia], bv[b_index(i)]);
+          }
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        float* gb = bi->grad.data();
+        if (a_same && b_same) {
+          for (int64_t i = 0; i < n; ++i) {
+            gb[i] += gout[i] * dfb(av[i], bv[i]);
+          }
+        } else {
+          for (int64_t i = 0; i < n; ++i) {
+            const int64_t ib = b_index(i);
+            gb[ib] += gout[i] * dfb(av[a_index(i)], bv[ib]);
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+// Generic elementwise unary op. `dfx(x, y)` is d out / d x given the input
+// value and the already-computed output value.
+template <typename Fwd, typename Dfx>
+Tensor UnaryOp(const Tensor& x, Fwd fwd, Dfx dfx) {
+  STSM_CHECK(x.defined());
+  ImplPtr result = internal::MakeResult(x.shape(), {x.impl()});
+  const int64_t n = x.numel();
+  const float* xd = x.data();
+  float* out = result->data.data();
+  for (int64_t i = 0; i < n; ++i) out[i] = fwd(xd[i]);
+
+  if (result->requires_grad) {
+    ImplPtr xi = x.impl();
+    TensorImpl* self = result.get();
+    result->backward_fn = [xi, self, n, dfx]() {
+      if (!xi->requires_grad) return;
+      xi->EnsureGrad();
+      const float* gout = self->grad.data();
+      const float* xv = xi->data.data();
+      const float* yv = self->data.data();
+      float* gx = xi->grad.data();
+      for (int64_t i = 0; i < n; ++i) gx[i] += gout[i] * dfx(xv[i], yv[i]);
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+}  // namespace
+
+// ---- Elementwise binary -------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x >= y ? x : y; },
+      [](float x, float y) { return x >= y ? 1.0f : 0.0f; },
+      [](float x, float y) { return x >= y ? 0.0f : 1.0f; });
+}
+
+Tensor Minimum(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x <= y ? x : y; },
+      [](float x, float y) { return x <= y ? 1.0f : 0.0f; },
+      [](float x, float y) { return x <= y ? 0.0f : 1.0f; });
+}
+
+Tensor Add(const Tensor& a, float b) { return Add(a, Tensor::Scalar(b)); }
+Tensor Sub(const Tensor& a, float b) { return Sub(a, Tensor::Scalar(b)); }
+Tensor Sub(float a, const Tensor& b) { return Sub(Tensor::Scalar(a), b); }
+Tensor Mul(const Tensor& a, float b) { return Mul(a, Tensor::Scalar(b)); }
+Tensor Div(const Tensor& a, float b) { return Div(a, Tensor::Scalar(b)); }
+Tensor Div(float a, const Tensor& b) { return Div(Tensor::Scalar(a), b); }
+
+// ---- Elementwise unary ---------------------------------------------------------
+
+Tensor Neg(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return -v; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Relu(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& x, float alpha) {
+  return UnaryOp(
+      x, [alpha](float v) { return v > 0.0f ? v : alpha * v; },
+      [alpha](float v, float) { return v > 0.0f ? 1.0f : alpha; });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return UnaryOp(
+      x,
+      [](float v) {
+        // Numerically stable logistic.
+        return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                         : std::exp(v) / (1.0f + std::exp(v));
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Exp(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::exp(v); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::log(std::max(v, kLogEpsilon)); },
+      [](float v, float) { return 1.0f / std::max(v, kLogEpsilon); });
+}
+
+Tensor Sqrt(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::sqrt(v); },
+      [](float, float y) { return y > 0.0f ? 0.5f / y : 0.0f; });
+}
+
+Tensor Square(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return v * v; },
+      [](float v, float) { return 2.0f * v; });
+}
+
+Tensor Abs(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::fabs(v); },
+      [](float v, float) { return v >= 0.0f ? 1.0f : -1.0f; });
+}
+
+Tensor Pow(const Tensor& x, float exponent) {
+  return UnaryOp(
+      x, [exponent](float v) { return std::pow(v, exponent); },
+      [exponent](float v, float) {
+        return exponent * std::pow(v, exponent - 1.0f);
+      });
+}
+
+// ---- Shape manipulation ----------------------------------------------------------
+
+Tensor Reshape(const Tensor& x, const Shape& shape) {
+  STSM_CHECK(x.defined());
+  STSM_CHECK_EQ(x.numel(), shape.numel())
+      << "reshape" << x.shape().ToString() << "->" << shape.ToString();
+  ImplPtr result = internal::MakeResult(shape, {x.impl()});
+  result->data = x.impl()->data;  // Same elements, new shape.
+  if (result->requires_grad) {
+    ImplPtr xi = x.impl();
+    TensorImpl* self = result.get();
+    result->backward_fn = [xi, self]() {
+      if (!xi->requires_grad) return;
+      xi->EnsureGrad();
+      const int64_t n = static_cast<int64_t>(self->grad.size());
+      for (int64_t i = 0; i < n; ++i) xi->grad[i] += self->grad[i];
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+Tensor Transpose(const Tensor& x, int dim0, int dim1) {
+  STSM_CHECK(x.defined());
+  const int ndim = x.ndim();
+  if (dim0 < 0) dim0 += ndim;
+  if (dim1 < 0) dim1 += ndim;
+  STSM_CHECK(dim0 >= 0 && dim0 < ndim && dim1 >= 0 && dim1 < ndim);
+  std::vector<int64_t> out_dims = x.shape().dims();
+  std::swap(out_dims[dim0], out_dims[dim1]);
+  const Shape out_shape(out_dims);
+  ImplPtr result = internal::MakeResult(out_shape, {x.impl()});
+
+  const std::vector<int64_t> in_strides = x.shape().Strides();
+  std::vector<int64_t> mapped_strides = in_strides;
+  std::swap(mapped_strides[dim0], mapped_strides[dim1]);
+  const std::vector<int64_t>& od = out_shape.dims();
+
+  // Walks the output in order, computing the matching input offset from the
+  // permuted strides. Shared by forward and backward.
+  auto for_each = [od, mapped_strides](const std::function<void(
+                      int64_t out_idx, int64_t in_idx)>& fn) {
+    const int nd = static_cast<int>(od.size());
+    const int64_t total =
+        [&] {
+          int64_t t = 1;
+          for (int64_t d : od) t *= d;
+          return t;
+        }();
+    std::vector<int64_t> coord(nd, 0);
+    int64_t in_idx = 0;
+    for (int64_t out_idx = 0; out_idx < total; ++out_idx) {
+      fn(out_idx, in_idx);
+      for (int d = nd - 1; d >= 0; --d) {
+        if (++coord[d] < od[d]) {
+          in_idx += mapped_strides[d];
+          break;
+        }
+        coord[d] = 0;
+        in_idx -= mapped_strides[d] * (od[d] - 1);
+      }
+    }
+  };
+
+  const float* xd = x.data();
+  float* out = result->data.data();
+  for_each([&](int64_t oi, int64_t ii) { out[oi] = xd[ii]; });
+
+  if (result->requires_grad) {
+    ImplPtr xi = x.impl();
+    TensorImpl* self = result.get();
+    result->backward_fn = [xi, self, for_each]() {
+      if (!xi->requires_grad) return;
+      xi->EnsureGrad();
+      const float* gout = self->grad.data();
+      float* gx = xi->grad.data();
+      for_each([&](int64_t oi, int64_t ii) { gx[ii] += gout[oi]; });
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+Tensor Slice(const Tensor& x, int dim, int64_t start, int64_t end) {
+  STSM_CHECK(x.defined());
+  const int ndim = x.ndim();
+  if (dim < 0) dim += ndim;
+  STSM_CHECK(dim >= 0 && dim < ndim);
+  STSM_CHECK(start >= 0 && start <= end && end <= x.shape()[dim])
+      << "slice [" << start << "," << end << ") of" << x.shape().ToString();
+
+  std::vector<int64_t> out_dims = x.shape().dims();
+  out_dims[dim] = end - start;
+  const Shape out_shape(out_dims);
+  ImplPtr result = internal::MakeResult(out_shape, {x.impl()});
+
+  // The tensor is a [outer, dim, inner] block structure.
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < dim; ++d) outer *= x.shape()[d];
+  for (int d = dim + 1; d < ndim; ++d) inner *= x.shape()[d];
+  const int64_t in_dim = x.shape()[dim];
+  const int64_t out_dim = end - start;
+
+  const float* xd = x.data();
+  float* out = result->data.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = xd + (o * in_dim + start) * inner;
+    float* dst = out + o * out_dim * inner;
+    std::memcpy(dst, src, sizeof(float) * out_dim * inner);
+  }
+
+  if (result->requires_grad) {
+    ImplPtr xi = x.impl();
+    TensorImpl* self = result.get();
+    result->backward_fn = [xi, self, outer, inner, in_dim, out_dim, start]() {
+      if (!xi->requires_grad) return;
+      xi->EnsureGrad();
+      const float* gout = self->grad.data();
+      float* gx = xi->grad.data();
+      for (int64_t o = 0; o < outer; ++o) {
+        const float* src = gout + o * out_dim * inner;
+        float* dst = gx + (o * in_dim + start) * inner;
+        for (int64_t i = 0; i < out_dim * inner; ++i) dst[i] += src[i];
+      }
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
+  STSM_CHECK(!tensors.empty());
+  const int ndim = tensors[0].ndim();
+  if (dim < 0) dim += ndim;
+  STSM_CHECK(dim >= 0 && dim < ndim);
+
+  int64_t concat_size = 0;
+  for (const Tensor& t : tensors) {
+    STSM_CHECK_EQ(t.ndim(), ndim);
+    for (int d = 0; d < ndim; ++d) {
+      if (d != dim) STSM_CHECK_EQ(t.shape()[d], tensors[0].shape()[d]);
+    }
+    concat_size += t.shape()[dim];
+  }
+  std::vector<int64_t> out_dims = tensors[0].shape().dims();
+  out_dims[dim] = concat_size;
+  const Shape out_shape(out_dims);
+
+  std::vector<ImplPtr> inputs;
+  inputs.reserve(tensors.size());
+  for (const Tensor& t : tensors) inputs.push_back(t.impl());
+  ImplPtr result = internal::MakeResult(out_shape, inputs);
+
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < dim; ++d) outer *= out_shape[d];
+  for (int d = dim + 1; d < ndim; ++d) inner *= out_shape[d];
+
+  float* out = result->data.data();
+  int64_t offset = 0;  // Offset along the concat dimension.
+  std::vector<int64_t> offsets(tensors.size());
+  for (size_t t = 0; t < tensors.size(); ++t) {
+    offsets[t] = offset;
+    const int64_t this_dim = tensors[t].shape()[dim];
+    const float* src = tensors[t].data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(out + (o * concat_size + offset) * inner,
+                  src + o * this_dim * inner,
+                  sizeof(float) * this_dim * inner);
+    }
+    offset += this_dim;
+  }
+
+  if (result->requires_grad) {
+    TensorImpl* self = result.get();
+    std::vector<int64_t> dim_sizes(tensors.size());
+    for (size_t t = 0; t < tensors.size(); ++t) {
+      dim_sizes[t] = tensors[t].shape()[dim];
+    }
+    result->backward_fn = [inputs, self, outer, inner, concat_size, offsets,
+                           dim_sizes]() {
+      const float* gout = self->grad.data();
+      for (size_t t = 0; t < inputs.size(); ++t) {
+        if (!inputs[t]->requires_grad) continue;
+        inputs[t]->EnsureGrad();
+        float* gx = inputs[t]->grad.data();
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* src = gout + (o * concat_size + offsets[t]) * inner;
+          float* dst = gx + o * dim_sizes[t] * inner;
+          for (int64_t i = 0; i < dim_sizes[t] * inner; ++i) dst[i] += src[i];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+Tensor IndexSelect(const Tensor& x, int dim, const std::vector<int>& indices) {
+  STSM_CHECK(x.defined());
+  const int ndim = x.ndim();
+  if (dim < 0) dim += ndim;
+  STSM_CHECK(dim >= 0 && dim < ndim);
+  const int64_t dim_size = x.shape()[dim];
+  for (int idx : indices) {
+    STSM_CHECK(idx >= 0 && idx < dim_size)
+        << "index" << idx << "out of range for dim of size" << dim_size;
+  }
+
+  std::vector<int64_t> out_dims = x.shape().dims();
+  out_dims[dim] = static_cast<int64_t>(indices.size());
+  const Shape out_shape(out_dims);
+  ImplPtr result = internal::MakeResult(out_shape, {x.impl()});
+
+  int64_t outer = 1, inner = 1;
+  for (int d = 0; d < dim; ++d) outer *= x.shape()[d];
+  for (int d = dim + 1; d < ndim; ++d) inner *= x.shape()[d];
+  const int64_t k = static_cast<int64_t>(indices.size());
+
+  const float* xd = x.data();
+  float* out = result->data.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t j = 0; j < k; ++j) {
+      std::memcpy(out + (o * k + j) * inner,
+                  xd + (o * dim_size + indices[j]) * inner,
+                  sizeof(float) * inner);
+    }
+  }
+
+  if (result->requires_grad) {
+    ImplPtr xi = x.impl();
+    TensorImpl* self = result.get();
+    result->backward_fn = [xi, self, outer, inner, k, dim_size, indices]() {
+      if (!xi->requires_grad) return;
+      xi->EnsureGrad();
+      const float* gout = self->grad.data();
+      float* gx = xi->grad.data();
+      for (int64_t o = 0; o < outer; ++o) {
+        for (int64_t j = 0; j < k; ++j) {
+          const float* src = gout + (o * k + j) * inner;
+          float* dst = gx + (o * dim_size + indices[j]) * inner;
+          for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+Tensor Unsqueeze(const Tensor& x, int dim) {
+  const int ndim = x.ndim();
+  if (dim < 0) dim += ndim + 1;
+  STSM_CHECK(dim >= 0 && dim <= ndim);
+  std::vector<int64_t> dims = x.shape().dims();
+  dims.insert(dims.begin() + dim, 1);
+  return Reshape(x, Shape(dims));
+}
+
+Tensor Squeeze(const Tensor& x, int dim) {
+  const int ndim = x.ndim();
+  if (dim < 0) dim += ndim;
+  STSM_CHECK(dim >= 0 && dim < ndim);
+  STSM_CHECK_EQ(x.shape()[dim], 1);
+  std::vector<int64_t> dims = x.shape().dims();
+  dims.erase(dims.begin() + dim);
+  return Reshape(x, Shape(dims));
+}
+
+Tensor BroadcastTo(const Tensor& x, const Shape& shape) {
+  STSM_CHECK(Shape::BroadcastsTo(x.shape(), shape))
+      << x.shape().ToString() << "does not broadcast to" << shape.ToString();
+  // Multiplying by ones materialises the broadcast with correct gradients.
+  return Mul(x, Tensor::Ones(shape));
+}
+
+// ---- Reductions -------------------------------------------------------------------
+
+Tensor Sum(const Tensor& x) {
+  STSM_CHECK(x.defined());
+  ImplPtr result = internal::MakeResult(Shape({}), {x.impl()});
+  const float* xd = x.data();
+  const int64_t n = x.numel();
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) acc += xd[i];
+  result->data[0] = static_cast<float>(acc);
+
+  if (result->requires_grad) {
+    ImplPtr xi = x.impl();
+    TensorImpl* self = result.get();
+    result->backward_fn = [xi, self, n]() {
+      if (!xi->requires_grad) return;
+      xi->EnsureGrad();
+      const float g = self->grad[0];
+      float* gx = xi->grad.data();
+      for (int64_t i = 0; i < n; ++i) gx[i] += g;
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+namespace {
+
+// Shared reduce-along-dim scaffolding: splits x into [outer, dim, inner].
+struct DimSplit {
+  int dim;
+  int64_t outer = 1;
+  int64_t reduce = 1;
+  int64_t inner = 1;
+};
+
+DimSplit SplitAtDim(const Shape& shape, int dim) {
+  const int ndim = shape.ndim();
+  if (dim < 0) dim += ndim;
+  STSM_CHECK(dim >= 0 && dim < ndim);
+  DimSplit split;
+  split.dim = dim;
+  for (int d = 0; d < dim; ++d) split.outer *= shape[d];
+  split.reduce = shape[dim];
+  for (int d = dim + 1; d < ndim; ++d) split.inner *= shape[d];
+  return split;
+}
+
+Shape ReducedShape(const Shape& shape, int dim, bool keepdim) {
+  const int ndim = shape.ndim();
+  if (dim < 0) dim += ndim;
+  std::vector<int64_t> dims = shape.dims();
+  if (keepdim) {
+    dims[dim] = 1;
+  } else {
+    dims.erase(dims.begin() + dim);
+  }
+  return Shape(dims);
+}
+
+}  // namespace
+
+Tensor Sum(const Tensor& x, int dim, bool keepdim) {
+  STSM_CHECK(x.defined());
+  const DimSplit s = SplitAtDim(x.shape(), dim);
+  const Shape out_shape = ReducedShape(x.shape(), dim, keepdim);
+  ImplPtr result = internal::MakeResult(out_shape, {x.impl()});
+
+  const float* xd = x.data();
+  float* out = result->data.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t i = 0; i < s.inner; ++i) {
+      double acc = 0.0;
+      for (int64_t r = 0; r < s.reduce; ++r) {
+        acc += xd[(o * s.reduce + r) * s.inner + i];
+      }
+      out[o * s.inner + i] = static_cast<float>(acc);
+    }
+  }
+
+  if (result->requires_grad) {
+    ImplPtr xi = x.impl();
+    TensorImpl* self = result.get();
+    result->backward_fn = [xi, self, s]() {
+      if (!xi->requires_grad) return;
+      xi->EnsureGrad();
+      const float* gout = self->grad.data();
+      float* gx = xi->grad.data();
+      for (int64_t o = 0; o < s.outer; ++o) {
+        for (int64_t r = 0; r < s.reduce; ++r) {
+          for (int64_t i = 0; i < s.inner; ++i) {
+            gx[(o * s.reduce + r) * s.inner + i] += gout[o * s.inner + i];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+Tensor Mean(const Tensor& x) {
+  return Div(Sum(x), static_cast<float>(x.numel()));
+}
+
+Tensor Mean(const Tensor& x, int dim, bool keepdim) {
+  const DimSplit s = SplitAtDim(x.shape(), dim);
+  return Div(Sum(x, dim, keepdim), static_cast<float>(s.reduce));
+}
+
+namespace {
+
+// Shared implementation of Max/Min along a dimension.
+Tensor ExtremumAlongDim(const Tensor& x, int dim, bool keepdim, bool is_max) {
+  STSM_CHECK(x.defined());
+  const DimSplit s = SplitAtDim(x.shape(), dim);
+  STSM_CHECK_GT(s.reduce, 0);
+  const Shape out_shape = ReducedShape(x.shape(), dim, keepdim);
+  ImplPtr result = internal::MakeResult(out_shape, {x.impl()});
+
+  const float* xd = x.data();
+  float* out = result->data.data();
+  auto arg_indices = std::make_shared<std::vector<int64_t>>(
+      static_cast<size_t>(s.outer * s.inner));
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t i = 0; i < s.inner; ++i) {
+      int64_t best_r = 0;
+      float best = xd[o * s.reduce * s.inner + i];
+      for (int64_t r = 1; r < s.reduce; ++r) {
+        const float v = xd[(o * s.reduce + r) * s.inner + i];
+        if (is_max ? (v > best) : (v < best)) {
+          best = v;
+          best_r = r;
+        }
+      }
+      out[o * s.inner + i] = best;
+      (*arg_indices)[o * s.inner + i] = best_r;
+    }
+  }
+
+  if (result->requires_grad) {
+    ImplPtr xi = x.impl();
+    TensorImpl* self = result.get();
+    result->backward_fn = [xi, self, s, arg_indices]() {
+      if (!xi->requires_grad) return;
+      xi->EnsureGrad();
+      const float* gout = self->grad.data();
+      float* gx = xi->grad.data();
+      for (int64_t o = 0; o < s.outer; ++o) {
+        for (int64_t i = 0; i < s.inner; ++i) {
+          const int64_t r = (*arg_indices)[o * s.inner + i];
+          gx[(o * s.reduce + r) * s.inner + i] += gout[o * s.inner + i];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+}  // namespace
+
+Tensor Max(const Tensor& x, int dim, bool keepdim) {
+  return ExtremumAlongDim(x, dim, keepdim, /*is_max=*/true);
+}
+
+Tensor Min(const Tensor& x, int dim, bool keepdim) {
+  return ExtremumAlongDim(x, dim, keepdim, /*is_max=*/false);
+}
+
+// ---- MatMul -----------------------------------------------------------------------
+
+namespace {
+
+// Batch bookkeeping for broadcasting matmul.
+struct MatMulPlan {
+  int64_t m, k, n;
+  Shape batch_shape;       // Broadcast batch dims of the output.
+  int64_t batch_count;
+  // For each output batch index: offset (in matrices) into a and b.
+  std::vector<int64_t> a_batch_offset;
+  std::vector<int64_t> b_batch_offset;
+};
+
+Shape BatchShapeOf(const Shape& s) {
+  std::vector<int64_t> dims = s.dims();
+  dims.resize(dims.size() - 2);
+  return Shape(dims);
+}
+
+MatMulPlan PlanMatMul(const Shape& a, const Shape& b) {
+  STSM_CHECK_GE(a.ndim(), 2) << "MatMul lhs must be >= 2-D";
+  STSM_CHECK_GE(b.ndim(), 2) << "MatMul rhs must be >= 2-D";
+  MatMulPlan plan;
+  plan.m = a[-2];
+  plan.k = a[-1];
+  STSM_CHECK_EQ(b[-2], plan.k)
+      << "MatMul inner-dim mismatch:" << a.ToString() << "@" << b.ToString();
+  plan.n = b[-1];
+
+  const Shape batch_a = BatchShapeOf(a);
+  const Shape batch_b = BatchShapeOf(b);
+  plan.batch_shape = Shape::Broadcast(batch_a, batch_b);
+  plan.batch_count = plan.batch_shape.numel();
+
+  const BroadcastIndexMapper map_a(batch_a, plan.batch_shape);
+  const BroadcastIndexMapper map_b(batch_b, plan.batch_shape);
+  plan.a_batch_offset.resize(plan.batch_count);
+  plan.b_batch_offset.resize(plan.batch_count);
+  for (int64_t i = 0; i < plan.batch_count; ++i) {
+    plan.a_batch_offset[i] = map_a(i) * plan.m * plan.k;
+    plan.b_batch_offset[i] = map_b(i) * plan.k * plan.n;
+  }
+  return plan;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  STSM_CHECK(a.defined() && b.defined());
+  auto plan = std::make_shared<MatMulPlan>(PlanMatMul(a.shape(), b.shape()));
+
+  std::vector<int64_t> out_dims = plan->batch_shape.dims();
+  out_dims.push_back(plan->m);
+  out_dims.push_back(plan->n);
+  const Shape out_shape(out_dims);
+  ImplPtr result = internal::MakeResult(out_shape, {a.impl(), b.impl()});
+
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* out = result->data.data();
+  const int64_t m = plan->m, k = plan->k, n = plan->n;
+
+  // Forward: parallel over (batch, row) pairs; each owns one output row.
+  ParallelFor(0, plan->batch_count * m, [&](int64_t begin, int64_t end) {
+    for (int64_t row = begin; row < end; ++row) {
+      const int64_t batch = row / m;
+      const int64_t i = row % m;
+      const float* a_mat = ad + plan->a_batch_offset[batch] + i * k;
+      const float* b_mat = bd + plan->b_batch_offset[batch];
+      float* c_row = out + (batch * m + i) * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = a_mat[kk];
+        if (av == 0.0f) continue;
+        const float* b_row = b_mat + kk * n;
+        for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
+      }
+    }
+  });
+
+  if (result->requires_grad) {
+    ImplPtr ai = a.impl();
+    ImplPtr bi = b.impl();
+    TensorImpl* self = result.get();
+    result->backward_fn = [ai, bi, self, plan]() {
+      const int64_t m = plan->m, k = plan->k, n = plan->n;
+      const int64_t batches = plan->batch_count;
+      const float* gout = self->grad.data();
+      const float* av = ai->data.data();
+      const float* bv = bi->data.data();
+
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        float* ga = ai->grad.data();
+        // dA = dC @ B^T. Parallel over row i: a given thread owns row i of
+        // every (possibly shared) A batch, so accumulation never races.
+        ParallelFor(0, m, [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            for (int64_t batch = 0; batch < batches; ++batch) {
+              const float* g_row = gout + (batch * m + i) * n;
+              const float* b_mat = bv + plan->b_batch_offset[batch];
+              float* ga_row = ga + plan->a_batch_offset[batch] + i * k;
+              for (int64_t kk = 0; kk < k; ++kk) {
+                const float* b_row = b_mat + kk * n;
+                float acc = 0.0f;
+                for (int64_t j = 0; j < n; ++j) acc += g_row[j] * b_row[j];
+                ga_row[kk] += acc;
+              }
+            }
+          }
+        });
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        float* gb = bi->grad.data();
+        // dB = A^T @ dC. Parallel over kk: a thread owns row kk of every B
+        // batch gradient.
+        ParallelFor(0, k, [&](int64_t begin, int64_t end) {
+          for (int64_t kk = begin; kk < end; ++kk) {
+            for (int64_t batch = 0; batch < batches; ++batch) {
+              const float* a_mat = av + plan->a_batch_offset[batch];
+              float* gb_row = gb + plan->b_batch_offset[batch] + kk * n;
+              for (int64_t i = 0; i < m; ++i) {
+                const float a_val = a_mat[i * k + kk];
+                if (a_val == 0.0f) continue;
+                const float* g_row = gout + (batch * m + i) * n;
+                for (int64_t j = 0; j < n; ++j) gb_row[j] += a_val * g_row[j];
+              }
+            }
+          }
+        });
+      }
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+// ---- NN primitives ------------------------------------------------------------------
+
+Tensor Softmax(const Tensor& x, int dim) {
+  STSM_CHECK(x.defined());
+  const DimSplit s = SplitAtDim(x.shape(), dim);
+  ImplPtr result = internal::MakeResult(x.shape(), {x.impl()});
+
+  const float* xd = x.data();
+  float* out = result->data.data();
+  for (int64_t o = 0; o < s.outer; ++o) {
+    for (int64_t i = 0; i < s.inner; ++i) {
+      float max_v = -std::numeric_limits<float>::infinity();
+      for (int64_t r = 0; r < s.reduce; ++r) {
+        max_v = std::max(max_v, xd[(o * s.reduce + r) * s.inner + i]);
+      }
+      double denom = 0.0;
+      for (int64_t r = 0; r < s.reduce; ++r) {
+        const float e = std::exp(xd[(o * s.reduce + r) * s.inner + i] - max_v);
+        out[(o * s.reduce + r) * s.inner + i] = e;
+        denom += e;
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t r = 0; r < s.reduce; ++r) {
+        out[(o * s.reduce + r) * s.inner + i] *= inv;
+      }
+    }
+  }
+
+  if (result->requires_grad) {
+    ImplPtr xi = x.impl();
+    TensorImpl* self = result.get();
+    result->backward_fn = [xi, self, s]() {
+      if (!xi->requires_grad) return;
+      xi->EnsureGrad();
+      const float* y = self->data.data();
+      const float* gout = self->grad.data();
+      float* gx = xi->grad.data();
+      for (int64_t o = 0; o < s.outer; ++o) {
+        for (int64_t i = 0; i < s.inner; ++i) {
+          double dot = 0.0;
+          for (int64_t r = 0; r < s.reduce; ++r) {
+            const int64_t idx = (o * s.reduce + r) * s.inner + i;
+            dot += static_cast<double>(gout[idx]) * y[idx];
+          }
+          for (int64_t r = 0; r < s.reduce; ++r) {
+            const int64_t idx = (o * s.reduce + r) * s.inner + i;
+            gx[idx] += (gout[idx] - static_cast<float>(dot)) * y[idx];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+Tensor LogSoftmax(const Tensor& x, int dim) { return Log(Softmax(x, dim)); }
+
+Tensor Conv1dTime(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                  int dilation) {
+  STSM_CHECK(x.defined() && weight.defined());
+  STSM_CHECK_EQ(x.ndim(), 4) << "Conv1dTime expects [B, T, N, C_in]";
+  STSM_CHECK_EQ(weight.ndim(), 3) << "weight must be [C_out, C_in, K]";
+  STSM_CHECK_GE(dilation, 1);
+  const int64_t batch = x.shape()[0];
+  const int64_t time = x.shape()[1];
+  const int64_t nodes = x.shape()[2];
+  const int64_t c_in = x.shape()[3];
+  const int64_t c_out = weight.shape()[0];
+  STSM_CHECK_EQ(weight.shape()[1], c_in);
+  const int64_t kernel = weight.shape()[2];
+  if (bias.defined()) {
+    STSM_CHECK_EQ(bias.numel(), c_out);
+  }
+
+  const Shape out_shape({batch, time, nodes, c_out});
+  std::vector<ImplPtr> inputs = {x.impl(), weight.impl()};
+  if (bias.defined()) inputs.push_back(bias.impl());
+  ImplPtr result = internal::MakeResult(out_shape, inputs);
+
+  const float* xd = x.data();
+  const float* wd = weight.data();
+  const float* biasd = bias.defined() ? bias.data() : nullptr;
+  float* out = result->data.data();
+
+  // out[b,t,n,co] = bias[co]
+  //   + sum_{kk,ci} w[co,ci,kk] * x[b, t - (K-1-kk)*dilation, n, ci]
+  ParallelFor(0, batch * time, [&](int64_t begin, int64_t end) {
+    for (int64_t bt = begin; bt < end; ++bt) {
+      const int64_t b = bt / time;
+      const int64_t t = bt % time;
+      float* out_bt = out + bt * nodes * c_out;
+      if (biasd != nullptr) {
+        for (int64_t n = 0; n < nodes; ++n) {
+          for (int64_t co = 0; co < c_out; ++co) {
+            out_bt[n * c_out + co] = biasd[co];
+          }
+        }
+      }
+      for (int64_t kk = 0; kk < kernel; ++kk) {
+        const int64_t t_in = t - (kernel - 1 - kk) * dilation;
+        if (t_in < 0) continue;  // Left zero-padding (causal).
+        const float* x_bt = xd + (b * time + t_in) * nodes * c_in;
+        for (int64_t n = 0; n < nodes; ++n) {
+          const float* x_row = x_bt + n * c_in;
+          float* out_row = out_bt + n * c_out;
+          for (int64_t co = 0; co < c_out; ++co) {
+            const float* w_row = wd + (co * c_in) * kernel;
+            float acc = 0.0f;
+            for (int64_t ci = 0; ci < c_in; ++ci) {
+              acc += w_row[ci * kernel + kk] * x_row[ci];
+            }
+            out_row[co] += acc;
+          }
+        }
+      }
+    }
+  });
+
+  if (result->requires_grad) {
+    ImplPtr xi = x.impl();
+    ImplPtr wi = weight.impl();
+    ImplPtr biasi = bias.defined() ? bias.impl() : nullptr;
+    TensorImpl* self = result.get();
+    result->backward_fn = [xi, wi, biasi, self, batch, time, nodes, c_in,
+                           c_out, kernel, dilation]() {
+      const float* gout = self->grad.data();
+      const float* xv = xi->data.data();
+      const float* wv = wi->data.data();
+
+      if (biasi != nullptr && biasi->requires_grad) {
+        biasi->EnsureGrad();
+        float* gb = biasi->grad.data();
+        for (int64_t idx = 0; idx < batch * time * nodes; ++idx) {
+          const float* g_row = gout + idx * c_out;
+          for (int64_t co = 0; co < c_out; ++co) gb[co] += g_row[co];
+        }
+      }
+      if (wi->requires_grad) {
+        wi->EnsureGrad();
+        float* gw = wi->grad.data();
+        for (int64_t b = 0; b < batch; ++b) {
+          for (int64_t t = 0; t < time; ++t) {
+            const float* g_bt = gout + (b * time + t) * nodes * c_out;
+            for (int64_t kk = 0; kk < kernel; ++kk) {
+              const int64_t t_in = t - (kernel - 1 - kk) * dilation;
+              if (t_in < 0) continue;
+              const float* x_bt = xv + (b * time + t_in) * nodes * c_in;
+              for (int64_t n = 0; n < nodes; ++n) {
+                const float* x_row = x_bt + n * c_in;
+                const float* g_row = g_bt + n * c_out;
+                for (int64_t co = 0; co < c_out; ++co) {
+                  const float g = g_row[co];
+                  if (g == 0.0f) continue;
+                  float* gw_row = gw + (co * c_in) * kernel;
+                  for (int64_t ci = 0; ci < c_in; ++ci) {
+                    gw_row[ci * kernel + kk] += g * x_row[ci];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+      if (xi->requires_grad) {
+        xi->EnsureGrad();
+        float* gx = xi->grad.data();
+        // Parallel over batch: each thread owns a disjoint x[b] block.
+        ParallelFor(0, batch, [&](int64_t begin, int64_t end) {
+          for (int64_t b = begin; b < end; ++b) {
+            for (int64_t t = 0; t < time; ++t) {
+              const float* g_bt = gout + (b * time + t) * nodes * c_out;
+              for (int64_t kk = 0; kk < kernel; ++kk) {
+                const int64_t t_in = t - (kernel - 1 - kk) * dilation;
+                if (t_in < 0) continue;
+                float* gx_bt = gx + (b * time + t_in) * nodes * c_in;
+                for (int64_t n = 0; n < nodes; ++n) {
+                  const float* g_row = g_bt + n * c_out;
+                  float* gx_row = gx_bt + n * c_in;
+                  for (int64_t co = 0; co < c_out; ++co) {
+                    const float g = g_row[co];
+                    if (g == 0.0f) continue;
+                    const float* w_row = wv + (co * c_in) * kernel;
+                    for (int64_t ci = 0; ci < c_in; ++ci) {
+                      gx_row[ci] += g * w_row[ci * kernel + kk];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        });
+      }
+    };
+  }
+  return Tensor(std::move(result));
+}
+
+Tensor Dropout(const Tensor& x, float p, Rng* rng) {
+  STSM_CHECK(x.defined());
+  if (p <= 0.0f) return x;
+  STSM_CHECK_LT(p, 1.0f);
+  STSM_CHECK(rng != nullptr);
+  const int64_t n = x.numel();
+  std::vector<float> mask(n);
+  const float scale = 1.0f / (1.0f - p);
+  for (int64_t i = 0; i < n; ++i) {
+    mask[i] = rng->Bernoulli(p) ? 0.0f : scale;
+  }
+  return Mul(x, Tensor::FromVector(x.shape(), std::move(mask)));
+}
+
+}  // namespace stsm

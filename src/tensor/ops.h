@@ -1,0 +1,126 @@
+// Differentiable tensor operations.
+//
+// All functions return new tensors. When gradient mode is enabled and any
+// input requires gradients, the returned tensor carries the autograd tape
+// needed by Tensor::Backward().
+//
+// Broadcasting follows NumPy semantics for elementwise binary operations and
+// for the batch dimensions of MatMul.
+
+#ifndef STSM_TENSOR_OPS_H_
+#define STSM_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+
+// ---- Elementwise binary (broadcasting) --------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+// Elementwise max/min; on ties the gradient flows to the first argument.
+Tensor Maximum(const Tensor& a, const Tensor& b);
+Tensor Minimum(const Tensor& a, const Tensor& b);
+
+Tensor Add(const Tensor& a, float b);
+Tensor Sub(const Tensor& a, float b);
+Tensor Sub(float a, const Tensor& b);
+Tensor Mul(const Tensor& a, float b);
+Tensor Div(const Tensor& a, float b);
+Tensor Div(float a, const Tensor& b);
+
+inline Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
+inline Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
+inline Tensor operator/(const Tensor& a, const Tensor& b) { return Div(a, b); }
+inline Tensor operator+(const Tensor& a, float b) { return Add(a, b); }
+inline Tensor operator-(const Tensor& a, float b) { return Sub(a, b); }
+inline Tensor operator*(const Tensor& a, float b) { return Mul(a, b); }
+inline Tensor operator/(const Tensor& a, float b) { return Div(a, b); }
+inline Tensor operator+(float a, const Tensor& b) { return Add(b, a); }
+inline Tensor operator*(float a, const Tensor& b) { return Mul(b, a); }
+inline Tensor operator-(float a, const Tensor& b) { return Sub(a, b); }
+inline Tensor operator/(float a, const Tensor& b) { return Div(a, b); }
+
+// ---- Elementwise unary -------------------------------------------------------
+
+Tensor Neg(const Tensor& x);
+inline Tensor operator-(const Tensor& x) { return Neg(x); }
+Tensor Relu(const Tensor& x);
+// LeakyRelu with slope `alpha` for negative inputs.
+Tensor LeakyRelu(const Tensor& x, float alpha = 0.2f);
+Tensor Sigmoid(const Tensor& x);
+Tensor Tanh(const Tensor& x);
+Tensor Exp(const Tensor& x);
+// Natural logarithm; inputs are clamped to a small epsilon for stability.
+Tensor Log(const Tensor& x);
+Tensor Sqrt(const Tensor& x);
+Tensor Square(const Tensor& x);
+Tensor Abs(const Tensor& x);
+// Raises to a constant power.
+Tensor Pow(const Tensor& x, float exponent);
+
+// ---- Shape manipulation ------------------------------------------------------
+
+// Returns a tensor with the same elements and a new shape (same numel).
+Tensor Reshape(const Tensor& x, const Shape& shape);
+// Swaps dimensions `dim0` and `dim1` (copying; negative dims allowed).
+Tensor Transpose(const Tensor& x, int dim0, int dim1);
+// Contiguous slice [start, end) along `dim`.
+Tensor Slice(const Tensor& x, int dim, int64_t start, int64_t end);
+// Concatenates tensors along `dim`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& tensors, int dim);
+// Gathers indices along `dim`: out has x.shape with dim replaced by
+// indices.size(). Gradients scatter-add back.
+Tensor IndexSelect(const Tensor& x, int dim, const std::vector<int>& indices);
+// Inserts a size-1 dimension at `dim`.
+Tensor Unsqueeze(const Tensor& x, int dim);
+// Removes a size-1 dimension at `dim`.
+Tensor Squeeze(const Tensor& x, int dim);
+// Broadcasts x to `shape` (materialising the copy).
+Tensor BroadcastTo(const Tensor& x, const Shape& shape);
+
+// ---- Reductions ---------------------------------------------------------------
+
+// Sum of all elements -> scalar.
+Tensor Sum(const Tensor& x);
+// Sum along `dim`.
+Tensor Sum(const Tensor& x, int dim, bool keepdim = false);
+Tensor Mean(const Tensor& x);
+Tensor Mean(const Tensor& x, int dim, bool keepdim = false);
+// Maximum along `dim`; gradient flows to the (first) argmax.
+Tensor Max(const Tensor& x, int dim, bool keepdim = false);
+Tensor Min(const Tensor& x, int dim, bool keepdim = false);
+
+// ---- Linear algebra -----------------------------------------------------------
+
+// Batched matrix multiply: a [..., m, k] @ b [..., k, n] -> [..., m, n].
+// Leading (batch) dimensions broadcast.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// ---- Neural-network primitives --------------------------------------------------
+
+// Softmax along `dim` (numerically stable).
+Tensor Softmax(const Tensor& x, int dim);
+Tensor LogSoftmax(const Tensor& x, int dim);
+
+// Causal dilated 1-D convolution over the time axis of a [B, T, N, C_in]
+// tensor. `weight` is [C_out, C_in, K]; `bias` is [C_out] (may be undefined
+// for no bias). The output is [B, T, N, C_out]; positions before the window
+// start read zeros (left zero-padding), so sequence length is preserved —
+// this matches the zero-padded dilated TCN of STSM Eq. (5).
+Tensor Conv1dTime(const Tensor& x, const Tensor& weight, const Tensor& bias,
+                  int dilation);
+
+// Inverted dropout: at training time zeroes entries with probability `p` and
+// scales survivors by 1/(1-p); at p <= 0 returns x unchanged.
+Tensor Dropout(const Tensor& x, float p, Rng* rng);
+
+}  // namespace stsm
+
+#endif  // STSM_TENSOR_OPS_H_

@@ -1,0 +1,79 @@
+#include "tensor/shape.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace stsm {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (int64_t d : dims_) STSM_CHECK_GE(d, 0);
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (int64_t d : dims_) STSM_CHECK_GE(d, 0);
+}
+
+int64_t Shape::operator[](int d) const {
+  const int n = ndim();
+  if (d < 0) d += n;
+  STSM_CHECK_GE(d, 0) << "in shape" << ToString();
+  STSM_CHECK_LT(d, n) << "in shape" << ToString();
+  return dims_[d];
+}
+
+int64_t Shape::numel() const {
+  int64_t total = 1;
+  for (int64_t d : dims_) total *= d;
+  return total;
+}
+
+std::vector<int64_t> Shape::Strides() const {
+  std::vector<int64_t> strides(dims_.size());
+  int64_t running = 1;
+  for (int d = ndim() - 1; d >= 0; --d) {
+    strides[d] = running;
+    running *= dims_[d];
+  }
+  return strides;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Shape Shape::Broadcast(const Shape& a, const Shape& b) {
+  const int ndim = std::max(a.ndim(), b.ndim());
+  std::vector<int64_t> out(ndim);
+  for (int i = 0; i < ndim; ++i) {
+    // Align from the trailing dimension.
+    const int ai = a.ndim() - 1 - i;
+    const int bi = b.ndim() - 1 - i;
+    const int64_t da = ai >= 0 ? a.dims()[ai] : 1;
+    const int64_t db = bi >= 0 ? b.dims()[bi] : 1;
+    STSM_CHECK(da == db || da == 1 || db == 1)
+        << "incompatible broadcast:" << a.ToString() << "vs" << b.ToString();
+    out[ndim - 1 - i] = std::max(da, db);
+  }
+  return Shape(std::move(out));
+}
+
+bool Shape::BroadcastsTo(const Shape& a, const Shape& target) {
+  if (a.ndim() > target.ndim()) return false;
+  for (int i = 0; i < a.ndim(); ++i) {
+    const int64_t da = a.dims()[a.ndim() - 1 - i];
+    const int64_t dt = target.dims()[target.ndim() - 1 - i];
+    if (da != dt && da != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace stsm

@@ -1,0 +1,53 @@
+// Shape: the dimension vector of a dense row-major tensor, plus the
+// broadcasting rules shared by all elementwise operations.
+
+#ifndef STSM_TENSOR_SHAPE_H_
+#define STSM_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace stsm {
+
+// An immutable-ish list of dimension sizes. All tensors in this library are
+// dense and row-major, so strides are derived, never stored.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims);
+  explicit Shape(std::vector<int64_t> dims);
+
+  int ndim() const { return static_cast<int>(dims_.size()); }
+
+  // Dimension size; `d` may be negative (Python-style, -1 is the last dim).
+  int64_t operator[](int d) const;
+
+  // Total number of elements (1 for a rank-0 scalar).
+  int64_t numel() const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  // Row-major strides, in elements.
+  std::vector<int64_t> Strides() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return dims_ != other.dims_; }
+
+  std::string ToString() const;
+
+  // Computes the NumPy-style broadcast of two shapes. Aborts if the shapes
+  // are not broadcast-compatible.
+  static Shape Broadcast(const Shape& a, const Shape& b);
+
+  // True when `a` can be broadcast to exactly `target`.
+  static bool BroadcastsTo(const Shape& a, const Shape& target);
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace stsm
+
+#endif  // STSM_TENSOR_SHAPE_H_

@@ -1,0 +1,253 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace stsm {
+
+namespace {
+
+thread_local bool g_grad_mode_enabled = true;
+
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode_enabled) {
+  g_grad_mode_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_mode_enabled = previous_; }
+
+void TensorImpl::EnsureGrad() {
+  if (grad.empty()) grad.assign(data.size(), 0.0f);
+}
+
+// ---- Factories --------------------------------------------------------------
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return Full(shape, 0.0f, requires_grad);
+}
+
+Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
+  return Full(shape, 1.0f, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(shape.numel(), value);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  STSM_CHECK_EQ(static_cast<int64_t>(values.size()), shape.numel());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return Full(Shape({}), value, requires_grad);
+}
+
+Tensor Tensor::Uniform(const Shape& shape, float lo, float hi, Rng* rng,
+                       bool requires_grad) {
+  STSM_CHECK(rng != nullptr);
+  std::vector<float> values(shape.numel());
+  for (auto& v : values) v = static_cast<float>(rng->Uniform(lo, hi));
+  return FromVector(shape, std::move(values), requires_grad);
+}
+
+Tensor Tensor::Normal(const Shape& shape, float mean, float stddev, Rng* rng,
+                      bool requires_grad) {
+  STSM_CHECK(rng != nullptr);
+  std::vector<float> values(shape.numel());
+  for (auto& v : values) v = static_cast<float>(rng->Normal(mean, stddev));
+  return FromVector(shape, std::move(values), requires_grad);
+}
+
+Tensor Tensor::Eye(int64_t n) {
+  Tensor t = Zeros(Shape({n, n}));
+  float* d = t.data();
+  for (int64_t i = 0; i < n; ++i) d[i * n + i] = 1.0f;
+  return t;
+}
+
+// ---- Introspection ----------------------------------------------------------
+
+const Shape& Tensor::shape() const {
+  STSM_CHECK(defined());
+  return impl_->shape;
+}
+
+float* Tensor::data() {
+  STSM_CHECK(defined());
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  STSM_CHECK(defined());
+  return impl_->data.data();
+}
+
+float Tensor::item() const {
+  STSM_CHECK_EQ(numel(), 1);
+  return impl_->data[0];
+}
+
+namespace {
+
+int64_t FlattenIndex(const Shape& shape, std::initializer_list<int64_t> index) {
+  STSM_CHECK_EQ(static_cast<int>(index.size()), shape.ndim());
+  const std::vector<int64_t> strides = shape.Strides();
+  int64_t flat = 0;
+  int d = 0;
+  for (int64_t i : index) {
+    STSM_CHECK_GE(i, 0);
+    STSM_CHECK_LT(i, shape[d]);
+    flat += i * strides[d];
+    ++d;
+  }
+  return flat;
+}
+
+}  // namespace
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  return data()[FlattenIndex(shape(), index)];
+}
+
+void Tensor::set(std::initializer_list<int64_t> index, float value) {
+  data()[FlattenIndex(shape(), index)] = value;
+}
+
+// ---- Autograd ---------------------------------------------------------------
+
+bool Tensor::requires_grad() const {
+  STSM_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  STSM_CHECK(defined());
+  STSM_CHECK(impl_->parents.empty())
+      << "set_requires_grad is only valid on leaf tensors";
+  impl_->requires_grad = value;
+  return *this;
+}
+
+float* Tensor::grad_data() {
+  STSM_CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad.data();
+}
+
+const float* Tensor::grad_data() const {
+  STSM_CHECK(defined());
+  const_cast<TensorImpl*>(impl_.get())->EnsureGrad();
+  return impl_->grad.data();
+}
+
+Tensor Tensor::GradTensor() const {
+  STSM_CHECK(defined());
+  std::vector<float> grad_copy = impl_->grad;
+  if (grad_copy.empty()) grad_copy.assign(impl_->data.size(), 0.0f);
+  return FromVector(impl_->shape, std::move(grad_copy));
+}
+
+void Tensor::ZeroGrad() {
+  STSM_CHECK(defined());
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+void Tensor::Backward() {
+  STSM_CHECK(defined());
+  STSM_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss";
+
+  // Topological order over the tape (parents before children in `order`).
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_parent] = stack.back();
+    if (next_parent < node->parents.size()) {
+      TensorImpl* parent = node->parents[next_parent].get();
+      ++next_parent;
+      if (visited.insert(parent).second) stack.emplace_back(parent, 0);
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0f;
+
+  // `order` has the root last; walk children-to-parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn) node->backward_fn();
+  }
+}
+
+Tensor Tensor::Detach() const {
+  STSM_CHECK(defined());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // Copy: keeps detached values stable.
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Clone() const { return Detach(); }
+
+std::string Tensor::ToString() const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream out;
+  out << "Tensor" << shape().ToString() << " [";
+  const int64_t preview = std::min<int64_t>(numel(), 8);
+  for (int64_t i = 0; i < preview; ++i) {
+    if (i > 0) out << ", ";
+    out << impl_->data[i];
+  }
+  if (numel() > preview) out << ", ...";
+  out << "]";
+  return out.str();
+}
+
+namespace internal {
+
+bool ShouldRecord(const std::vector<std::shared_ptr<TensorImpl>>& inputs) {
+  if (!GradModeEnabled()) return false;
+  for (const auto& input : inputs) {
+    if (input && input->requires_grad) return true;
+  }
+  return false;
+}
+
+std::shared_ptr<TensorImpl> MakeResult(
+    const Shape& shape,
+    const std::vector<std::shared_ptr<TensorImpl>>& inputs) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(shape.numel(), 0.0f);
+  if (ShouldRecord(inputs)) {
+    impl->requires_grad = true;
+    impl->parents = inputs;
+  }
+  return impl;
+}
+
+}  // namespace internal
+
+}  // namespace stsm

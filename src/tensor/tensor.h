@@ -1,0 +1,161 @@
+// Tensor: a dense float32 n-dimensional array with tape-based reverse-mode
+// automatic differentiation.
+//
+// A `Tensor` is a cheap value-semantic handle onto a shared `TensorImpl`.
+// Operations on tensors (declared in tensor/ops.h) record the computation
+// graph when gradient mode is enabled and any input requires gradients;
+// calling `Backward()` on a scalar result then accumulates gradients into
+// every tensor with `requires_grad() == true` that contributed to it.
+//
+// Example:
+//   Tensor w = Tensor::Normal({4, 2}, 0.f, 0.1f, &rng, /*requires_grad=*/true);
+//   Tensor x = Tensor::Ones({3, 4});
+//   Tensor loss = Mean(Square(MatMul(x, w)));
+//   loss.Backward();
+//   // w.grad_data() now holds dLoss/dw.
+
+#ifndef STSM_TENSOR_TENSOR_H_
+#define STSM_TENSOR_TENSOR_H_
+
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace stsm {
+
+// Internal storage node shared by Tensor handles. Public members are used by
+// the op implementations in tensor/ops.cc; application code should go through
+// the Tensor interface.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // Lazily allocated; empty until needed.
+  bool requires_grad = false;
+
+  // Autograd tape: the inputs this node was computed from and the function
+  // that routes this node's gradient into them. Empty for leaves.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void()> backward_fn;
+
+  // Allocates (zero-filled) gradient storage if not yet present.
+  void EnsureGrad();
+};
+
+// Value-semantic handle to a TensorImpl. A default-constructed Tensor is
+// "undefined" and may not be used in operations.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  // ---- Factories -----------------------------------------------------------
+
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Ones(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value,
+                     bool requires_grad = false);
+  // Takes ownership of `values`; its size must equal shape.numel().
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  static Tensor Scalar(float value, bool requires_grad = false);
+  // Uniform in [lo, hi).
+  static Tensor Uniform(const Shape& shape, float lo, float hi, Rng* rng,
+                        bool requires_grad = false);
+  static Tensor Normal(const Shape& shape, float mean, float stddev, Rng* rng,
+                       bool requires_grad = false);
+  // Identity matrix of size n x n.
+  static Tensor Eye(int64_t n);
+
+  // ---- Introspection -------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  int ndim() const { return shape().ndim(); }
+  int64_t numel() const { return shape().numel(); }
+  int64_t size(int dim) const { return shape()[dim]; }
+
+  float* data();
+  const float* data() const;
+
+  // Value of a single-element tensor.
+  float item() const;
+
+  // Element access by multi-index (bounds-checked; intended for tests and
+  // glue code, not inner loops).
+  float at(std::initializer_list<int64_t> index) const;
+  void set(std::initializer_list<int64_t> index, float value);
+
+  // ---- Autograd ------------------------------------------------------------
+
+  bool requires_grad() const;
+  // Marks a leaf as requiring gradients. Must not be called on a tensor that
+  // already has a recorded history.
+  Tensor& set_requires_grad(bool value);
+
+  // Gradient storage (allocated on demand). Only meaningful after Backward().
+  float* grad_data();
+  const float* grad_data() const;
+  // Returns a copy of the gradient as a tensor of the same shape (zeros if no
+  // gradient has been accumulated).
+  Tensor GradTensor() const;
+  void ZeroGrad();
+
+  // Runs reverse-mode differentiation from this tensor, which must be a
+  // scalar (numel() == 1). Gradients accumulate (+=) into `grad` of every
+  // reachable tensor with requires_grad() set.
+  void Backward();
+
+  // Returns a tensor sharing this tensor's storage but detached from the
+  // autograd graph (no parents, requires_grad = false).
+  Tensor Detach() const;
+
+  // Deep copy of the data (detached leaf).
+  Tensor Clone() const;
+
+  // Human-readable summary (shape plus leading values) for debugging.
+  std::string ToString() const;
+
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+// RAII guard that disables gradient recording in the current thread. Used in
+// evaluation loops to avoid building graphs.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// True when operations should record the autograd tape (thread-local).
+bool GradModeEnabled();
+
+namespace internal {
+
+// Creates an op output node: allocates the result, and when recording is
+// active and any input requires grad, registers `backward_fn` and parents.
+// `backward_fn` is built by the caller via MakeBackward after the output
+// exists; see ops.cc for the usage pattern.
+std::shared_ptr<TensorImpl> MakeResult(
+    const Shape& shape, const std::vector<std::shared_ptr<TensorImpl>>& inputs);
+
+// True if autograd should record for this set of inputs.
+bool ShouldRecord(const std::vector<std::shared_ptr<TensorImpl>>& inputs);
+
+}  // namespace internal
+
+}  // namespace stsm
+
+#endif  // STSM_TENSOR_TENSOR_H_

@@ -1,0 +1,26 @@
+// Dynamic time warping (Berndt & Clifford 1994), used to build STSM's
+// temporal-similarity adjacency matrix (Section 3.4.1, following STFGNN).
+
+#ifndef STSM_TIMESERIES_DTW_H_
+#define STSM_TIMESERIES_DTW_H_
+
+#include <vector>
+
+namespace stsm {
+
+// DTW distance between two sequences with absolute-difference local cost.
+// `band` is the Sakoe-Chiba band half-width: cells with |i - j| > band are
+// skipped. band <= 0 means unconstrained DTW. Sequences may differ in length
+// (the band is applied around the diagonal scaled to the length ratio).
+double DtwDistance(const std::vector<float>& a, const std::vector<float>& b,
+                   int band = 0);
+
+// Compresses a long series into its average daily profile of length
+// `steps_per_day` (mean over days per time-of-day slot). DTW on daily
+// profiles is the standard way to make series similarity tractable.
+std::vector<float> DailyProfile(const std::vector<float>& series,
+                                int steps_per_day);
+
+}  // namespace stsm
+
+#endif  // STSM_TIMESERIES_DTW_H_

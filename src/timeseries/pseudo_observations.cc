@@ -1,0 +1,97 @@
+#include "timeseries/pseudo_observations.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace stsm {
+
+std::vector<double> InverseDistanceWeights(
+    const std::vector<double>& distances, int num_nodes,
+    const std::vector<int>& targets, const std::vector<int>& sources,
+    int max_neighbors) {
+  STSM_CHECK_EQ(static_cast<int64_t>(distances.size()),
+                static_cast<int64_t>(num_nodes) * num_nodes);
+  STSM_CHECK(!sources.empty());
+  const size_t num_targets = targets.size();
+  const size_t num_sources = sources.size();
+  std::vector<double> weights(num_targets * num_sources, 0.0);
+
+  for (size_t ti = 0; ti < num_targets; ++ti) {
+    const int target = targets[ti];
+    STSM_CHECK(target >= 0 && target < num_nodes);
+    double* row = weights.data() + ti * num_sources;
+
+    // A coincident source (zero distance) dominates: copy it exactly.
+    int coincident = -1;
+    for (size_t si = 0; si < num_sources; ++si) {
+      const double d =
+          distances[static_cast<size_t>(target) * num_nodes + sources[si]];
+      if (d <= 0.0) {
+        coincident = static_cast<int>(si);
+        break;
+      }
+    }
+    if (coincident >= 0) {
+      row[coincident] = 1.0;
+      continue;
+    }
+
+    // Optionally restrict to the nearest sources.
+    std::vector<size_t> used(num_sources);
+    for (size_t si = 0; si < num_sources; ++si) used[si] = si;
+    if (max_neighbors > 0 &&
+        static_cast<size_t>(max_neighbors) < num_sources) {
+      std::partial_sort(
+          used.begin(), used.begin() + max_neighbors, used.end(),
+          [&](size_t a, size_t b) {
+            return distances[static_cast<size_t>(target) * num_nodes +
+                             sources[a]] <
+                   distances[static_cast<size_t>(target) * num_nodes +
+                             sources[b]];
+          });
+      used.resize(max_neighbors);
+    }
+
+    double total = 0.0;
+    for (size_t si : used) {
+      const double d =
+          distances[static_cast<size_t>(target) * num_nodes + sources[si]];
+      row[si] = 1.0 / d;
+      total += row[si];
+    }
+    for (size_t si : used) row[si] /= total;
+  }
+  return weights;
+}
+
+void FillPseudoObservations(SeriesMatrix* series,
+                            const std::vector<double>& distances,
+                            const std::vector<int>& targets,
+                            const std::vector<int>& sources,
+                            int max_neighbors) {
+  STSM_CHECK(series != nullptr);
+  if (targets.empty()) return;
+  const int num_nodes = series->num_nodes;
+  const std::vector<double> weights = InverseDistanceWeights(
+      distances, num_nodes, targets, sources, max_neighbors);
+  const size_t num_sources = sources.size();
+
+  ParallelFor(0, series->num_steps, [&](int64_t begin, int64_t end) {
+    for (int64_t t = begin; t < end; ++t) {
+      float* row = series->values.data() + t * num_nodes;
+      for (size_t ti = 0; ti < targets.size(); ++ti) {
+        const double* w = weights.data() + ti * num_sources;
+        double value = 0.0;
+        for (size_t si = 0; si < num_sources; ++si) {
+          value += w[si] * row[sources[si]];
+        }
+        row[targets[ti]] = static_cast<float>(value);
+      }
+    }
+  });
+}
+
+}  // namespace stsm

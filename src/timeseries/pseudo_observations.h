@@ -1,0 +1,41 @@
+// Pseudo-observation generation for unobserved/masked locations
+// (STSM Eq. 3): inverse-distance-weighted interpolation from the observed
+// locations, evaluated independently per time step.
+
+#ifndef STSM_TIMESERIES_PSEUDO_OBSERVATIONS_H_
+#define STSM_TIMESERIES_PSEUDO_OBSERVATIONS_H_
+
+#include <vector>
+
+#include "timeseries/series.h"
+
+namespace stsm {
+
+// Inverse-distance weights from each target node to every source node
+// (Eq. 3): alpha_{i,j} = dist(i,j)^{-1} / sum_l dist(i,l)^{-1}.
+// `distances` is the row-major full N x N distance matrix. Returns a
+// [targets.size() x sources.size()] row-major weight matrix. A target that
+// coincides with a source (distance 0) takes that source's value exactly.
+//
+// `max_neighbors` restricts the weighting to each target's nearest sources
+// (0 = all sources). Eq. 3 motivates the weights as introducing information
+// from a location's *neighbours*; with 1/d weights over a large region the
+// far field otherwise dominates and the pseudo-observation collapses
+// towards the global mean.
+std::vector<double> InverseDistanceWeights(
+    const std::vector<double>& distances, int num_nodes,
+    const std::vector<int>& targets, const std::vector<int>& sources,
+    int max_neighbors = 0);
+
+// Fills the columns of `series` at `targets` with pseudo-observations
+// computed from the `sources` columns using inverse-distance weights.
+// Existing values in the target columns are overwritten.
+void FillPseudoObservations(SeriesMatrix* series,
+                            const std::vector<double>& distances,
+                            const std::vector<int>& targets,
+                            const std::vector<int>& sources,
+                            int max_neighbors = 0);
+
+}  // namespace stsm
+
+#endif  // STSM_TIMESERIES_PSEUDO_OBSERVATIONS_H_

@@ -1,0 +1,58 @@
+// SeriesMatrix: the [time, node] observation matrix shared by data
+// generation, pseudo-observation filling, and windowing.
+
+#ifndef STSM_TIMESERIES_SERIES_H_
+#define STSM_TIMESERIES_SERIES_H_
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace stsm {
+
+// Dense row-major [num_steps x num_nodes] matrix of scalar observations
+// (C = 1 in the paper's notation; traffic speed or PM2.5).
+struct SeriesMatrix {
+  int num_steps = 0;
+  int num_nodes = 0;
+  std::vector<float> values;  // values[t * num_nodes + n]
+
+  SeriesMatrix() = default;
+  SeriesMatrix(int steps, int nodes)
+      : num_steps(steps),
+        num_nodes(nodes),
+        values(static_cast<size_t>(steps) * nodes, 0.0f) {}
+
+  float at(int t, int n) const {
+    STSM_CHECK(t >= 0 && t < num_steps && n >= 0 && n < num_nodes);
+    return values[static_cast<size_t>(t) * num_nodes + n];
+  }
+  void set(int t, int n, float v) {
+    STSM_CHECK(t >= 0 && t < num_steps && n >= 0 && n < num_nodes);
+    values[static_cast<size_t>(t) * num_nodes + n] = v;
+  }
+
+  // Copy of a single node's series.
+  std::vector<float> NodeSeries(int node) const {
+    STSM_CHECK(node >= 0 && node < num_nodes);
+    std::vector<float> series(num_steps);
+    for (int t = 0; t < num_steps; ++t) {
+      series[t] = values[static_cast<size_t>(t) * num_nodes + node];
+    }
+    return series;
+  }
+
+  // Sub-matrix of the given time range [start, end).
+  SeriesMatrix TimeSlice(int start, int end) const {
+    STSM_CHECK(start >= 0 && start <= end && end <= num_steps);
+    SeriesMatrix out(end - start, num_nodes);
+    std::copy(values.begin() + static_cast<size_t>(start) * num_nodes,
+              values.begin() + static_cast<size_t>(end) * num_nodes,
+              out.values.begin());
+    return out;
+  }
+};
+
+}  // namespace stsm
+
+#endif  // STSM_TIMESERIES_SERIES_H_

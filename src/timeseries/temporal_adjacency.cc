@@ -1,0 +1,77 @@
+#include "timeseries/temporal_adjacency.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "timeseries/dtw.h"
+
+namespace stsm {
+
+std::vector<double> ProfileDtwDistances(const SeriesMatrix& series,
+                                        int steps_per_day, int dtw_band) {
+  const int n = series.num_nodes;
+  std::vector<std::vector<float>> profiles(n);
+  for (int i = 0; i < n; ++i) {
+    profiles[i] = DailyProfile(series.NodeSeries(i), steps_per_day);
+  }
+  std::vector<double> distances(static_cast<size_t>(n) * n, 0.0);
+  // Upper triangle in parallel; DTW is symmetric in its arguments.
+  ParallelFor(0, n, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      for (int j = static_cast<int>(i) + 1; j < n; ++j) {
+        const double d = DtwDistance(profiles[i], profiles[j], dtw_band);
+        distances[i * n + j] = d;
+        distances[static_cast<size_t>(j) * n + i] = d;
+      }
+    }
+  });
+  return distances;
+}
+
+Tensor TemporalSimilarityAdjacency(const SeriesMatrix& series,
+                                   const std::vector<int>& observed,
+                                   const std::vector<int>& targets,
+                                   const TemporalAdjacencyOptions& options) {
+  const int n = series.num_nodes;
+  STSM_CHECK(!observed.empty());
+  const std::vector<double> dtw =
+      ProfileDtwDistances(series, options.steps_per_day, options.dtw_band);
+
+  Tensor adjacency = Tensor::Zeros(Shape({n, n}));
+  float* a = adjacency.data();
+
+  // Most similar = smallest DTW distance.
+  auto top_similar = [&](int node, int count) {
+    std::vector<std::pair<double, int>> candidates;
+    candidates.reserve(observed.size());
+    for (int obs : observed) {
+      if (obs == node) continue;
+      candidates.emplace_back(dtw[static_cast<size_t>(node) * n + obs], obs);
+    }
+    const int k = std::min<int>(count, static_cast<int>(candidates.size()));
+    std::partial_sort(candidates.begin(), candidates.begin() + k,
+                      candidates.end());
+    std::vector<int> result(k);
+    for (int q = 0; q < k; ++q) result[q] = candidates[q].second;
+    return result;
+  };
+
+  // Observed-observed links (symmetric: both may aggregate from the other).
+  for (int obs : observed) {
+    for (int peer : top_similar(obs, options.q_kk)) {
+      a[static_cast<int64_t>(obs) * n + peer] = 1.0f;
+      a[static_cast<int64_t>(peer) * n + obs] = 1.0f;
+    }
+  }
+  // Observed -> target links only (target row aggregates from observed).
+  for (int target : targets) {
+    for (int source : top_similar(target, options.q_ku)) {
+      a[static_cast<int64_t>(target) * n + source] = 1.0f;
+    }
+  }
+  return adjacency;
+}
+
+}  // namespace stsm

@@ -1,0 +1,36 @@
+#include "timeseries/time_features.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stsm {
+
+std::vector<int> TimeOfDayIds(int start, int window, int steps_per_day) {
+  STSM_CHECK_GE(start, 0);
+  STSM_CHECK_GT(window, 0);
+  STSM_CHECK_GT(steps_per_day, 0);
+  std::vector<int> ids(window);
+  for (int t = 0; t < window; ++t) {
+    ids[t] = (start + t) % steps_per_day;
+  }
+  return ids;
+}
+
+Tensor TimeOfDayFeatures(const std::vector<int>& ids, int steps_per_day) {
+  STSM_CHECK_GT(steps_per_day, 0);
+  const int window = static_cast<int>(ids.size());
+  Tensor features = Tensor::Zeros(Shape({window, 3}));
+  float* data = features.data();
+  for (int t = 0; t < window; ++t) {
+    STSM_CHECK(ids[t] >= 0 && ids[t] < steps_per_day);
+    const double phase =
+        2.0 * M_PI * static_cast<double>(ids[t]) / steps_per_day;
+    data[t * 3 + 0] = static_cast<float>(ids[t]) / steps_per_day;
+    data[t * 3 + 1] = static_cast<float>(std::sin(phase));
+    data[t * 3 + 2] = static_cast<float>(std::cos(phase));
+  }
+  return features;
+}
+
+}  // namespace stsm

@@ -1,0 +1,25 @@
+// Time-of-day features (STSM Section 3.4.1): each observation interval gets
+// an interval id in [0, Td); the model fuses a projected time embedding with
+// the projected observations (Eq. 4).
+
+#ifndef STSM_TIMESERIES_TIME_FEATURES_H_
+#define STSM_TIMESERIES_TIME_FEATURES_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace stsm {
+
+// Interval ids for a window of length `window` starting at absolute step
+// `start`, given `steps_per_day` slots per day.
+std::vector<int> TimeOfDayIds(int start, int window, int steps_per_day);
+
+// Encodes interval ids as a [window, 3] tensor of
+// (id / Td, sin(2*pi*id/Td), cos(2*pi*id/Td)) features — a smooth stand-in
+// for the scalar interval id that avoids the discontinuity at midnight.
+Tensor TimeOfDayFeatures(const std::vector<int>& ids, int steps_per_day);
+
+}  // namespace stsm
+
+#endif  // STSM_TIMESERIES_TIME_FEATURES_H_

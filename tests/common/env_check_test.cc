@@ -1,0 +1,64 @@
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "gtest/gtest.h"
+
+namespace stsm {
+namespace {
+
+TEST(EnvTest, StringFallback) {
+  unsetenv("STSM_TEST_VAR");
+  EXPECT_EQ(GetEnvOr("STSM_TEST_VAR", std::string("fallback")), "fallback");
+  setenv("STSM_TEST_VAR", "value", 1);
+  EXPECT_EQ(GetEnvOr("STSM_TEST_VAR", std::string("fallback")), "value");
+  unsetenv("STSM_TEST_VAR");
+}
+
+TEST(EnvTest, IntFallback) {
+  unsetenv("STSM_TEST_INT");
+  EXPECT_EQ(GetEnvOr("STSM_TEST_INT", 7), 7);
+  setenv("STSM_TEST_INT", "42", 1);
+  EXPECT_EQ(GetEnvOr("STSM_TEST_INT", 7), 42);
+  unsetenv("STSM_TEST_INT");
+}
+
+TEST(EnvTest, DoubleFallback) {
+  unsetenv("STSM_TEST_DBL");
+  EXPECT_DOUBLE_EQ(GetEnvOr("STSM_TEST_DBL", 1.5), 1.5);
+  setenv("STSM_TEST_DBL", "2.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvOr("STSM_TEST_DBL", 1.5), 2.25);
+  unsetenv("STSM_TEST_DBL");
+}
+
+TEST(EnvTest, BenchFullScaleFlag) {
+  unsetenv("STSM_BENCH_SCALE");
+  EXPECT_FALSE(BenchFullScale());
+  setenv("STSM_BENCH_SCALE", "full", 1);
+  EXPECT_TRUE(BenchFullScale());
+  setenv("STSM_BENCH_SCALE", "fast", 1);
+  EXPECT_FALSE(BenchFullScale());
+  unsetenv("STSM_BENCH_SCALE");
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ STSM_CHECK(1 == 2) << "boom"; }, "STSM_CHECK failed");
+}
+
+TEST(CheckDeathTest, ComparisonPrintsOperands) {
+  // The streamed context separates tokens with spaces: "( 3  vs  4 )".
+  EXPECT_DEATH({ STSM_CHECK_EQ(3, 4); }, "3.*vs.*4");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  STSM_CHECK(true);
+  STSM_CHECK_EQ(2, 2);
+  STSM_CHECK_LT(1, 2);
+  STSM_CHECK_GE(2, 2);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace stsm

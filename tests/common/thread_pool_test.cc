@@ -1,0 +1,70 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace stsm {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(0, 1000, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) counts[i].fetch_add(1);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(3, 4, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSequential) {
+  ThreadPool pool(8);
+  const int64_t n = 100000;
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, n, [&](int64_t begin, int64_t end) {
+    int64_t local = 0;
+    for (int64_t i = begin; i < end; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 100, [&](int64_t begin, int64_t end) {
+      count.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolAvailable) {
+  EXPECT_GE(ThreadPool::Global().num_threads(), 1);
+  std::atomic<int> count{0};
+  ParallelFor(0, 64, [&](int64_t begin, int64_t end) {
+    count.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace
+}  // namespace stsm

@@ -1,0 +1,128 @@
+// Tests for CSV dataset I/O and SVG map rendering.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/csv_io.h"
+#include "data/simulator.h"
+#include "data/splits.h"
+#include "data/svg_map.h"
+#include "gtest/gtest.h"
+
+namespace stsm {
+namespace {
+
+SpatioTemporalDataset TinyDataset() {
+  SimulatorConfig config;
+  config.name = "csv-io-test";
+  config.kind = RegionKind::kHighway;
+  config.num_sensors = 12;
+  config.num_days = 2;
+  config.steps_per_day = 12;
+  config.area_km = 10.0;
+  config.seed = 77;
+  return SimulateDataset(config);
+}
+
+class CsvIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    directory_ = "/tmp/stsm_csv_io_test";
+    std::filesystem::create_directories(directory_);
+  }
+  void TearDown() override { std::filesystem::remove_all(directory_); }
+  std::string directory_;
+};
+
+TEST_F(CsvIoTest, RoundTripPreservesEverything) {
+  const SpatioTemporalDataset original = TinyDataset();
+  ASSERT_TRUE(SaveDatasetCsv(original, directory_));
+  const auto loaded = LoadDatasetCsv(directory_);
+  ASSERT_TRUE(loaded.has_value());
+
+  EXPECT_EQ(loaded->name, original.name);
+  EXPECT_EQ(loaded->steps_per_day, original.steps_per_day);
+  ASSERT_EQ(loaded->num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded->num_steps(), original.num_steps());
+  for (int i = 0; i < original.num_nodes(); ++i) {
+    EXPECT_NEAR(loaded->coords[i].x, original.coords[i].x, 1e-4);
+    EXPECT_NEAR(loaded->coords[i].y, original.coords[i].y, 1e-4);
+    EXPECT_NEAR(loaded->metadata[i].scale, original.metadata[i].scale, 1e-3);
+    EXPECT_FLOAT_EQ(loaded->metadata[i].lanes, original.metadata[i].lanes);
+    for (int c = 0; c < kNumPoiCategories; ++c) {
+      EXPECT_FLOAT_EQ(loaded->metadata[i].poi_counts[c],
+                      original.metadata[i].poi_counts[c]);
+    }
+  }
+  for (int t = 0; t < original.num_steps(); ++t) {
+    for (int n = 0; n < original.num_nodes(); ++n) {
+      EXPECT_NEAR(loaded->series.at(t, n), original.series.at(t, n), 1e-3);
+    }
+  }
+}
+
+TEST_F(CsvIoTest, MissingDirectoryFails) {
+  EXPECT_FALSE(LoadDatasetCsv("/tmp/stsm_no_such_dir_xyz").has_value());
+}
+
+TEST_F(CsvIoTest, DimensionMismatchRejected) {
+  ASSERT_TRUE(SaveDatasetCsv(TinyDataset(), directory_));
+  // Append a malformed short row to series.csv.
+  std::ofstream series(directory_ + "/series.csv", std::ios::app);
+  series << "1.0,2.0\n";
+  series.close();
+  EXPECT_FALSE(LoadDatasetCsv(directory_).has_value());
+}
+
+TEST_F(CsvIoTest, GarbageValuesRejected) {
+  ASSERT_TRUE(SaveDatasetCsv(TinyDataset(), directory_));
+  std::ofstream series(directory_ + "/series.csv", std::ios::trunc);
+  series << "sensor_0\n";
+  for (int t = 0; t < 5; ++t) series << "not_a_number\n";
+  series.close();
+  EXPECT_FALSE(LoadDatasetCsv(directory_).has_value());
+}
+
+TEST(SvgMapTest, SensorMapContainsAllDots) {
+  const auto dataset = TinyDataset();
+  const std::string svg = RenderSensorMapSvg(dataset.coords);
+  size_t circles = 0;
+  for (size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_EQ(circles, static_cast<size_t>(dataset.num_nodes()));
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgMapTest, SplitMapUsesPaperColours) {
+  const auto dataset = TinyDataset();
+  const SpaceSplit split = SplitSpace(dataset.coords, SplitAxis::kVertical);
+  const std::string svg = RenderSplitMapSvg(dataset.coords, split);
+  EXPECT_NE(svg.find("#cc2222"), std::string::npos);  // Train red.
+  EXPECT_NE(svg.find("#ee88aa"), std::string::npos);  // Validation pink.
+  EXPECT_NE(svg.find("#2255cc"), std::string::npos);  // Test blue.
+  EXPECT_NE(svg.find("unobserved"), std::string::npos);  // Legend labels.
+}
+
+TEST(SvgMapTest, TitleRendered) {
+  const auto dataset = TinyDataset();
+  SvgMapOptions options;
+  options.title = "hello map";
+  const std::string svg = RenderSensorMapSvg(dataset.coords, options);
+  EXPECT_NE(svg.find("hello map"), std::string::npos);
+}
+
+TEST(SvgMapTest, WriteSvgCreatesFile) {
+  const auto dataset = TinyDataset();
+  const std::string path = "/tmp/stsm_svg_test.svg";
+  ASSERT_TRUE(WriteSvg(RenderSensorMapSvg(dataset.coords), path));
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace stsm

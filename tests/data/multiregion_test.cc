@@ -1,0 +1,135 @@
+// Tests for the multiple-unobserved-regions extension (paper Section 6
+// future work).
+
+#include <cmath>
+#include <set>
+
+#include "core/stsm.h"
+#include "data/simulator.h"
+#include "data/splits.h"
+#include "graph/adjacency.h"
+#include "gtest/gtest.h"
+#include "masking/masking.h"
+
+namespace stsm {
+namespace {
+
+std::vector<GeoPoint> LineCoords(int n) {
+  std::vector<GeoPoint> coords;
+  for (int i = 0; i < n; ++i) {
+    coords.push_back({static_cast<double>(i), 0.0});
+  }
+  return coords;
+}
+
+TEST(MultiRegionSplitTest, RegionsAreDisjointAndCoverTest) {
+  const auto coords = LineCoords(60);
+  const SpaceSplit split =
+      SplitSpaceMultiRegion(coords, SplitAxis::kVertical, 3, 0.5);
+  ASSERT_EQ(split.test_regions.size(), 3u);
+  std::set<int> union_of_regions;
+  size_t total = 0;
+  for (const auto& region : split.test_regions) {
+    EXPECT_FALSE(region.empty());
+    union_of_regions.insert(region.begin(), region.end());
+    total += region.size();
+  }
+  EXPECT_EQ(total, union_of_regions.size()) << "regions must be disjoint";
+  EXPECT_EQ(union_of_regions, std::set<int>(split.test.begin(),
+                                            split.test.end()));
+}
+
+TEST(MultiRegionSplitTest, RatioApproximatelyRespected) {
+  const auto coords = LineCoords(100);
+  for (int regions : {1, 2, 4}) {
+    const SpaceSplit split =
+        SplitSpaceMultiRegion(coords, SplitAxis::kVertical, regions, 0.5);
+    EXPECT_NEAR(static_cast<double>(split.test.size()) / 100.0, 0.5, 0.06)
+        << regions << " regions";
+  }
+}
+
+TEST(MultiRegionSplitTest, BandsAlternateAlongAxis) {
+  const auto coords = LineCoords(40);
+  const SpaceSplit split =
+      SplitSpaceMultiRegion(coords, SplitAxis::kVertical, 2, 0.5);
+  // With points on a line at x = i, region r's members must all lie right
+  // of region r-1's members.
+  ASSERT_EQ(split.test_regions.size(), 2u);
+  EXPECT_LT(split.test_regions[0].back(), split.test_regions[1].front());
+  // First observed band lies left of the first unobserved band.
+  EXPECT_LT(split.train.front(), split.test_regions[0].front());
+}
+
+TEST(MultiRegionSplitTest, SingleRegionMatchesTestRegionsAccessor) {
+  const auto coords = LineCoords(40);
+  const SpaceSplit plain = SplitSpace(coords, SplitAxis::kVertical);
+  ASSERT_TRUE(plain.test_regions.empty());
+  const auto regions = plain.TestRegions();
+  ASSERT_EQ(regions.size(), 1u);
+  EXPECT_EQ(regions[0], plain.test);
+}
+
+TEST(MultiRegionMaskingTest, NearestRegionScoring) {
+  // Two unobserved regions at the two ends of a line; observed nodes near
+  // EITHER end should get high proximity (union-centroid scoring would
+  // favour the middle instead).
+  const auto coords = LineCoords(30);
+  std::vector<NodeMetadata> metadata(30);
+  std::vector<int> observed, left_region, right_region;
+  for (int i = 8; i < 22; ++i) observed.push_back(i);
+  for (int i = 0; i < 8; ++i) left_region.push_back(i);
+  for (int i = 22; i < 30; ++i) right_region.push_back(i);
+
+  const auto distances = PairwiseDistances(coords);
+  const Tensor a_sg =
+      GaussianThresholdAdjacency(distances, 30, 0.9, 0.0, true);
+  MaskingConfig config;
+  config.top_k = 30;
+  const MaskingContext context = BuildMaskingContext(
+      a_sg, coords, metadata, observed, {left_region, right_region}, config);
+
+  // Observed endpoints (nodes 8 and 21) should out-score the middle
+  // (node 15) on proximity.
+  const auto index_of = [&](int node) {
+    for (size_t i = 0; i < context.observed.size(); ++i) {
+      if (context.observed[i] == node) return i;
+    }
+    return size_t{0};
+  };
+  EXPECT_GT(context.proximity[index_of(8)], context.proximity[index_of(15)]);
+  EXPECT_GT(context.proximity[index_of(21)], context.proximity[index_of(15)]);
+}
+
+TEST(MultiRegionIntegrationTest, StsmTrainsOnTwoRegions) {
+  SimulatorConfig sim;
+  sim.kind = RegionKind::kHighway;
+  sim.num_sensors = 48;
+  sim.num_days = 4;
+  sim.steps_per_day = 48;
+  sim.area_km = 25.0;
+  sim.seed = 31;
+  const auto dataset = SimulateDataset(sim);
+  const SpaceSplit split =
+      SplitSpaceMultiRegion(dataset.coords, SplitAxis::kVertical, 2, 0.5);
+
+  StsmConfig config;
+  config.input_length = 8;
+  config.horizon = 8;
+  config.hidden_dim = 8;
+  config.epochs = 3;
+  config.batches_per_epoch = 4;
+  config.batch_size = 4;
+  config.eval_stride = 8;
+  config.max_eval_windows = 6;
+  config.top_k = 16;
+  config.dtw_band = 6;
+  StsmRunner runner(dataset, split, config);
+  const ExperimentResult result = runner.Run();
+  EXPECT_TRUE(std::isfinite(result.metrics.rmse));
+  EXPECT_GT(result.metrics.count, 0);
+  EXPECT_LT(result.metrics.rmse, 60.0);
+}
+
+}  // namespace
+}  // namespace stsm

@@ -1,0 +1,125 @@
+// Additional behavioural tests of the data simulators and the Table 6/7
+// dataset factories.
+
+#include <cmath>
+
+#include "data/registry.h"
+#include "data/simulator.h"
+#include "gtest/gtest.h"
+
+namespace stsm {
+namespace {
+
+TEST(SimulatorExtraTest, WeekendTrafficLighterThanWeekday) {
+  SimulatorConfig config;
+  config.kind = RegionKind::kHighway;
+  config.num_sensors = 30;
+  config.num_days = 14;  // Two full weeks.
+  config.steps_per_day = 24;
+  config.area_km = 30.0;
+  config.seed = 5;
+  const auto dataset = SimulateDataset(config);
+
+  // Mean rush-hour (8am/5pm) speed, weekdays vs weekends.
+  double weekday = 0, weekend = 0;
+  int weekday_count = 0, weekend_count = 0;
+  for (int day = 0; day < 14; ++day) {
+    const bool is_weekend = (day % 7) >= 5;
+    for (const int hour : {8, 17}) {
+      for (int n = 0; n < dataset.num_nodes(); ++n) {
+        const float v = dataset.series.at(day * 24 + hour, n);
+        if (is_weekend) {
+          weekend += v;
+          ++weekend_count;
+        } else {
+          weekday += v;
+          ++weekday_count;
+        }
+      }
+    }
+  }
+  EXPECT_GT(weekend / weekend_count, weekday / weekday_count + 2.0)
+      << "weekend rush hours must be materially lighter";
+}
+
+TEST(SimulatorExtraTest, UrbanSlowerThanHighway) {
+  SimulatorConfig highway;
+  highway.kind = RegionKind::kHighway;
+  highway.num_sensors = 30;
+  highway.num_days = 3;
+  highway.steps_per_day = 24;
+  highway.seed = 6;
+  SimulatorConfig urban = highway;
+  urban.kind = RegionKind::kUrban;
+  urban.area_km = 5.0;
+
+  auto mean_of = [](const SpatioTemporalDataset& d) {
+    double sum = 0;
+    for (float v : d.series.values) sum += v;
+    return sum / d.series.values.size();
+  };
+  EXPECT_GT(mean_of(SimulateDataset(highway)),
+            mean_of(SimulateDataset(urban)) + 20.0);
+}
+
+TEST(SimulatorExtraTest, AirQualitySitingEffectsPersistent) {
+  // Station-level biases must be stable over time: the ratio of two
+  // stations' long-run means should differ materially across stations.
+  SimulatorConfig config;
+  config.kind = RegionKind::kAirQuality;
+  config.num_sensors = 30;
+  config.num_days = 30;
+  config.steps_per_day = 24;
+  config.area_km = 120.0;
+  config.events_per_day = 0.3;
+  config.seed = 7;
+  const auto dataset = SimulateDataset(config);
+
+  std::vector<double> means(dataset.num_nodes(), 0.0);
+  for (int t = 0; t < dataset.num_steps(); ++t) {
+    for (int n = 0; n < dataset.num_nodes(); ++n) {
+      means[n] += dataset.series.at(t, n);
+    }
+  }
+  for (auto& m : means) m /= dataset.num_steps();
+  const auto [min_it, max_it] = std::minmax_element(means.begin(), means.end());
+  EXPECT_GT(*max_it / *min_it, 1.3)
+      << "station siting effects must spread long-run station levels";
+}
+
+TEST(RegistryExtraTest, MergedRegionIsLargerThanParts) {
+  const auto merged = MakeMergedFreewayRegion(80, 5);
+  EXPECT_EQ(merged.num_nodes(), 80);
+  double min_x = 1e18, max_x = -1e18;
+  for (const auto& p : merged.coords) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+  }
+  EXPECT_GT(max_x - min_x, 50.0) << "merged region spans both districts";
+}
+
+TEST(RegistryExtraTest, DensityVariantsShareArea) {
+  const auto sparse = MakePems08WithDensity(40);
+  const auto dense = MakePems08WithDensity(120);
+  EXPECT_EQ(sparse.num_nodes(), 40);
+  EXPECT_EQ(dense.num_nodes(), 120);
+  // Same fixed area: the bounding boxes should be comparable.
+  auto span = [](const SpatioTemporalDataset& d) {
+    double min_x = 1e18, max_x = -1e18;
+    for (const auto& p : d.coords) {
+      min_x = std::min(min_x, p.x);
+      max_x = std::max(max_x, p.x);
+    }
+    return max_x - min_x;
+  };
+  EXPECT_NEAR(span(sparse), span(dense), 12.0);
+}
+
+TEST(RegistryExtraTest, DensitySeedsReproducible) {
+  const auto a = MakePems08WithDensity(40, 9);
+  const auto b = MakePems08WithDensity(40, 9);
+  EXPECT_EQ(a.series.values, b.series.values);
+}
+
+}  // namespace
+}  // namespace stsm

@@ -1,0 +1,180 @@
+#include <cmath>
+#include <limits>
+
+#include "graph/adjacency.h"
+#include "graph/geo.h"
+#include "graph/road.h"
+#include "gtest/gtest.h"
+
+namespace stsm {
+namespace {
+
+TEST(GeoTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(GeoTest, PairwiseDistancesSymmetric) {
+  const std::vector<GeoPoint> pts = {{0, 0}, {1, 0}, {0, 2}};
+  const auto d = PairwiseDistances(pts);
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 1], 1.0);
+  EXPECT_DOUBLE_EQ(d[1 * 3 + 0], 1.0);
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 2], 2.0);
+  EXPECT_DOUBLE_EQ(d[2 * 3 + 1], std::sqrt(5.0));
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(d[i * 3 + i], 0.0);
+}
+
+TEST(GeoTest, Centroid) {
+  const std::vector<GeoPoint> pts = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  const GeoPoint c = Centroid(pts);
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);
+  const GeoPoint c2 = Centroid(pts, {0, 1});
+  EXPECT_DOUBLE_EQ(c2.x, 1.0);
+  EXPECT_DOUBLE_EQ(c2.y, 0.0);
+}
+
+TEST(AdjacencyTest, Eq2ThresholdBehaviour) {
+  // Three collinear points: 0-1 close, 2 far away.
+  const std::vector<GeoPoint> pts = {{0, 0}, {1, 0}, {10, 0}};
+  const auto d = PairwiseDistances(pts);
+  const Tensor adj = GaussianThresholdAdjacency(d, 3, /*epsilon=*/0.5);
+  // Diagonal is always 1 (exp(0) = 1 >= eps).
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(adj.at({i, i}), 1.0f);
+  // Close pair connected with the kernel weight, far pair not.
+  EXPECT_GT(adj.at({0, 1}), 0.5f);
+  EXPECT_LT(adj.at({0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(adj.at({1, 0}), adj.at({0, 1}));
+  EXPECT_EQ(adj.at({0, 2}), 0.0f);
+  EXPECT_EQ(adj.at({2, 0}), 0.0f);
+}
+
+TEST(AdjacencyTest, BinaryModeGivesUnitWeights) {
+  const std::vector<GeoPoint> pts = {{0, 0}, {1, 0}, {10, 0}};
+  const auto d = PairwiseDistances(pts);
+  const Tensor adj = GaussianThresholdAdjacency(d, 3, 0.5, 0.0, true);
+  EXPECT_EQ(adj.at({0, 1}), 1.0f);
+  EXPECT_EQ(adj.at({0, 2}), 0.0f);
+}
+
+TEST(AdjacencyTest, LargerEpsilonGivesSparserGraph) {
+  std::vector<GeoPoint> pts;
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  const auto d = PairwiseDistances(pts);
+  const int64_t edges_loose = CountEdges(GaussianThresholdAdjacency(d, 30, 0.3));
+  const int64_t edges_tight = CountEdges(GaussianThresholdAdjacency(d, 30, 0.8));
+  EXPECT_GT(edges_loose, edges_tight);
+  EXPECT_GE(edges_tight, 30);  // At least the diagonal.
+}
+
+TEST(AdjacencyTest, SymmetricNormalizationRowSums) {
+  // A path graph 0-1-2.
+  Tensor adj = Tensor::Zeros(Shape({3, 3}));
+  adj.set({0, 1}, 1.0f);
+  adj.set({1, 0}, 1.0f);
+  adj.set({1, 2}, 1.0f);
+  adj.set({2, 1}, 1.0f);
+  const Tensor norm = NormalizeSymmetric(adj, /*add_self_loops=*/true);
+  // Known GCN normalisation: entry (0,0) = 1/deg0 with deg0 = 2.
+  EXPECT_NEAR(norm.at({0, 0}), 0.5f, 1e-5);
+  EXPECT_NEAR(norm.at({1, 1}), 1.0f / 3.0f, 1e-5);
+  // Symmetric.
+  EXPECT_NEAR(norm.at({0, 1}), norm.at({1, 0}), 1e-6);
+  // (0,1) = 1/sqrt(2*3).
+  EXPECT_NEAR(norm.at({0, 1}), 1.0f / std::sqrt(6.0f), 1e-5);
+}
+
+TEST(AdjacencyTest, RowNormalizationSumsToOne) {
+  Tensor adj = Tensor::Zeros(Shape({3, 3}));
+  adj.set({0, 1}, 1.0f);
+  adj.set({0, 2}, 1.0f);
+  const Tensor norm = NormalizeRow(adj, /*add_self_loops=*/true);
+  for (int64_t i = 0; i < 3; ++i) {
+    float row_sum = 0.0f;
+    for (int64_t j = 0; j < 3; ++j) row_sum += norm.at({i, j});
+    EXPECT_NEAR(row_sum, 1.0f, 1e-5);
+  }
+  // Row 0 spreads over self + 2 neighbours.
+  EXPECT_NEAR(norm.at({0, 0}), 1.0f / 3.0f, 1e-5);
+}
+
+TEST(AdjacencyTest, IsolatedNodeStaysZero) {
+  Tensor adj = Tensor::Zeros(Shape({2, 2}));
+  const Tensor norm = NormalizeSymmetric(adj, /*add_self_loops=*/false);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(norm.data()[i], 0.0f);
+}
+
+TEST(AdjacencyTest, NeighborListsExcludeSelf) {
+  Tensor adj = Tensor::Ones(Shape({3, 3}));
+  const auto neighbors = NeighborLists(adj);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0], (std::vector<int>{1, 2}));
+  EXPECT_EQ(neighbors[1], (std::vector<int>{0, 2}));
+}
+
+TEST(RoadTest, GraphIsConnected) {
+  Rng rng(7);
+  std::vector<GeoPoint> pts;
+  // Two clusters far apart: kNN alone would leave them disconnected.
+  for (int i = 0; i < 10; ++i) pts.push_back({rng.Uniform(0, 1), rng.Uniform(0, 1)});
+  for (int i = 0; i < 10; ++i)
+    pts.push_back({rng.Uniform(50, 51), rng.Uniform(50, 51)});
+  const auto distances = RoadNetworkDistances(pts, 3, 1.3, 0.1, &rng);
+  for (double d : distances) {
+    EXPECT_TRUE(std::isfinite(d)) << "road graph must be connected";
+  }
+}
+
+TEST(RoadTest, RoadDistanceAtLeastDetouredEuclidean) {
+  Rng rng(8);
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 25; ++i) {
+    pts.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  const double detour = 1.25;
+  const auto road = RoadNetworkDistances(pts, 4, detour, 0.0, &rng);
+  const auto euclid = PairwiseDistances(pts);
+  for (size_t i = 0; i < road.size(); ++i) {
+    EXPECT_GE(road[i] + 1e-9, euclid[i] * detour)
+        << "roads cannot be shorter than the detoured straight line";
+  }
+}
+
+TEST(RoadTest, DistancesSymmetricWithZeroDiagonal) {
+  Rng rng(9);
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 15; ++i) {
+    pts.push_back({rng.Uniform(0, 5), rng.Uniform(0, 5)});
+  }
+  const int n = 15;
+  const auto d = RoadNetworkDistances(pts, 3, 1.2, 0.05, &rng);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(d[i * n + i], 0.0);
+    for (int j = 0; j < n; ++j) {
+      EXPECT_NEAR(d[i * n + j], d[j * n + i], 1e-9);
+    }
+  }
+}
+
+TEST(RoadTest, TriangleInequalityHolds) {
+  Rng rng(10);
+  std::vector<GeoPoint> pts;
+  for (int i = 0; i < 12; ++i) {
+    pts.push_back({rng.Uniform(0, 5), rng.Uniform(0, 5)});
+  }
+  const int n = 12;
+  const auto d = RoadNetworkDistances(pts, 3, 1.2, 0.1, &rng);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int k = 0; k < n; ++k) {
+        EXPECT_LE(d[i * n + j], d[i * n + k] + d[k * n + j] + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stsm

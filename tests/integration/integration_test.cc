@@ -1,0 +1,155 @@
+// Cross-module integration tests: the full pipeline from simulation through
+// splits, masking, training and evaluation, under the configurations the
+// benchmark suite exercises.
+
+#include <cmath>
+#include <set>
+
+#include "baselines/zoo.h"
+#include "core/config.h"
+#include "core/stsm.h"
+#include "data/registry.h"
+#include "data/simulator.h"
+#include "data/splits.h"
+#include "gtest/gtest.h"
+
+namespace stsm {
+namespace {
+
+SpatioTemporalDataset SmallDataset(uint64_t seed = 3) {
+  SimulatorConfig config;
+  config.name = "integration-highway";
+  config.kind = RegionKind::kHighway;
+  config.num_sensors = 40;
+  config.num_days = 4;
+  config.steps_per_day = 48;
+  config.area_km = 25.0;
+  config.seed = seed;
+  return SimulateDataset(config);
+}
+
+StsmConfig SmallConfig() {
+  StsmConfig config;
+  config.input_length = 8;
+  config.horizon = 8;
+  config.hidden_dim = 8;
+  config.epochs = 3;
+  config.batches_per_epoch = 4;
+  config.batch_size = 4;
+  config.eval_stride = 8;
+  config.max_eval_windows = 6;
+  config.top_k = 12;
+  config.dtw_band = 6;
+  return config;
+}
+
+TEST(IntegrationTest, RingSplitPipeline) {
+  const auto dataset = SmallDataset();
+  const SpaceSplit split = SplitSpaceRing(dataset.coords);
+  StsmRunner runner(dataset, split, SmallConfig());
+  const ExperimentResult result = runner.Run();
+  EXPECT_TRUE(std::isfinite(result.metrics.rmse));
+  EXPECT_GT(result.metrics.count, 0);
+}
+
+TEST(IntegrationTest, UnobservedRatioChangesEvaluationSize) {
+  const auto dataset = SmallDataset();
+  const SpaceSplit narrow =
+      SplitSpaceWithRatio(dataset.coords, SplitAxis::kVertical, 0.2);
+  const SpaceSplit wide =
+      SplitSpaceWithRatio(dataset.coords, SplitAxis::kVertical, 0.5);
+  const ExperimentResult narrow_result =
+      StsmRunner(dataset, narrow, SmallConfig()).Run();
+  const ExperimentResult wide_result =
+      StsmRunner(dataset, wide, SmallConfig()).Run();
+  // Metric sample count scales with the unobserved node count.
+  EXPECT_GT(wide_result.metrics.count, narrow_result.metrics.count);
+}
+
+TEST(IntegrationTest, HorizonRmseMatchesHorizon) {
+  const auto dataset = SmallDataset();
+  const SpaceSplit split = SplitSpace(dataset.coords, SplitAxis::kVertical);
+  StsmConfig config = SmallConfig();
+  config.horizon = 6;
+  StsmRunner runner(dataset, split, config);
+  const ExperimentResult result = runner.Run();
+  ASSERT_EQ(result.horizon_rmse.size(), 6u);
+  for (double rmse : result.horizon_rmse) {
+    EXPECT_TRUE(std::isfinite(rmse));
+    EXPECT_GT(rmse, 0.0);
+  }
+}
+
+TEST(IntegrationTest, PseudoNeighborsChangesPredictions) {
+  const auto dataset = SmallDataset();
+  const SpaceSplit split = SplitSpace(dataset.coords, SplitAxis::kVertical);
+  StsmConfig all = SmallConfig();
+  all.pseudo_neighbors = 0;
+  StsmConfig knn = SmallConfig();
+  knn.pseudo_neighbors = 4;
+  const ExperimentResult result_all = StsmRunner(dataset, split, all).Run();
+  const ExperimentResult result_knn = StsmRunner(dataset, split, knn).Run();
+  EXPECT_NE(result_all.metrics.rmse, result_knn.metrics.rmse);
+}
+
+TEST(IntegrationTest, SeedChangesResultsDatasetFixed) {
+  const auto dataset = SmallDataset();
+  const SpaceSplit split = SplitSpace(dataset.coords, SplitAxis::kVertical);
+  StsmConfig a = SmallConfig();
+  a.seed = 1;
+  StsmConfig b = SmallConfig();
+  b.seed = 2;
+  const ExperimentResult result_a = StsmRunner(dataset, split, a).Run();
+  const ExperimentResult result_b = StsmRunner(dataset, split, b).Run();
+  EXPECT_NE(result_a.metrics.rmse, result_b.metrics.rmse);
+}
+
+TEST(IntegrationTest, MergedRegionSubsetsTrainEndToEnd) {
+  // The Table 6 path: subset a merged region and run a model on it.
+  const SpatioTemporalDataset merged = MakeMergedFreewayRegion(60, 5);
+  std::vector<int> subset;
+  for (int i = 0; i < 30; ++i) subset.push_back(i);
+  const SpatioTemporalDataset dataset = SelectSensors(merged, subset);
+  const SpaceSplit split = SplitSpace(dataset.coords, SplitAxis::kVertical);
+  const ExperimentResult result =
+      RunModel(ModelKind::kIncrease, dataset, split, SmallConfig());
+  EXPECT_TRUE(std::isfinite(result.metrics.rmse));
+}
+
+TEST(IntegrationTest, AirQualityConfigPipeline) {
+  // Hourly data with T = T' = 12 (scaled-down version of the AirQ setup).
+  SimulatorConfig sim;
+  sim.kind = RegionKind::kAirQuality;
+  sim.num_sensors = 24;
+  sim.num_days = 20;
+  sim.steps_per_day = 24;
+  sim.area_km = 100.0;
+  sim.events_per_day = 0.4;
+  sim.seed = 9;
+  const auto dataset = SimulateDataset(sim);
+  const SpaceSplit split = SplitSpace(dataset.coords, SplitAxis::kHorizontal);
+  StsmConfig config = SmallConfig();
+  config.input_length = 12;
+  config.horizon = 12;
+  config.dtw_band = 4;
+  config.top_k = 5;
+  StsmRunner runner(dataset, split, config);
+  const ExperimentResult result = runner.Run();
+  EXPECT_TRUE(std::isfinite(result.metrics.rmse));
+  // PM2.5-scale values: errors should be in a plausible band, far from the
+  // degenerate all-zeros regime.
+  EXPECT_GT(result.metrics.rmse, 1.0);
+  EXPECT_LT(result.metrics.rmse, 400.0);
+}
+
+TEST(IntegrationTest, ReversedSplitAlsoTrains) {
+  const auto dataset = SmallDataset();
+  const SpaceSplit split = SplitSpace(dataset.coords, SplitAxis::kHorizontal,
+                                      0.4, 0.1, /*reverse=*/true);
+  const ExperimentResult result =
+      StsmRunner(dataset, split, SmallConfig()).Run();
+  EXPECT_TRUE(std::isfinite(result.metrics.rmse));
+}
+
+}  // namespace
+}  // namespace stsm

@@ -1,0 +1,210 @@
+#include "masking/masking.h"
+
+#include <algorithm>
+#include <set>
+
+#include "data/simulator.h"
+#include "data/splits.h"
+#include "graph/adjacency.h"
+#include "gtest/gtest.h"
+
+namespace stsm {
+namespace {
+
+struct Fixture {
+  SpatioTemporalDataset dataset;
+  SpaceSplit split;
+  Tensor a_sg;
+  MaskingContext context;
+};
+
+Fixture MakeFixture(double mask_ratio = 0.5, int top_k = 20) {
+  SimulatorConfig config;
+  config.kind = RegionKind::kHighway;
+  config.num_sensors = 60;
+  config.num_days = 2;
+  config.steps_per_day = 24;
+  config.area_km = 30.0;
+  config.seed = 11;
+
+  Fixture f{SimulateDataset(config), {}, {}, {}};
+  f.split = SplitSpace(f.dataset.coords, SplitAxis::kVertical);
+  const auto distances = PairwiseDistances(f.dataset.coords);
+  f.a_sg = GaussianThresholdAdjacency(distances, 60, 0.6);
+  MaskingConfig mask_config;
+  mask_config.mask_ratio = mask_ratio;
+  mask_config.top_k = top_k;
+  f.context = BuildMaskingContext(f.a_sg, f.dataset.coords,
+                                  f.dataset.metadata, f.split.Observed(),
+                                  f.split.test, mask_config);
+  return f;
+}
+
+TEST(MaskingContextTest, SubgraphsContainRootAndOnlyObserved) {
+  const Fixture f = MakeFixture();
+  const std::set<int> observed(f.context.observed.begin(),
+                               f.context.observed.end());
+  for (size_t i = 0; i < f.context.observed.size(); ++i) {
+    const auto& subgraph = f.context.subgraphs[i];
+    EXPECT_TRUE(std::binary_search(subgraph.begin(), subgraph.end(),
+                                   f.context.observed[i]))
+        << "subgraph must contain its root";
+    for (int node : subgraph) {
+      EXPECT_TRUE(observed.count(node))
+          << "subgraphs must not contain unobserved nodes";
+    }
+  }
+  EXPECT_GE(f.context.average_subgraph_size, 1.0);
+}
+
+TEST(MaskingContextTest, SimilaritiesInUnitRange) {
+  const Fixture f = MakeFixture();
+  for (double s : f.context.similarity) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+  for (double p : f.context.probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(MaskingContextTest, TopKLimitsCandidates) {
+  const Fixture f = MakeFixture(0.5, /*top_k=*/5);
+  int candidates = 0;
+  for (double p : f.context.probability) {
+    if (p > 0.0) ++candidates;
+  }
+  EXPECT_LE(candidates, 5);
+  EXPECT_GE(candidates, 1);
+}
+
+TEST(MaskingContextTest, ProximityFavoursBorderNodes) {
+  // Observed nodes closest to the unobserved region's centroid should have
+  // the largest proximity values.
+  const Fixture f = MakeFixture();
+  const GeoPoint centroid = Centroid(f.dataset.coords, f.split.test);
+  size_t closest = 0;
+  double best = 1e18;
+  for (size_t i = 0; i < f.context.observed.size(); ++i) {
+    const double d =
+        Distance(f.dataset.coords[f.context.observed[i]], centroid);
+    if (d < best) {
+      best = d;
+      closest = i;
+    }
+  }
+  const double max_proximity =
+      *std::max_element(f.context.proximity.begin(), f.context.proximity.end());
+  EXPECT_DOUBLE_EQ(f.context.proximity[closest], max_proximity);
+}
+
+TEST(DrawMaskTest, SelectiveMaskNonEmptyAndObservedOnly) {
+  Fixture f = MakeFixture();
+  Rng rng(21);
+  const std::set<int> observed(f.context.observed.begin(),
+                               f.context.observed.end());
+  for (int draw = 0; draw < 10; ++draw) {
+    const auto masked = DrawSelectiveMask(f.context, &rng);
+    EXPECT_FALSE(masked.empty());
+    EXPECT_LT(masked.size(), observed.size());
+    for (int node : masked) EXPECT_TRUE(observed.count(node));
+  }
+}
+
+TEST(DrawMaskTest, BothStrategiesHitTargetCountExactly) {
+  // MaskToTarget makes the masked count equal to N_o * delta_m for both
+  // strategies, so ablations compare like-for-like difficulty.
+  Fixture f = MakeFixture(0.4);
+  Rng rng(22);
+  const size_t target =
+      static_cast<size_t>(0.4 * f.context.observed.size());
+  for (int draw = 0; draw < 10; ++draw) {
+    EXPECT_EQ(DrawRandomMask(f.context, &rng).size(), target);
+    EXPECT_EQ(DrawSelectiveMask(f.context, &rng).size(), target);
+  }
+}
+
+TEST(DrawMaskTest, TargetRespectsSurvivorFloor) {
+  // Even with mask_ratio ~ 1, at least a quarter of observed nodes survive.
+  Fixture f = MakeFixture(0.99);
+  Rng rng(25);
+  const size_t observed = f.context.observed.size();
+  const auto masked = DrawRandomMask(f.context, &rng);
+  EXPECT_LE(masked.size(), observed - std::max<size_t>(2, observed / 4));
+}
+
+TEST(DrawMaskTest, SelectiveBeatsRandomOnSimilarity) {
+  // The core claim behind Table 8: selective masking picks sub-graphs more
+  // similar to the unobserved region than random masking does.
+  Fixture f = MakeFixture();
+  Rng rng(23);
+  double selective = 0.0, random = 0.0;
+  const int draws = 30;
+  for (int draw = 0; draw < draws; ++draw) {
+    selective += MeanMaskSimilarity(f.context, DrawSelectiveMask(f.context, &rng));
+    random += MeanMaskSimilarity(f.context, DrawRandomMask(f.context, &rng));
+  }
+  EXPECT_GT(selective / draws, random / draws);
+}
+
+TEST(DrawMaskTest, MaskNeverSwallowsAllObserved) {
+  // Even with an aggressive ratio, a quarter of observed nodes survive.
+  Fixture f = MakeFixture(0.95, /*top_k=*/60);
+  Rng rng(24);
+  for (int draw = 0; draw < 10; ++draw) {
+    const auto selective = DrawSelectiveMask(f.context, &rng);
+    const auto random = DrawRandomMask(f.context, &rng);
+    EXPECT_LE(selective.size(), f.context.observed.size() * 3 / 4 + 1);
+    EXPECT_LE(random.size(), f.context.observed.size() * 3 / 4 + 1);
+  }
+}
+
+TEST(DrawMaskTest, SelectiveDrawsFollowProbabilities) {
+  // Locations with zero Eq. 15 probability (outside the top-K) must never
+  // be chosen as sub-graph roots; with small sub-graphs the masked set then
+  // concentrates on high-probability locations.
+  Fixture f = MakeFixture(0.3, /*top_k=*/5);
+  Rng rng(26);
+  // Count how often each observed node is masked over many draws.
+  std::vector<int> counts(f.context.observed.size(), 0);
+  for (int draw = 0; draw < 50; ++draw) {
+    const auto masked = DrawSelectiveMask(f.context, &rng);
+    for (int node : masked) {
+      for (size_t i = 0; i < f.context.observed.size(); ++i) {
+        if (f.context.observed[i] == node) ++counts[i];
+      }
+    }
+  }
+  // Mean mask frequency of positive-probability nodes should exceed that
+  // of zero-probability nodes (the latter can only appear as neighbours).
+  double hot = 0, cold = 0;
+  int hot_n = 0, cold_n = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (f.context.probability[i] > 0) {
+      hot += counts[i];
+      ++hot_n;
+    } else {
+      cold += counts[i];
+      ++cold_n;
+    }
+  }
+  ASSERT_GT(hot_n, 0);
+  ASSERT_GT(cold_n, 0);
+  EXPECT_GT(hot / hot_n, cold / cold_n);
+}
+
+TEST(MeanMaskSimilarityTest, MatchesManualAverage) {
+  Fixture f = MakeFixture();
+  // Take the first three observed nodes as the mask.
+  const std::vector<int> masked = {f.context.observed[0],
+                                   f.context.observed[1],
+                                   f.context.observed[2]};
+  const double expected = (f.context.similarity[0] + f.context.similarity[1] +
+                           f.context.similarity[2]) /
+                          3.0;
+  EXPECT_DOUBLE_EQ(MeanMaskSimilarity(f.context, masked), expected);
+}
+
+}  // namespace
+}  // namespace stsm

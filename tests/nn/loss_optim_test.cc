@@ -1,0 +1,170 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+namespace stsm {
+namespace {
+
+TEST(LossTest, MseZeroForIdenticalInputs) {
+  const Tensor x = Tensor::FromVector(Shape({4}), {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(MseLoss(x, x).item(), 0.0f);
+}
+
+TEST(LossTest, MseKnownValue) {
+  const Tensor a = Tensor::FromVector(Shape({2}), {0.0f, 0.0f});
+  const Tensor b = Tensor::FromVector(Shape({2}), {2.0f, 4.0f});
+  EXPECT_FLOAT_EQ(MseLoss(a, b).item(), 10.0f);  // (4 + 16) / 2.
+}
+
+TEST(LossTest, MaeKnownValue) {
+  const Tensor a = Tensor::FromVector(Shape({2}), {0.0f, 0.0f});
+  const Tensor b = Tensor::FromVector(Shape({2}), {2.0f, -4.0f});
+  EXPECT_FLOAT_EQ(MaeLoss(a, b).item(), 3.0f);
+}
+
+TEST(LossTest, BinaryCrossEntropyPerfectPrediction) {
+  const Tensor p = Tensor::FromVector(Shape({2}), {0.999999f, 0.000001f});
+  const Tensor t = Tensor::FromVector(Shape({2}), {1.0f, 0.0f});
+  EXPECT_NEAR(BinaryCrossEntropy(p, t).item(), 0.0f, 1e-4);
+}
+
+TEST(LossTest, BinaryCrossEntropyUninformative) {
+  const Tensor p = Tensor::Full(Shape({4}), 0.5f);
+  const Tensor t = Tensor::FromVector(Shape({4}), {1, 0, 1, 0});
+  EXPECT_NEAR(BinaryCrossEntropy(p, t).item(), std::log(2.0f), 1e-5);
+}
+
+TEST(LossTest, L2NormalizeRowsUnitNorm) {
+  const Tensor x = Tensor::FromVector(Shape({2, 2}), {3, 4, 5, 12});
+  const Tensor y = L2NormalizeRows(x);
+  EXPECT_NEAR(y.at({0, 0}), 0.6f, 1e-5);
+  EXPECT_NEAR(y.at({0, 1}), 0.8f, 1e-5);
+  EXPECT_NEAR(y.at({1, 0}), 5.0f / 13.0f, 1e-5);
+}
+
+TEST(LossTest, InfoNcePrefersAlignedPairs) {
+  // Anchors aligned with their positives and orthogonal to the other pair
+  // should yield a lower loss than the mismatched assignment.
+  const Tensor anchors =
+      Tensor::FromVector(Shape({2, 2}), {1, 0, 0, 1});
+  const Tensor matched = Tensor::FromVector(Shape({2, 2}), {1, 0, 0, 1});
+  const Tensor mismatched = Tensor::FromVector(Shape({2, 2}), {0, 1, 1, 0});
+  const float loss_matched = InfoNceLoss(anchors, matched, 0.5f).item();
+  const float loss_mismatched = InfoNceLoss(anchors, mismatched, 0.5f).item();
+  EXPECT_LT(loss_matched, loss_mismatched);
+}
+
+TEST(LossTest, InfoNceGradientPullsViewsTogether) {
+  Rng rng(20);
+  Tensor z1 = Tensor::Uniform(Shape({4, 3}), -1, 1, &rng, true);
+  Tensor z2 = Tensor::Uniform(Shape({4, 3}), -1, 1, &rng, true);
+  const float before = InfoNceLoss(z1, z2, 0.5f).item();
+  // A few SGD steps on the contrastive loss should reduce it.
+  for (int step = 0; step < 50; ++step) {
+    z1.ZeroGrad();
+    z2.ZeroGrad();
+    Tensor loss = InfoNceLoss(z1, z2, 0.5f);
+    loss.Backward();
+    for (Tensor* z : {&z1, &z2}) {
+      float* d = z->data();
+      const float* g = z->grad_data();
+      for (int64_t i = 0; i < z->numel(); ++i) d[i] -= 0.1f * g[i];
+    }
+  }
+  const float after = InfoNceLoss(z1, z2, 0.5f).item();
+  EXPECT_LT(after, before);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::FromVector(Shape({1}), {5.0f}, /*requires_grad=*/true);
+  Sgd sgd({x}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    sgd.ZeroGrad();
+    Sum(Square(x)).Backward();
+    sgd.Step();
+  }
+  EXPECT_NEAR(x.item(), 0.0f, 1e-4);
+}
+
+TEST(SgdTest, MomentumAccelerates) {
+  Tensor a = Tensor::FromVector(Shape({1}), {5.0f}, true);
+  Tensor b = Tensor::FromVector(Shape({1}), {5.0f}, true);
+  Sgd plain({a}, 0.01f, 0.0f);
+  Sgd momentum({b}, 0.01f, 0.9f);
+  for (int i = 0; i < 30; ++i) {
+    plain.ZeroGrad();
+    Sum(Square(a)).Backward();
+    plain.Step();
+    momentum.ZeroGrad();
+    Sum(Square(b)).Backward();
+    momentum.Step();
+  }
+  EXPECT_LT(std::fabs(b.item()), std::fabs(a.item()));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor x = Tensor::FromVector(Shape({2}), {5.0f, -3.0f}, true);
+  Adam adam({x}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    adam.ZeroGrad();
+    Sum(Square(x)).Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(x.data()[0], 0.0f, 1e-2);
+  EXPECT_NEAR(x.data()[1], 0.0f, 1e-2);
+}
+
+TEST(AdamTest, FitsLinearRegression) {
+  // y = 2x + 1 with a Linear layer; Adam should recover the weights.
+  Rng rng(21);
+  const Linear layer(1, 1, &rng);
+  Adam adam(layer.Parameters(), 0.05f);
+  Rng data_rng(22);
+  for (int step = 0; step < 500; ++step) {
+    const Tensor x = Tensor::Uniform(Shape({8, 1}), -1, 1, &data_rng);
+    const Tensor target = Add(Mul(x, 2.0f), 1.0f);
+    adam.ZeroGrad();
+    MseLoss(layer.Forward(x), target).Backward();
+    adam.Step();
+  }
+  const Tensor w = layer.Parameters()[0];
+  const Tensor b = layer.Parameters()[1];
+  EXPECT_NEAR(w.item(), 2.0f, 0.05f);
+  EXPECT_NEAR(b.item(), 1.0f, 0.05f);
+}
+
+TEST(ClipGradNormTest, NoOpBelowThreshold) {
+  Tensor x = Tensor::FromVector(Shape({2}), {1.0f, 1.0f}, true);
+  x.grad_data()[0] = 0.3f;
+  x.grad_data()[1] = 0.4f;
+  std::vector<Tensor> params = {x};
+  const float norm = ClipGradNorm(params, 1.0f);
+  EXPECT_NEAR(norm, 0.5f, 1e-6);
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 0.3f);
+}
+
+TEST(ClipGradNormTest, ScalesAboveThreshold) {
+  Tensor x = Tensor::FromVector(Shape({2}), {1.0f, 1.0f}, true);
+  x.grad_data()[0] = 3.0f;
+  x.grad_data()[1] = 4.0f;
+  std::vector<Tensor> params = {x};
+  const float norm = ClipGradNorm(params, 1.0f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5);
+  const float clipped = std::sqrt(x.grad_data()[0] * x.grad_data()[0] +
+                                  x.grad_data()[1] * x.grad_data()[1]);
+  EXPECT_NEAR(clipped, 1.0f, 1e-5);
+}
+
+TEST(OptimizerTest, NumParametersCountsAll) {
+  Rng rng(23);
+  const Linear layer(3, 2, &rng);
+  Adam adam(layer.Parameters(), 0.01f);
+  EXPECT_EQ(adam.num_parameters(), 3 * 2 + 2);
+}
+
+}  // namespace
+}  // namespace stsm

@@ -1,0 +1,106 @@
+// Finite-difference gradient checks THROUGH whole layers: the layer's own
+// parameters are the differentiated inputs, so these validate every code
+// path a training step exercises.
+
+#include "gtest/gtest.h"
+#include "nn/attention.h"
+#include "nn/conv.h"
+#include "nn/gcn.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace stsm {
+namespace {
+
+void ExpectModuleGradOk(const Module& module,
+                        const std::function<Tensor()>& loss_fn,
+                        double tolerance = 3e-2) {
+  const GradCheckResult result = CheckGradients(
+      [&](const std::vector<Tensor>&) { return loss_fn(); },
+      module.Parameters(), 1e-2, tolerance);
+  EXPECT_TRUE(result.ok) << "max_abs=" << result.max_abs_error
+                         << " max_rel=" << result.max_rel_error
+                         << " worst_input=" << result.worst_input;
+}
+
+TEST(ModuleGradTest, Linear) {
+  Rng rng(1);
+  const Linear layer(3, 2, &rng);
+  Rng data_rng(2);
+  const Tensor x = Tensor::Uniform(Shape({4, 3}), -1, 1, &data_rng);
+  ExpectModuleGradOk(layer,
+                     [&] { return Mean(Square(layer.Forward(x))); });
+}
+
+TEST(ModuleGradTest, TemporalConv) {
+  Rng rng(3);
+  const TemporalConv conv(2, 3, 2, /*dilation=*/2, &rng);
+  Rng data_rng(4);
+  const Tensor x = Tensor::Uniform(Shape({1, 5, 2, 2}), -1, 1, &data_rng);
+  ExpectModuleGradOk(conv, [&] { return Mean(Square(conv.Forward(x))); });
+}
+
+TEST(ModuleGradTest, GcnlLayer) {
+  Rng rng(5);
+  const GcnlLayer layer(2, 2, &rng);
+  Rng data_rng(6);
+  const Tensor adj = Tensor::Uniform(Shape({3, 3}), 0, 0.5f, &data_rng);
+  const Tensor x = Tensor::Uniform(Shape({1, 2, 3, 2}), -1, 1, &data_rng);
+  ExpectModuleGradOk(layer,
+                     [&] { return Mean(Square(layer.Forward(adj, x))); });
+}
+
+TEST(ModuleGradTest, GruCell) {
+  Rng rng(7);
+  const GruCell cell(2, 3, &rng);
+  Rng data_rng(8);
+  const Tensor x = Tensor::Uniform(Shape({2, 2}), -1, 1, &data_rng);
+  const Tensor h = Tensor::Uniform(Shape({2, 3}), -0.5f, 0.5f, &data_rng);
+  ExpectModuleGradOk(cell,
+                     [&] { return Mean(Square(cell.Forward(x, h))); });
+}
+
+TEST(ModuleGradTest, GruUnrolled) {
+  Rng rng(9);
+  const Gru gru(2, 2, &rng);
+  Rng data_rng(10);
+  const Tensor seq = Tensor::Uniform(Shape({1, 4, 2}), -1, 1, &data_rng);
+  ExpectModuleGradOk(gru,
+                     [&] { return Mean(Square(gru.ForwardFinal(seq))); });
+}
+
+TEST(ModuleGradTest, LayerNorm) {
+  const LayerNorm norm(4);
+  Rng data_rng(11);
+  const Tensor x = Tensor::Uniform(Shape({3, 4}), -1, 1, &data_rng);
+  // Weight the output so the gradient w.r.t. gamma/beta is non-trivial.
+  const Tensor weights =
+      Tensor::Uniform(Shape({3, 4}), -1, 1, &data_rng);
+  ExpectModuleGradOk(norm,
+                     [&] { return Mean(Mul(norm.Forward(x), weights)); });
+}
+
+TEST(ModuleGradTest, MultiHeadSelfAttention) {
+  Rng rng(12);
+  const MultiHeadSelfAttention attention(4, 2, &rng);
+  Rng data_rng(13);
+  const Tensor x = Tensor::Uniform(Shape({1, 3, 4}), -1, 1, &data_rng);
+  ExpectModuleGradOk(attention,
+                     [&] { return Mean(Square(attention.Forward(x))); });
+}
+
+TEST(ModuleGradTest, TransformerEncoderBlock) {
+  Rng rng(14);
+  const TransformerEncoderBlock block(4, 2, 6, &rng);
+  Rng data_rng(15);
+  const Tensor x = Tensor::Uniform(Shape({1, 3, 4}), -0.5f, 0.5f, &data_rng);
+  ExpectModuleGradOk(block,
+                     [&] { return Mean(Square(block.Forward(x))); },
+                     /*tolerance=*/5e-2);
+}
+
+}  // namespace
+}  // namespace stsm

@@ -1,0 +1,111 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
+namespace stsm {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  const std::string path_ = "/tmp/stsm_serialize_test.bin";
+};
+
+TEST_F(SerializeTest, TensorRoundTrip) {
+  Rng rng(1);
+  const std::vector<Tensor> tensors = {
+      Tensor::Uniform(Shape({3, 4}), -1, 1, &rng),
+      Tensor::Scalar(42.0f),
+      Tensor::Uniform(Shape({2, 2, 2}), -5, 5, &rng),
+  };
+  ASSERT_TRUE(SaveTensors(tensors, path_));
+  const std::vector<Tensor> loaded = LoadTensors(path_);
+  ASSERT_EQ(loaded.size(), tensors.size());
+  for (size_t t = 0; t < tensors.size(); ++t) {
+    ASSERT_EQ(loaded[t].shape(), tensors[t].shape());
+    for (int64_t i = 0; i < tensors[t].numel(); ++i) {
+      EXPECT_FLOAT_EQ(loaded[t].data()[i], tensors[t].data()[i]);
+    }
+  }
+}
+
+TEST_F(SerializeTest, MissingFileReturnsEmpty) {
+  EXPECT_TRUE(LoadTensors("/tmp/stsm_no_such_file.bin").empty());
+}
+
+TEST_F(SerializeTest, CorruptMagicRejected) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "NOTVALIDDATA";
+  out.close();
+  EXPECT_TRUE(LoadTensors(path_).empty());
+}
+
+TEST_F(SerializeTest, TruncatedFileRejected) {
+  Rng rng(2);
+  ASSERT_TRUE(SaveTensors({Tensor::Uniform(Shape({10, 10}), -1, 1, &rng)},
+                          path_));
+  // Truncate to half the size.
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  const auto size = in.tellg();
+  in.seekg(0);
+  std::vector<char> half(static_cast<size_t>(size) / 2);
+  in.read(half.data(), half.size());
+  in.close();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(half.data(), half.size());
+  out.close();
+  EXPECT_TRUE(LoadTensors(path_).empty());
+}
+
+TEST_F(SerializeTest, ModuleRoundTripRestoresBehaviour) {
+  Rng rng_a(3);
+  Linear original(4, 3, &rng_a);
+  ASSERT_TRUE(SaveModule(original, path_));
+
+  Rng rng_b(99);  // Different init.
+  Linear restored(4, 3, &rng_b);
+  ASSERT_TRUE(LoadModule(&restored, path_));
+
+  Rng data_rng(5);
+  const Tensor x = Tensor::Uniform(Shape({2, 4}), -1, 1, &data_rng);
+  const Tensor y_original = original.Forward(x);
+  const Tensor y_restored = restored.Forward(x);
+  for (int64_t i = 0; i < y_original.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y_original.data()[i], y_restored.data()[i]);
+  }
+}
+
+TEST_F(SerializeTest, ShapeMismatchLeavesModuleUntouched) {
+  Rng rng(6);
+  Linear small(2, 2, &rng);
+  ASSERT_TRUE(SaveModule(small, path_));
+  Linear big(4, 4, &rng);
+  const float before = big.Parameters()[0].data()[0];
+  EXPECT_FALSE(LoadModule(&big, path_));
+  EXPECT_FLOAT_EQ(big.Parameters()[0].data()[0], before);
+}
+
+TEST_F(SerializeTest, GruRoundTrip) {
+  Rng rng_a(7);
+  Gru original(3, 5, &rng_a);
+  ASSERT_TRUE(SaveModule(original, path_));
+  Rng rng_b(8);
+  Gru restored(3, 5, &rng_b);
+  ASSERT_TRUE(LoadModule(&restored, path_));
+  Rng data_rng(9);
+  const Tensor seq = Tensor::Uniform(Shape({2, 6, 3}), -1, 1, &data_rng);
+  const Tensor a = original.ForwardFinal(seq);
+  const Tensor b = restored.ForwardFinal(seq);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace stsm

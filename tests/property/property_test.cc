@@ -1,0 +1,371 @@
+// Parameterized property tests: invariants that must hold across whole
+// parameter ranges, swept with TEST_P / INSTANTIATE_TEST_SUITE_P.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "data/metrics.h"
+#include "data/normalizer.h"
+#include "data/splits.h"
+#include "graph/adjacency.h"
+#include "graph/geo.h"
+#include "gtest/gtest.h"
+#include "masking/masking.h"
+#include "nn/optim.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+#include "timeseries/dtw.h"
+#include "timeseries/pseudo_observations.h"
+
+namespace stsm {
+namespace {
+
+// ---- DTW properties over (length, band) -------------------------------------
+
+class DtwProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DtwProperty, IdentityIsZero) {
+  const auto [length, band] = GetParam();
+  Rng rng(length * 131 + band);
+  std::vector<float> series(length);
+  for (auto& v : series) v = static_cast<float>(rng.Uniform(-5, 5));
+  EXPECT_DOUBLE_EQ(DtwDistance(series, series, band), 0.0);
+}
+
+TEST_P(DtwProperty, SymmetricAndNonNegative) {
+  const auto [length, band] = GetParam();
+  Rng rng(length * 31 + band);
+  std::vector<float> a(length), b(length);
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(-5, 5));
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-5, 5));
+  const double ab = DtwDistance(a, b, band);
+  const double ba = DtwDistance(b, a, band);
+  EXPECT_DOUBLE_EQ(ab, ba);
+  EXPECT_GE(ab, 0.0);
+}
+
+TEST_P(DtwProperty, BoundedByL1OnDiagonalPath) {
+  // The diagonal warping path is always feasible (band >= 0 keeps the
+  // diagonal), so DTW can never exceed the pointwise L1 distance.
+  const auto [length, band] = GetParam();
+  Rng rng(length * 17 + band);
+  std::vector<float> a(length), b(length);
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(-5, 5));
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-5, 5));
+  double l1 = 0.0;
+  for (int i = 0; i < length; ++i) l1 += std::fabs(a[i] - b[i]);
+  EXPECT_LE(DtwDistance(a, b, band), l1 * (1.0 + 1e-6) + 1e-6);
+}
+
+TEST_P(DtwProperty, WiderBandNeverIncreasesDistance) {
+  const auto [length, band] = GetParam();
+  if (band == 0) GTEST_SKIP() << "unbounded band has nothing wider";
+  Rng rng(length * 7 + band);
+  std::vector<float> a(length), b(length);
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(-5, 5));
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-5, 5));
+  EXPECT_LE(DtwDistance(a, b, band * 2), DtwDistance(a, b, band) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LengthsAndBands, DtwProperty,
+    ::testing::Combine(::testing::Values(4, 16, 48, 96),
+                       ::testing::Values(0, 2, 8)));
+
+// ---- Adjacency properties over epsilon ---------------------------------------
+
+class AdjacencyProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdjacencyProperty, SymmetricWithUnitDiagonal) {
+  const double epsilon = GetParam();
+  Rng rng(11);
+  std::vector<GeoPoint> coords;
+  for (int i = 0; i < 25; ++i) {
+    coords.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  const auto d = PairwiseDistances(coords);
+  const Tensor adj = GaussianThresholdAdjacency(d, 25, epsilon);
+  for (int64_t i = 0; i < 25; ++i) {
+    EXPECT_FLOAT_EQ(adj.at({i, i}), 1.0f);
+    for (int64_t j = 0; j < 25; ++j) {
+      EXPECT_FLOAT_EQ(adj.at({i, j}), adj.at({j, i}));
+      EXPECT_GE(adj.at({i, j}), 0.0f);
+      EXPECT_LE(adj.at({i, j}), 1.0f);
+    }
+  }
+}
+
+TEST_P(AdjacencyProperty, NormalisationRowSumsBounded) {
+  const double epsilon = GetParam();
+  Rng rng(13);
+  std::vector<GeoPoint> coords;
+  for (int i = 0; i < 25; ++i) {
+    coords.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  const auto d = PairwiseDistances(coords);
+  const Tensor norm = NormalizeRow(
+      GaussianThresholdAdjacency(d, 25, epsilon), /*add_self_loops=*/true);
+  for (int64_t i = 0; i < 25; ++i) {
+    float row_sum = 0.0f;
+    for (int64_t j = 0; j < 25; ++j) row_sum += norm.at({i, j});
+    EXPECT_NEAR(row_sum, 1.0f, 1e-4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, AdjacencyProperty,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.8));
+
+// ---- Split properties over (count, fractions) ---------------------------------
+
+class SplitProperty
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(SplitProperty, PartitionsAllNodes) {
+  const auto [n, train_frac, val_frac] = GetParam();
+  Rng rng(n);
+  std::vector<GeoPoint> coords;
+  for (int i = 0; i < n; ++i) {
+    coords.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  for (const SplitAxis axis : {SplitAxis::kHorizontal, SplitAxis::kVertical}) {
+    const SpaceSplit split = SplitSpace(coords, axis, train_frac, val_frac);
+    std::set<int> all(split.train.begin(), split.train.end());
+    all.insert(split.validation.begin(), split.validation.end());
+    all.insert(split.test.begin(), split.test.end());
+    EXPECT_EQ(static_cast<int>(all.size()), n);
+    EXPECT_EQ(split.train.size() + split.validation.size() +
+                  split.test.size(),
+              static_cast<size_t>(n));
+    EXPECT_NEAR(static_cast<double>(split.train.size()) / n, train_frac,
+                0.5 / std::sqrt(static_cast<double>(n)) + 0.02);
+  }
+}
+
+TEST_P(SplitProperty, TestBandIsContiguous) {
+  const auto [n, train_frac, val_frac] = GetParam();
+  Rng rng(n + 1);
+  std::vector<GeoPoint> coords;
+  for (int i = 0; i < n; ++i) {
+    coords.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  const SpaceSplit split =
+      SplitSpace(coords, SplitAxis::kVertical, train_frac, val_frac);
+  double max_observed_x = -1e18, min_test_x = 1e18;
+  for (int i : split.Observed()) {
+    max_observed_x = std::max(max_observed_x, coords[i].x);
+  }
+  for (int i : split.test) min_test_x = std::min(min_test_x, coords[i].x);
+  EXPECT_LE(max_observed_x, min_test_x);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndFractions, SplitProperty,
+    ::testing::Values(std::make_tuple(30, 0.4, 0.1),
+                      std::make_tuple(100, 0.4, 0.1),
+                      std::make_tuple(100, 0.3, 0.2),
+                      std::make_tuple(333, 0.6, 0.1)));
+
+// ---- Pseudo-observation properties over neighbour counts ----------------------
+
+class PseudoObsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PseudoObsProperty, WeightsFormConvexCombination) {
+  const int max_neighbors = GetParam();
+  Rng rng(41);
+  std::vector<GeoPoint> coords;
+  for (int i = 0; i < 30; ++i) {
+    coords.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  const auto d = PairwiseDistances(coords);
+  std::vector<int> sources, targets;
+  for (int i = 0; i < 30; ++i) (i < 20 ? sources : targets).push_back(i);
+  const auto weights =
+      InverseDistanceWeights(d, 30, targets, sources, max_neighbors);
+  for (size_t t = 0; t < targets.size(); ++t) {
+    double sum = 0.0;
+    int support = 0;
+    for (size_t s = 0; s < sources.size(); ++s) {
+      const double w = weights[t * sources.size() + s];
+      EXPECT_GE(w, 0.0);
+      sum += w;
+      if (w > 0.0) {
+        ++support;
+      }
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    if (max_neighbors > 0) EXPECT_LE(support, max_neighbors);
+  }
+}
+
+TEST_P(PseudoObsProperty, FilledValuesWithinSourceRange) {
+  const int max_neighbors = GetParam();
+  Rng rng(43);
+  std::vector<GeoPoint> coords;
+  for (int i = 0; i < 20; ++i) {
+    coords.push_back({rng.Uniform(0, 5), rng.Uniform(0, 5)});
+  }
+  const auto d = PairwiseDistances(coords);
+  SeriesMatrix series(10, 20);
+  std::vector<int> sources, targets;
+  for (int i = 0; i < 20; ++i) (i < 14 ? sources : targets).push_back(i);
+  float lo = 1e18f, hi = -1e18f;
+  for (int t = 0; t < 10; ++t) {
+    for (int s : sources) {
+      const float v = static_cast<float>(rng.Uniform(40, 90));
+      series.set(t, s, v);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  FillPseudoObservations(&series, d, targets, sources, max_neighbors);
+  for (int t = 0; t < 10; ++t) {
+    for (int target : targets) {
+      EXPECT_GE(series.at(t, target), lo - 1e-4);
+      EXPECT_LE(series.at(t, target), hi + 1e-4);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NeighborCounts, PseudoObsProperty,
+                         ::testing::Values(0, 1, 4, 8, 100));
+
+// ---- Metrics properties over scales -------------------------------------------
+
+class MetricsProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(MetricsProperty, RmseAtLeastMae) {
+  const double scale = GetParam();
+  Rng rng(47);
+  std::vector<float> pred(50), target(50);
+  for (int i = 0; i < 50; ++i) {
+    target[i] = static_cast<float>(scale * rng.Uniform(0.5, 1.5));
+    pred[i] = target[i] + static_cast<float>(scale * rng.Normal(0, 0.1));
+  }
+  const Metrics m = ComputeMetrics(pred, target, /*mape_threshold=*/1e-9);
+  EXPECT_GE(m.rmse, m.mae - 1e-9);
+}
+
+TEST_P(MetricsProperty, R2AndMapeScaleInvariant) {
+  const double scale = GetParam();
+  Rng rng(53);
+  std::vector<float> pred(50), target(50);
+  std::vector<float> pred_scaled(50), target_scaled(50);
+  for (int i = 0; i < 50; ++i) {
+    target[i] = static_cast<float>(rng.Uniform(10, 20));
+    pred[i] = target[i] + static_cast<float>(rng.Normal(0, 1));
+    target_scaled[i] = static_cast<float>(target[i] * scale);
+    pred_scaled[i] = static_cast<float>(pred[i] * scale);
+  }
+  const Metrics base = ComputeMetrics(pred, target, 1e-9);
+  const Metrics scaled = ComputeMetrics(pred_scaled, target_scaled, 1e-9);
+  EXPECT_NEAR(base.r2, scaled.r2, 1e-3);
+  EXPECT_NEAR(base.mape, scaled.mape, 1e-4);
+  // Errors scale linearly.
+  EXPECT_NEAR(scaled.rmse, base.rmse * scale, base.rmse * scale * 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MetricsProperty,
+                         ::testing::Values(0.5, 2.0, 10.0, 100.0));
+
+// ---- Masking properties over (ratio, top_k) ------------------------------------
+
+class MaskingProperty
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(MaskingProperty, DrawsHitTargetAndStayObserved) {
+  const auto [ratio, top_k] = GetParam();
+  Rng coords_rng(59);
+  std::vector<GeoPoint> coords;
+  std::vector<NodeMetadata> metadata(50);
+  for (int i = 0; i < 50; ++i) {
+    coords.push_back({coords_rng.Uniform(0, 10), coords_rng.Uniform(0, 10)});
+    metadata[i].scale = static_cast<float>(coords_rng.Uniform(1, 20));
+    metadata[i].maxspeed = 100.0f;
+    metadata[i].lanes = 3.0f;
+  }
+  const SpaceSplit split = SplitSpace(coords, SplitAxis::kVertical);
+  const auto d = PairwiseDistances(coords);
+  const Tensor a_sg = GaussianThresholdAdjacency(d, 50, 0.6, 0.0, true);
+  MaskingConfig config;
+  config.mask_ratio = ratio;
+  config.top_k = top_k;
+  const MaskingContext context = BuildMaskingContext(
+      a_sg, coords, metadata, split.Observed(), split.test, config);
+
+  Rng rng(61);
+  const std::set<int> observed(context.observed.begin(),
+                               context.observed.end());
+  const size_t expected = std::min(
+      std::max<size_t>(1, static_cast<size_t>(ratio * observed.size())),
+      observed.size() - std::max<size_t>(2, observed.size() / 4));
+  for (int draw = 0; draw < 5; ++draw) {
+    // Random masking can always reach the target (every root available).
+    const auto random_mask = DrawRandomMask(context, &rng);
+    EXPECT_EQ(random_mask.size(), expected);
+    // Selective masking may fall short when the union of the top-K
+    // sub-graphs is smaller than the target, but never overshoots.
+    const auto selective_mask = DrawSelectiveMask(context, &rng);
+    EXPECT_LE(selective_mask.size(), expected);
+    EXPECT_GE(selective_mask.size(), 1u);
+    for (const auto& masked : {random_mask, selective_mask}) {
+      for (int node : masked) EXPECT_TRUE(observed.count(node));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RatiosAndK, MaskingProperty,
+    ::testing::Combine(::testing::Values(0.2, 0.5, 0.8),
+                       ::testing::Values(3, 10, 50)));
+
+// ---- Adam convergence over learning rates ---------------------------------------
+
+class AdamProperty : public ::testing::TestWithParam<float> {};
+
+TEST_P(AdamProperty, ConvergesOnConvexQuadratic) {
+  const float lr = GetParam();
+  Tensor x = Tensor::FromVector(Shape({3}), {4.0f, -7.0f, 2.5f}, true);
+  Adam adam({x}, lr);
+  for (int i = 0; i < 2000; ++i) {
+    adam.ZeroGrad();
+    Sum(Square(x)).Backward();
+    adam.Step();
+  }
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(x.data()[i], 0.0f, 0.1f) << "lr=" << lr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LearningRates, AdamProperty,
+                         ::testing::Values(0.01f, 0.05f, 0.1f));
+
+// ---- Gradient checks across tensor shapes ----------------------------------------
+
+class GradShapeProperty
+    : public ::testing::TestWithParam<std::vector<int64_t>> {};
+
+TEST_P(GradShapeProperty, ElementwiseChainGradientsCorrect) {
+  const Shape shape(GetParam());
+  Rng rng(71);
+  Tensor x = Tensor::Uniform(shape, 0.2f, 1.2f, &rng, true);
+  Tensor y = Tensor::Uniform(shape, 0.2f, 1.2f, &rng, true);
+  const GradCheckResult result = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return Mean(Mul(Sigmoid(in[0]), Tanh(Add(in[0], in[1]))));
+      },
+      {x, y}, 1e-2, 2e-2);
+  EXPECT_TRUE(result.ok) << "shape " << shape.ToString()
+                         << " max_rel=" << result.max_rel_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GradShapeProperty,
+    ::testing::Values(std::vector<int64_t>{1}, std::vector<int64_t>{7},
+                      std::vector<int64_t>{3, 4},
+                      std::vector<int64_t>{2, 3, 2},
+                      std::vector<int64_t>{2, 2, 2, 2}));
+
+}  // namespace
+}  // namespace stsm

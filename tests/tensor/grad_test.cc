@@ -1,0 +1,312 @@
+// Finite-difference gradient checks for every differentiable operation.
+// These are the property tests guaranteeing the autograd tape is correct —
+// everything else in the library (models, training) rests on them.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace stsm {
+namespace {
+
+using OpFn = std::function<Tensor(const std::vector<Tensor>&)>;
+
+Tensor RandomInput(const Shape& shape, uint64_t seed, float lo = -1.0f,
+                   float hi = 1.0f) {
+  Rng rng(seed);
+  return Tensor::Uniform(shape, lo, hi, &rng, /*requires_grad=*/true);
+}
+
+void ExpectGradOk(const OpFn& fn, std::vector<Tensor> inputs,
+                  double tolerance = 2e-2) {
+  const GradCheckResult result =
+      CheckGradients(fn, std::move(inputs), 1e-2, tolerance);
+  EXPECT_TRUE(result.ok) << "max_abs_error=" << result.max_abs_error
+                         << " max_rel_error=" << result.max_rel_error
+                         << " worst_input=" << result.worst_input
+                         << " worst_element=" << result.worst_element;
+}
+
+TEST(GradTest, Add) {
+  ExpectGradOk([](const auto& in) { return Sum(Add(in[0], in[1])); },
+               {RandomInput({2, 3}, 1), RandomInput({2, 3}, 2)});
+}
+
+TEST(GradTest, AddBroadcast) {
+  ExpectGradOk([](const auto& in) { return Sum(Square(Add(in[0], in[1]))); },
+               {RandomInput({2, 3}, 1), RandomInput({3}, 2)});
+}
+
+TEST(GradTest, SubBroadcastColumn) {
+  ExpectGradOk([](const auto& in) { return Sum(Square(Sub(in[0], in[1]))); },
+               {RandomInput({2, 3}, 3), RandomInput({2, 1}, 4)});
+}
+
+TEST(GradTest, Mul) {
+  ExpectGradOk([](const auto& in) { return Sum(Mul(in[0], in[1])); },
+               {RandomInput({4}, 5), RandomInput({4}, 6)});
+}
+
+TEST(GradTest, MulBroadcastScalar) {
+  ExpectGradOk([](const auto& in) { return Sum(Mul(in[0], in[1])); },
+               {RandomInput({3, 2}, 7), RandomInput({}, 8)});
+}
+
+TEST(GradTest, Div) {
+  ExpectGradOk([](const auto& in) { return Sum(Div(in[0], in[1])); },
+               {RandomInput({4}, 9), RandomInput({4}, 10, 1.0f, 2.0f)});
+}
+
+TEST(GradTest, Maximum) {
+  ExpectGradOk([](const auto& in) { return Sum(Maximum(in[0], in[1])); },
+               {RandomInput({6}, 11), RandomInput({6}, 12)});
+}
+
+TEST(GradTest, Minimum) {
+  ExpectGradOk([](const auto& in) { return Sum(Minimum(in[0], in[1])); },
+               {RandomInput({6}, 13), RandomInput({6}, 14)});
+}
+
+TEST(GradTest, Relu) {
+  // Keep inputs away from the kink at 0.
+  ExpectGradOk([](const auto& in) { return Sum(Relu(in[0])); },
+               {RandomInput({8}, 15, 0.2f, 1.0f)});
+  ExpectGradOk([](const auto& in) { return Sum(Relu(in[0])); },
+               {RandomInput({8}, 16, -1.0f, -0.2f)});
+}
+
+TEST(GradTest, LeakyRelu) {
+  ExpectGradOk([](const auto& in) { return Sum(LeakyRelu(in[0], 0.2f)); },
+               {RandomInput({8}, 17, 0.2f, 1.0f)});
+}
+
+TEST(GradTest, Sigmoid) {
+  ExpectGradOk([](const auto& in) { return Sum(Sigmoid(in[0])); },
+               {RandomInput({6}, 18, -2.0f, 2.0f)});
+}
+
+TEST(GradTest, Tanh) {
+  ExpectGradOk([](const auto& in) { return Sum(Tanh(in[0])); },
+               {RandomInput({6}, 19, -2.0f, 2.0f)});
+}
+
+TEST(GradTest, Exp) {
+  ExpectGradOk([](const auto& in) { return Sum(Exp(in[0])); },
+               {RandomInput({6}, 20)});
+}
+
+TEST(GradTest, Log) {
+  ExpectGradOk([](const auto& in) { return Sum(Log(in[0])); },
+               {RandomInput({6}, 21, 0.5f, 2.0f)});
+}
+
+TEST(GradTest, Sqrt) {
+  ExpectGradOk([](const auto& in) { return Sum(Sqrt(in[0])); },
+               {RandomInput({6}, 22, 0.5f, 2.0f)});
+}
+
+TEST(GradTest, Square) {
+  ExpectGradOk([](const auto& in) { return Sum(Square(in[0])); },
+               {RandomInput({6}, 23)});
+}
+
+TEST(GradTest, Abs) {
+  ExpectGradOk([](const auto& in) { return Sum(Abs(in[0])); },
+               {RandomInput({6}, 24, 0.3f, 1.0f)});
+}
+
+TEST(GradTest, Pow) {
+  ExpectGradOk([](const auto& in) { return Sum(Pow(in[0], 3.0f)); },
+               {RandomInput({6}, 25, 0.5f, 1.5f)});
+}
+
+TEST(GradTest, Reshape) {
+  ExpectGradOk(
+      [](const auto& in) {
+        return Sum(Square(Reshape(in[0], Shape({6}))));
+      },
+      {RandomInput({2, 3}, 26)});
+}
+
+TEST(GradTest, Transpose) {
+  ExpectGradOk(
+      [](const auto& in) {
+        return Sum(Square(Transpose(in[0], 0, 1)));
+      },
+      {RandomInput({2, 3}, 27)});
+}
+
+TEST(GradTest, Transpose3D) {
+  ExpectGradOk(
+      [](const auto& in) {
+        return Sum(Square(Transpose(in[0], 1, 2)));
+      },
+      {RandomInput({2, 3, 4}, 28)});
+}
+
+TEST(GradTest, Slice) {
+  ExpectGradOk(
+      [](const auto& in) { return Sum(Square(Slice(in[0], 1, 1, 3))); },
+      {RandomInput({2, 4}, 29)});
+}
+
+TEST(GradTest, Concat) {
+  ExpectGradOk(
+      [](const auto& in) {
+        return Sum(Square(Concat({in[0], in[1]}, 1)));
+      },
+      {RandomInput({2, 2}, 30), RandomInput({2, 3}, 31)});
+}
+
+TEST(GradTest, IndexSelect) {
+  ExpectGradOk(
+      [](const auto& in) {
+        // Index 0 repeats, exercising scatter-add accumulation.
+        return Sum(Square(IndexSelect(in[0], 0, {0, 2, 0})));
+      },
+      {RandomInput({3, 2}, 32)});
+}
+
+TEST(GradTest, MiddleDimensionBroadcast) {
+  // [2,1,3] against [2,4,3] exercises the odometer index-table path (the
+  // broadcast dim is neither leading-only nor a suffix).
+  ExpectGradOk(
+      [](const auto& in) { return Sum(Square(Mul(in[0], in[1]))); },
+      {RandomInput({2, 1, 3}, 60), RandomInput({2, 4, 3}, 61)});
+}
+
+TEST(GradTest, SuffixBroadcastBiasPattern) {
+  // [C] against [B,T,C]: the modulo fast path used by every bias add.
+  ExpectGradOk(
+      [](const auto& in) { return Sum(Square(Add(in[0], in[1]))); },
+      {RandomInput({2, 3, 4}, 62), RandomInput({4}, 63)});
+}
+
+TEST(GradTest, BothSidesBroadcast) {
+  // [2,1] x [1,3] -> [2,3]: both inputs take the odometer path.
+  ExpectGradOk(
+      [](const auto& in) { return Sum(Square(Mul(in[0], in[1]))); },
+      {RandomInput({2, 1}, 64), RandomInput({1, 3}, 65)});
+}
+
+TEST(GradTest, BroadcastTo) {
+  ExpectGradOk(
+      [](const auto& in) {
+        return Sum(Square(BroadcastTo(in[0], Shape({3, 4}))));
+      },
+      {RandomInput({1, 4}, 33)});
+}
+
+TEST(GradTest, SumAlongDim) {
+  ExpectGradOk(
+      [](const auto& in) { return Sum(Square(Sum(in[0], 1))); },
+      {RandomInput({3, 4}, 34)});
+}
+
+TEST(GradTest, MeanAlongDim) {
+  ExpectGradOk(
+      [](const auto& in) { return Sum(Square(Mean(in[0], 0))); },
+      {RandomInput({3, 4}, 35)});
+}
+
+TEST(GradTest, MaxAlongDim) {
+  ExpectGradOk(
+      [](const auto& in) { return Sum(Square(Max(in[0], 1))); },
+      {RandomInput({3, 4}, 36)});
+}
+
+TEST(GradTest, MinAlongDim) {
+  ExpectGradOk(
+      [](const auto& in) { return Sum(Square(Min(in[0], 0))); },
+      {RandomInput({3, 4}, 37)});
+}
+
+TEST(GradTest, MatMul2D) {
+  ExpectGradOk(
+      [](const auto& in) { return Sum(Square(MatMul(in[0], in[1]))); },
+      {RandomInput({3, 4}, 38), RandomInput({4, 2}, 39)});
+}
+
+TEST(GradTest, MatMulBatchedRhs) {
+  ExpectGradOk(
+      [](const auto& in) { return Sum(Square(MatMul(in[0], in[1]))); },
+      {RandomInput({3, 3}, 40), RandomInput({2, 3, 2}, 41)});
+}
+
+TEST(GradTest, MatMulBatchedLhs) {
+  ExpectGradOk(
+      [](const auto& in) { return Sum(Square(MatMul(in[0], in[1]))); },
+      {RandomInput({2, 2, 3}, 42), RandomInput({3, 2}, 43)});
+}
+
+TEST(GradTest, MatMul4DGcnPattern) {
+  ExpectGradOk(
+      [](const auto& in) { return Sum(Square(MatMul(in[0], in[1]))); },
+      {RandomInput({3, 3}, 44), RandomInput({2, 2, 3, 2}, 45)});
+}
+
+TEST(GradTest, Softmax) {
+  ExpectGradOk(
+      [](const auto& in) {
+        // Weighted sum makes the gradient non-trivial per element.
+        const Tensor weights = Tensor::FromVector(
+            Shape({2, 3}), {1.0f, -2.0f, 0.5f, 3.0f, 0.1f, -1.0f});
+        return Sum(Mul(Softmax(in[0], 1), weights));
+      },
+      {RandomInput({2, 3}, 46)});
+}
+
+TEST(GradTest, LogSoftmax) {
+  ExpectGradOk(
+      [](const auto& in) {
+        const Tensor weights = Tensor::FromVector(
+            Shape({2, 3}), {1.0f, -2.0f, 0.5f, 3.0f, 0.1f, -1.0f});
+        return Sum(Mul(LogSoftmax(in[0], 1), weights));
+      },
+      {RandomInput({2, 3}, 47)});
+}
+
+TEST(GradTest, Conv1dTime) {
+  ExpectGradOk(
+      [](const auto& in) {
+        return Sum(Square(Conv1dTime(in[0], in[1], in[2], /*dilation=*/1)));
+      },
+      {RandomInput({2, 5, 2, 3}, 48), RandomInput({4, 3, 2}, 49),
+       RandomInput({4}, 50)});
+}
+
+TEST(GradTest, Conv1dTimeDilated) {
+  ExpectGradOk(
+      [](const auto& in) {
+        return Sum(Square(Conv1dTime(in[0], in[1], Tensor(), /*dilation=*/2)));
+      },
+      {RandomInput({1, 6, 2, 2}, 51), RandomInput({3, 2, 2}, 52)});
+}
+
+TEST(GradTest, ComposedExpression) {
+  // A miniature model: y = relu(x @ w + b), loss = mean(y^2).
+  ExpectGradOk(
+      [](const auto& in) {
+        const Tensor y = Relu(Add(MatMul(in[0], in[1]), in[2]));
+        return Mean(Square(y));
+      },
+      {RandomInput({4, 3}, 53, 0.1f, 1.0f), RandomInput({3, 2}, 54),
+       RandomInput({2}, 55)});
+}
+
+TEST(GradTest, GluGatePattern) {
+  // GCNL-style gating (Eq. 7): GCN(A,Z) * sigmoid(GCN(A,Z)).
+  ExpectGradOk(
+      [](const auto& in) {
+        const Tensor h = MatMul(in[0], in[1]);
+        return Sum(Mul(h, Sigmoid(h)));
+      },
+      {RandomInput({3, 3}, 56), RandomInput({3, 2}, 57)});
+}
+
+}  // namespace
+}  // namespace stsm

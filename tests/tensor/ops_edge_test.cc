@@ -1,0 +1,159 @@
+// Edge-case tests for tensor operations: degenerate shapes, repeated use,
+// and interaction patterns the model code relies on.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace stsm {
+namespace {
+
+TEST(OpsEdgeTest, ScalarTensorArithmetic) {
+  const Tensor a = Tensor::Scalar(3.0f);
+  const Tensor b = Tensor::Scalar(4.0f);
+  EXPECT_FLOAT_EQ(Add(a, b).item(), 7.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).item(), 12.0f);
+  EXPECT_FLOAT_EQ(Sum(a).item(), 3.0f);
+  EXPECT_FLOAT_EQ(Mean(a).item(), 3.0f);
+}
+
+TEST(OpsEdgeTest, SingleElementDims) {
+  const Tensor x = Tensor::FromVector(Shape({1, 1, 1}), {5.0f});
+  EXPECT_FLOAT_EQ(Sum(x, 1).item(), 5.0f);
+  EXPECT_FLOAT_EQ(Max(x, 0).item(), 5.0f);
+  EXPECT_EQ(Transpose(x, 0, 2).shape(), Shape({1, 1, 1}));
+}
+
+TEST(OpsEdgeTest, SliceFullRangeIsCopy) {
+  const Tensor x = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  const Tensor s = Slice(x, 0, 0, 2);
+  EXPECT_EQ(s.shape(), x.shape());
+  for (int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(s.data()[i], x.data()[i]);
+}
+
+TEST(OpsEdgeTest, SliceSingleRow) {
+  const Tensor x = Tensor::FromVector(Shape({3, 2}), {1, 2, 3, 4, 5, 6});
+  const Tensor s = Slice(x, 0, 1, 2);
+  EXPECT_EQ(s.shape(), Shape({1, 2}));
+  EXPECT_FLOAT_EQ(s.at({0, 0}), 3.0f);
+}
+
+TEST(OpsEdgeTest, ConcatThreeTensors) {
+  const Tensor a = Tensor::Full(Shape({1, 2}), 1.0f);
+  const Tensor b = Tensor::Full(Shape({2, 2}), 2.0f);
+  const Tensor c = Tensor::Full(Shape({3, 2}), 3.0f);
+  const Tensor out = Concat({a, b, c}, 0);
+  EXPECT_EQ(out.shape(), Shape({6, 2}));
+  EXPECT_FLOAT_EQ(out.at({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(out.at({2, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(out.at({5, 1}), 3.0f);
+}
+
+TEST(OpsEdgeTest, ConcatSingleTensorIsIdentityCopy) {
+  const Tensor a = Tensor::FromVector(Shape({2, 2}), {1, 2, 3, 4});
+  const Tensor out = Concat({a}, 1);
+  EXPECT_EQ(out.shape(), a.shape());
+  EXPECT_FLOAT_EQ(out.at({1, 1}), 4.0f);
+}
+
+TEST(OpsEdgeTest, IndexSelectAllRowsIdentity) {
+  const Tensor x = Tensor::FromVector(Shape({3, 2}), {1, 2, 3, 4, 5, 6});
+  const Tensor out = IndexSelect(x, 0, {0, 1, 2});
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_FLOAT_EQ(out.data()[i], x.data()[i]);
+  }
+}
+
+TEST(OpsEdgeTest, IndexSelectSingleIndexManyTimes) {
+  const Tensor x = Tensor::FromVector(Shape({2, 2}), {1, 2, 3, 4});
+  const Tensor out = IndexSelect(x, 0, {1, 1, 1, 1});
+  EXPECT_EQ(out.shape(), Shape({4, 2}));
+  for (int64_t r = 0; r < 4; ++r) {
+    EXPECT_FLOAT_EQ(out.at({r, 0}), 3.0f);
+    EXPECT_FLOAT_EQ(out.at({r, 1}), 4.0f);
+  }
+}
+
+TEST(OpsEdgeTest, MatMulDegenerate1xN) {
+  const Tensor row = Tensor::FromVector(Shape({1, 3}), {1, 2, 3});
+  const Tensor col = Tensor::FromVector(Shape({3, 1}), {4, 5, 6});
+  EXPECT_FLOAT_EQ(MatMul(row, col).item(), 32.0f);
+  const Tensor outer = MatMul(col, row);
+  EXPECT_EQ(outer.shape(), Shape({3, 3}));
+  EXPECT_FLOAT_EQ(outer.at({2, 2}), 18.0f);
+}
+
+TEST(OpsEdgeTest, SoftmaxSingleEntryDimIsOne) {
+  const Tensor x = Tensor::FromVector(Shape({3, 1}), {-5, 0, 5});
+  const Tensor y = Softmax(x, 1);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(y.data()[i], 1.0f);
+}
+
+TEST(OpsEdgeTest, ReluOfReluIdempotent) {
+  Rng rng(1);
+  const Tensor x = Tensor::Uniform(Shape({20}), -1, 1, &rng);
+  const Tensor once = Relu(x);
+  const Tensor twice = Relu(once);
+  for (int64_t i = 0; i < 20; ++i) {
+    EXPECT_FLOAT_EQ(once.data()[i], twice.data()[i]);
+  }
+}
+
+TEST(OpsEdgeTest, ChainedBackwardReusedLeaf) {
+  // One leaf used in two separate graphs, backward called on both.
+  Tensor x = Tensor::FromVector(Shape({2}), {1.0f, 2.0f}, true);
+  Tensor l1 = Sum(Mul(x, 3.0f));
+  Tensor l2 = Sum(Square(x));
+  l1.Backward();
+  l2.Backward();
+  // dl1/dx = 3, dl2/dx = 2x; accumulated.
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 3.0f + 2.0f);
+  EXPECT_FLOAT_EQ(x.grad_data()[1], 3.0f + 4.0f);
+}
+
+TEST(OpsEdgeTest, LongGraphChainNoStackOverflow) {
+  // The backward topological sort is iterative; 20k-node chains must work.
+  Tensor x = Tensor::Scalar(1.0f, /*requires_grad=*/true);
+  Tensor y = x;
+  for (int i = 0; i < 20000; ++i) y = Add(y, 0.0001f);
+  Sum(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 1.0f);
+}
+
+TEST(OpsEdgeTest, MeanOfDimKeepdimBroadcastsBack) {
+  // Pattern used by LayerNorm: x - mean(x, -1, keepdim).
+  const Tensor x =
+      Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 10, 20, 30});
+  const Tensor centered = Sub(x, Mean(x, -1, /*keepdim=*/true));
+  EXPECT_NEAR(centered.at({0, 0}), -1.0f, 1e-6);
+  EXPECT_NEAR(centered.at({1, 2}), 10.0f, 1e-6);
+  // Row means of the centered matrix are zero.
+  const Tensor check = Mean(centered, -1);
+  EXPECT_NEAR(check.at({0}), 0.0f, 1e-6);
+  EXPECT_NEAR(check.at({1}), 0.0f, 1e-5);
+}
+
+TEST(OpsEdgeTest, MaximumFoldAssociative) {
+  // Eq. 9/11 folds Maximum over a list; order must not matter.
+  Rng rng(2);
+  const Tensor a = Tensor::Uniform(Shape({10}), -1, 1, &rng);
+  const Tensor b = Tensor::Uniform(Shape({10}), -1, 1, &rng);
+  const Tensor c = Tensor::Uniform(Shape({10}), -1, 1, &rng);
+  const Tensor left = Maximum(Maximum(a, b), c);
+  const Tensor right = Maximum(a, Maximum(b, c));
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_FLOAT_EQ(left.data()[i], right.data()[i]);
+  }
+}
+
+TEST(OpsEdgeTest, DetachInsideGraphStopsGradient) {
+  Tensor x = Tensor::FromVector(Shape({1}), {2.0f}, true);
+  Tensor y = Mul(x, x);             // dy/dx = 2x = 4.
+  Tensor z = Mul(y.Detach(), x);    // z = 4 * x; dz/dx = 4.
+  Sum(z).Backward();
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 4.0f);
+}
+
+}  // namespace
+}  // namespace stsm

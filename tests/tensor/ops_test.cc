@@ -1,0 +1,384 @@
+// Forward-value tests for tensor operations. Gradient correctness is covered
+// separately in grad_test.cc via finite differences.
+
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace stsm {
+namespace {
+
+Tensor T2x3() {
+  return Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+}
+
+TEST(OpsTest, AddSameShape) {
+  const Tensor c = Add(T2x3(), T2x3());
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 2}), 12.0f);
+}
+
+TEST(OpsTest, AddBroadcastRow) {
+  const Tensor row = Tensor::FromVector(Shape({3}), {10, 20, 30});
+  const Tensor c = Add(T2x3(), row);
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 11.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 2}), 36.0f);
+}
+
+TEST(OpsTest, AddBroadcastColumn) {
+  const Tensor col = Tensor::FromVector(Shape({2, 1}), {100, 200});
+  const Tensor c = Add(T2x3(), col);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 102.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 205.0f);
+}
+
+TEST(OpsTest, ScalarArithmetic) {
+  const Tensor x = T2x3();
+  EXPECT_FLOAT_EQ(Add(x, 1.0f).at({0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(Sub(x, 1.0f).at({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(Sub(10.0f, x).at({0, 0}), 9.0f);
+  EXPECT_FLOAT_EQ(Mul(x, 2.0f).at({1, 2}), 12.0f);
+  EXPECT_FLOAT_EQ(Div(x, 2.0f).at({0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(Div(6.0f, x).at({1, 2}), 1.0f);
+}
+
+TEST(OpsTest, MulDivElementwise) {
+  const Tensor c = Mul(T2x3(), T2x3());
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 16.0f);
+  const Tensor d = Div(T2x3(), T2x3());
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(d.at({i, j}), 1.0f);
+  }
+}
+
+TEST(OpsTest, MaximumMinimum) {
+  const Tensor a = Tensor::FromVector(Shape({3}), {1, 5, 3});
+  const Tensor b = Tensor::FromVector(Shape({3}), {4, 2, 3});
+  const Tensor mx = Maximum(a, b);
+  const Tensor mn = Minimum(a, b);
+  EXPECT_FLOAT_EQ(mx.at({0}), 4.0f);
+  EXPECT_FLOAT_EQ(mx.at({1}), 5.0f);
+  EXPECT_FLOAT_EQ(mx.at({2}), 3.0f);
+  EXPECT_FLOAT_EQ(mn.at({0}), 1.0f);
+  EXPECT_FLOAT_EQ(mn.at({1}), 2.0f);
+}
+
+TEST(OpsTest, UnaryFunctions) {
+  const Tensor x = Tensor::FromVector(Shape({4}), {-2, -0.5, 0.5, 2});
+  const Tensor relu = Relu(x);
+  EXPECT_FLOAT_EQ(relu.at({0}), 0.0f);
+  EXPECT_FLOAT_EQ(relu.at({3}), 2.0f);
+  const Tensor leaky = LeakyRelu(x, 0.1f);
+  EXPECT_FLOAT_EQ(leaky.at({0}), -0.2f);
+  EXPECT_FLOAT_EQ(leaky.at({3}), 2.0f);
+  const Tensor sig = Sigmoid(x);
+  EXPECT_NEAR(sig.at({3}), 1.0f / (1.0f + std::exp(-2.0f)), 1e-6);
+  const Tensor th = Tanh(x);
+  EXPECT_NEAR(th.at({0}), std::tanh(-2.0f), 1e-6);
+  EXPECT_NEAR(Exp(x).at({3}), std::exp(2.0f), 1e-4);
+  EXPECT_NEAR(Abs(x).at({0}), 2.0f, 1e-6);
+  EXPECT_NEAR(Square(x).at({1}), 0.25f, 1e-6);
+}
+
+TEST(OpsTest, SigmoidExtremesStable) {
+  const Tensor x = Tensor::FromVector(Shape({2}), {-100.0f, 100.0f});
+  const Tensor y = Sigmoid(x);
+  EXPECT_NEAR(y.at({0}), 0.0f, 1e-6);
+  EXPECT_NEAR(y.at({1}), 1.0f, 1e-6);
+  EXPECT_FALSE(std::isnan(y.at({0})));
+}
+
+TEST(OpsTest, LogSqrtPow) {
+  const Tensor x = Tensor::FromVector(Shape({2}), {1.0f, 4.0f});
+  EXPECT_NEAR(Log(x).at({1}), std::log(4.0f), 1e-6);
+  EXPECT_NEAR(Sqrt(x).at({1}), 2.0f, 1e-6);
+  EXPECT_NEAR(Pow(x, 3.0f).at({1}), 64.0f, 1e-4);
+}
+
+TEST(OpsTest, LogClampsToEpsilon) {
+  const Tensor x = Tensor::FromVector(Shape({1}), {0.0f});
+  EXPECT_FALSE(std::isinf(Log(x).item()));
+}
+
+TEST(OpsTest, Reshape) {
+  const Tensor r = Reshape(T2x3(), Shape({3, 2}));
+  EXPECT_EQ(r.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(r.at({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(r.at({2, 1}), 6.0f);
+}
+
+TEST(OpsTest, Transpose2D) {
+  const Tensor t = Transpose(T2x3(), 0, 1);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_FLOAT_EQ(t.at({0, 1}), 4.0f);
+  EXPECT_FLOAT_EQ(t.at({2, 0}), 3.0f);
+}
+
+TEST(OpsTest, Transpose3DMiddle) {
+  std::vector<float> vals(2 * 3 * 4);
+  for (size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<float>(i);
+  const Tensor x = Tensor::FromVector(Shape({2, 3, 4}), vals);
+  const Tensor t = Transpose(x, 1, 2);
+  EXPECT_EQ(t.shape(), Shape({2, 4, 3}));
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t i = 0; i < 3; ++i) {
+      for (int64_t j = 0; j < 4; ++j) {
+        EXPECT_FLOAT_EQ(t.at({b, j, i}), x.at({b, i, j}));
+      }
+    }
+  }
+}
+
+TEST(OpsTest, TransposeNegativeDims) {
+  const Tensor t = Transpose(T2x3(), -2, -1);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+}
+
+TEST(OpsTest, SliceMiddle) {
+  const Tensor s = Slice(T2x3(), 1, 1, 3);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(s.at({0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(s.at({1, 1}), 6.0f);
+}
+
+TEST(OpsTest, SliceFirstDim) {
+  const Tensor s = Slice(T2x3(), 0, 1, 2);
+  EXPECT_EQ(s.shape(), Shape({1, 3}));
+  EXPECT_FLOAT_EQ(s.at({0, 0}), 4.0f);
+}
+
+TEST(OpsTest, ConcatDim0) {
+  const Tensor c = Concat({T2x3(), T2x3()}, 0);
+  EXPECT_EQ(c.shape(), Shape({4, 3}));
+  EXPECT_FLOAT_EQ(c.at({3, 2}), 6.0f);
+}
+
+TEST(OpsTest, ConcatDim1) {
+  const Tensor a = Tensor::FromVector(Shape({2, 1}), {1, 2});
+  const Tensor b = Tensor::FromVector(Shape({2, 2}), {3, 4, 5, 6});
+  const Tensor c = Concat({a, b}, 1);
+  EXPECT_EQ(c.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 3.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 2}), 6.0f);
+}
+
+TEST(OpsTest, IndexSelectRows) {
+  const Tensor s = IndexSelect(T2x3(), 0, {1, 0, 1});
+  EXPECT_EQ(s.shape(), Shape({3, 3}));
+  EXPECT_FLOAT_EQ(s.at({0, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(s.at({1, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(s.at({2, 2}), 6.0f);
+}
+
+TEST(OpsTest, IndexSelectColumns) {
+  const Tensor s = IndexSelect(T2x3(), 1, {2, 0});
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(s.at({0, 0}), 3.0f);
+  EXPECT_FLOAT_EQ(s.at({1, 1}), 4.0f);
+}
+
+TEST(OpsTest, UnsqueezeSqueeze) {
+  const Tensor u = Unsqueeze(T2x3(), 1);
+  EXPECT_EQ(u.shape(), Shape({2, 1, 3}));
+  const Tensor s = Squeeze(u, 1);
+  EXPECT_EQ(s.shape(), Shape({2, 3}));
+}
+
+TEST(OpsTest, BroadcastToMaterialises) {
+  const Tensor row = Tensor::FromVector(Shape({1, 3}), {1, 2, 3});
+  const Tensor b = BroadcastTo(row, Shape({2, 3}));
+  EXPECT_EQ(b.shape(), Shape({2, 3}));
+  EXPECT_FLOAT_EQ(b.at({1, 2}), 3.0f);
+}
+
+TEST(OpsTest, SumAll) { EXPECT_FLOAT_EQ(Sum(T2x3()).item(), 21.0f); }
+
+TEST(OpsTest, SumAlongDims) {
+  const Tensor s0 = Sum(T2x3(), 0);
+  EXPECT_EQ(s0.shape(), Shape({3}));
+  EXPECT_FLOAT_EQ(s0.at({0}), 5.0f);
+  const Tensor s1 = Sum(T2x3(), 1);
+  EXPECT_EQ(s1.shape(), Shape({2}));
+  EXPECT_FLOAT_EQ(s1.at({1}), 15.0f);
+  const Tensor keep = Sum(T2x3(), 1, /*keepdim=*/true);
+  EXPECT_EQ(keep.shape(), Shape({2, 1}));
+}
+
+TEST(OpsTest, MeanValues) {
+  EXPECT_FLOAT_EQ(Mean(T2x3()).item(), 3.5f);
+  const Tensor m = Mean(T2x3(), 0);
+  EXPECT_FLOAT_EQ(m.at({0}), 2.5f);
+}
+
+TEST(OpsTest, MaxMinAlongDim) {
+  const Tensor mx = Max(T2x3(), 1);
+  EXPECT_FLOAT_EQ(mx.at({0}), 3.0f);
+  EXPECT_FLOAT_EQ(mx.at({1}), 6.0f);
+  const Tensor mn = Min(T2x3(), 0);
+  EXPECT_FLOAT_EQ(mn.at({2}), 3.0f);
+}
+
+TEST(OpsTest, MatMul2D) {
+  const Tensor a = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::FromVector(Shape({3, 2}), {7, 8, 9, 10, 11, 12});
+  const Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 58.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 64.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 139.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 154.0f);
+}
+
+TEST(OpsTest, MatMulIdentity) {
+  const Tensor x = T2x3();
+  const Tensor c = MatMul(Tensor::Eye(2), x);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(c.at({i, j}), x.at({i, j}));
+  }
+}
+
+TEST(OpsTest, MatMulBatchedRhs) {
+  // [2,2] @ [3,2,1]: lhs broadcast across batch of 3.
+  const Tensor a = Tensor::FromVector(Shape({2, 2}), {1, 0, 0, 2});
+  const Tensor b =
+      Tensor::FromVector(Shape({3, 2, 1}), {1, 2, 3, 4, 5, 6});
+  const Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), Shape({3, 2, 1}));
+  EXPECT_FLOAT_EQ(c.at({0, 0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(c.at({0, 1, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(c.at({2, 1, 0}), 12.0f);
+}
+
+TEST(OpsTest, MatMulBatchedBoth) {
+  const Tensor a = Tensor::FromVector(Shape({2, 1, 2}), {1, 2, 3, 4});
+  const Tensor b = Tensor::FromVector(Shape({2, 2, 1}), {1, 1, 2, 2});
+  const Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 1, 1}));
+  EXPECT_FLOAT_EQ(c.at({0, 0, 0}), 3.0f);
+  EXPECT_FLOAT_EQ(c.at({1, 0, 0}), 14.0f);
+}
+
+TEST(OpsTest, MatMul4DBatch) {
+  // A [N,N] mixing nodes of X [B,T,N,C] — the GCN pattern.
+  const Tensor adj = Tensor::FromVector(Shape({2, 2}), {0, 1, 1, 0});
+  std::vector<float> vals(2 * 3 * 2 * 1);
+  for (size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<float>(i);
+  const Tensor x = Tensor::FromVector(Shape({2, 3, 2, 1}), vals);
+  const Tensor y = MatMul(adj, x);
+  EXPECT_EQ(y.shape(), Shape({2, 3, 2, 1}));
+  // Swap of the two node rows within each [N=2, C=1] block.
+  for (int64_t b = 0; b < 2; ++b) {
+    for (int64_t t = 0; t < 3; ++t) {
+      EXPECT_FLOAT_EQ(y.at({b, t, 0, 0}), x.at({b, t, 1, 0}));
+      EXPECT_FLOAT_EQ(y.at({b, t, 1, 0}), x.at({b, t, 0, 0}));
+    }
+  }
+}
+
+TEST(OpsTest, SoftmaxRows) {
+  const Tensor x = Tensor::FromVector(Shape({2, 2}), {0, 0, 1, 3});
+  const Tensor y = Softmax(x, 1);
+  EXPECT_NEAR(y.at({0, 0}), 0.5f, 1e-6);
+  EXPECT_NEAR(y.at({0, 1}), 0.5f, 1e-6);
+  const float e2 = std::exp(2.0f);
+  EXPECT_NEAR(y.at({1, 1}), e2 / (1.0f + e2), 1e-5);
+  // Rows sum to one.
+  const Tensor row_sum = Sum(y, 1);
+  EXPECT_NEAR(row_sum.at({0}), 1.0f, 1e-6);
+  EXPECT_NEAR(row_sum.at({1}), 1.0f, 1e-6);
+}
+
+TEST(OpsTest, SoftmaxLargeValuesStable) {
+  const Tensor x = Tensor::FromVector(Shape({1, 2}), {1000.0f, 1001.0f});
+  const Tensor y = Softmax(x, 1);
+  EXPECT_FALSE(std::isnan(y.at({0, 0})));
+  EXPECT_NEAR(y.at({0, 0}) + y.at({0, 1}), 1.0f, 1e-6);
+}
+
+TEST(OpsTest, Conv1dTimeIdentityKernel) {
+  // K=1 kernel with weight 1 acts as identity.
+  std::vector<float> vals(1 * 4 * 2 * 1);
+  for (size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<float>(i + 1);
+  const Tensor x = Tensor::FromVector(Shape({1, 4, 2, 1}), vals);
+  const Tensor w = Tensor::FromVector(Shape({1, 1, 1}), {1.0f});
+  const Tensor y = Conv1dTime(x, w, Tensor(), /*dilation=*/1);
+  EXPECT_EQ(y.shape(), x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(OpsTest, Conv1dTimeCausalSum) {
+  // K=2 kernel of ones computes x[t] + x[t-1] with zero at t<0.
+  const Tensor x =
+      Tensor::FromVector(Shape({1, 4, 1, 1}), {1, 2, 3, 4});
+  const Tensor w = Tensor::FromVector(Shape({1, 1, 2}), {1.0f, 1.0f});
+  const Tensor y = Conv1dTime(x, w, Tensor(), 1);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 1.0f);  // 0 + 1.
+  EXPECT_FLOAT_EQ(y.at({0, 1, 0, 0}), 3.0f);  // 1 + 2.
+  EXPECT_FLOAT_EQ(y.at({0, 2, 0, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 3, 0, 0}), 7.0f);
+}
+
+TEST(OpsTest, Conv1dTimeDilation) {
+  // K=2, dilation=2: y[t] = x[t] + x[t-2].
+  const Tensor x =
+      Tensor::FromVector(Shape({1, 5, 1, 1}), {1, 2, 3, 4, 5});
+  const Tensor w = Tensor::FromVector(Shape({1, 1, 2}), {1.0f, 1.0f});
+  const Tensor y = Conv1dTime(x, w, Tensor(), 2);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 1.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 1, 0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 2, 0, 0}), 4.0f);  // 1 + 3.
+  EXPECT_FLOAT_EQ(y.at({0, 4, 0, 0}), 8.0f);  // 3 + 5.
+}
+
+TEST(OpsTest, Conv1dTimeBias) {
+  const Tensor x = Tensor::FromVector(Shape({1, 2, 1, 1}), {0, 0});
+  const Tensor w = Tensor::FromVector(Shape({2, 1, 1}), {1.0f, 1.0f});
+  const Tensor b = Tensor::FromVector(Shape({2}), {5.0f, -3.0f});
+  const Tensor y = Conv1dTime(x, w, b, 1);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(y.at({0, 0, 0, 1}), -3.0f);
+}
+
+TEST(OpsTest, Conv1dTimeMultiChannel) {
+  // C_in=2, C_out=1, K=1: y = 2*x0 + 3*x1.
+  const Tensor x = Tensor::FromVector(Shape({1, 1, 1, 2}), {1.0f, 10.0f});
+  const Tensor w = Tensor::FromVector(Shape({1, 2, 1}), {2.0f, 3.0f});
+  const Tensor y = Conv1dTime(x, w, Tensor(), 1);
+  EXPECT_FLOAT_EQ(y.item(), 32.0f);
+}
+
+TEST(OpsTest, DropoutZeroPIsIdentity) {
+  Rng rng(3);
+  const Tensor x = T2x3();
+  const Tensor y = Dropout(x, 0.0f, &rng);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(OpsTest, DropoutScalesSurvivors) {
+  Rng rng(3);
+  const Tensor x = Tensor::Ones(Shape({1000}));
+  const Tensor y = Dropout(x, 0.5f, &rng);
+  int zeros = 0;
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    const float v = y.data()[i];
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6);
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_NEAR(zeros / 1000.0, 0.5, 0.08);
+}
+
+TEST(OpsTest, NegOperator) {
+  const Tensor y = -T2x3();
+  EXPECT_FLOAT_EQ(y.at({0, 0}), -1.0f);
+}
+
+}  // namespace
+}  // namespace stsm

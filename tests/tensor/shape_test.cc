@@ -1,0 +1,79 @@
+#include "tensor/shape.h"
+
+#include "gtest/gtest.h"
+
+namespace stsm {
+namespace {
+
+TEST(ShapeTest, BasicProperties) {
+  const Shape s({2, 3, 4});
+  EXPECT_EQ(s.ndim(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s[2], 4);
+}
+
+TEST(ShapeTest, NegativeIndexing) {
+  const Shape s({2, 3, 4});
+  EXPECT_EQ(s[-1], 4);
+  EXPECT_EQ(s[-2], 3);
+  EXPECT_EQ(s[-3], 2);
+}
+
+TEST(ShapeTest, ScalarShape) {
+  const Shape s({});
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(ShapeTest, ZeroDimension) {
+  const Shape s({3, 0, 2});
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(ShapeTest, RowMajorStrides) {
+  const Shape s({2, 3, 4});
+  const auto strides = s.Strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(Shape({2, 3}).ToString(), "[2, 3]");
+  EXPECT_EQ(Shape({}).ToString(), "[]");
+}
+
+TEST(ShapeTest, BroadcastSameShape) {
+  EXPECT_EQ(Shape::Broadcast(Shape({2, 3}), Shape({2, 3})), Shape({2, 3}));
+}
+
+TEST(ShapeTest, BroadcastScalar) {
+  EXPECT_EQ(Shape::Broadcast(Shape({2, 3}), Shape({})), Shape({2, 3}));
+  EXPECT_EQ(Shape::Broadcast(Shape({}), Shape({2, 3})), Shape({2, 3}));
+}
+
+TEST(ShapeTest, BroadcastTrailingOnes) {
+  EXPECT_EQ(Shape::Broadcast(Shape({4, 1, 3}), Shape({1, 5, 3})),
+            Shape({4, 5, 3}));
+  EXPECT_EQ(Shape::Broadcast(Shape({3}), Shape({2, 3})), Shape({2, 3}));
+}
+
+TEST(ShapeTest, BroadcastsToPredicate) {
+  EXPECT_TRUE(Shape::BroadcastsTo(Shape({1, 3}), Shape({2, 3})));
+  EXPECT_TRUE(Shape::BroadcastsTo(Shape({3}), Shape({2, 3})));
+  EXPECT_TRUE(Shape::BroadcastsTo(Shape({}), Shape({2, 3})));
+  EXPECT_FALSE(Shape::BroadcastsTo(Shape({2, 3}), Shape({3})));
+  EXPECT_FALSE(Shape::BroadcastsTo(Shape({4, 3}), Shape({2, 3})));
+}
+
+}  // namespace
+}  // namespace stsm

@@ -1,0 +1,171 @@
+#include "tensor/tensor.h"
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+
+namespace stsm {
+namespace {
+
+TEST(TensorTest, ZerosOnesFull) {
+  const Tensor z = Tensor::Zeros(Shape({2, 2}));
+  const Tensor o = Tensor::Ones(Shape({2, 2}));
+  const Tensor f = Tensor::Full(Shape({2, 2}), 3.5f);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(z.data()[i], 0.0f);
+    EXPECT_EQ(o.data()[i], 1.0f);
+    EXPECT_EQ(f.data()[i], 3.5f);
+  }
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  const Tensor t = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({0, 2}), 3.0f);
+  EXPECT_EQ(t.at({1, 0}), 4.0f);
+  EXPECT_EQ(t.at({1, 2}), 6.0f);
+}
+
+TEST(TensorTest, SetElement) {
+  Tensor t = Tensor::Zeros(Shape({2, 2}));
+  t.set({1, 1}, 7.0f);
+  EXPECT_EQ(t.at({1, 1}), 7.0f);
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+}
+
+TEST(TensorTest, ScalarItem) {
+  EXPECT_EQ(Tensor::Scalar(2.5f).item(), 2.5f);
+}
+
+TEST(TensorTest, Eye) {
+  const Tensor eye = Tensor::Eye(3);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(eye.at({i, j}), i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(TensorTest, UniformWithinBounds) {
+  Rng rng(5);
+  const Tensor t = Tensor::Uniform(Shape({100}), -2.0f, 2.0f, &rng);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_GE(t.data()[i], -2.0f);
+    EXPECT_LT(t.data()[i], 2.0f);
+  }
+}
+
+TEST(TensorTest, DefaultUndefined) {
+  const Tensor t;
+  EXPECT_FALSE(t.defined());
+}
+
+TEST(TensorTest, BackwardThroughSimpleGraph) {
+  Tensor x = Tensor::FromVector(Shape({3}), {1, 2, 3}, /*requires_grad=*/true);
+  Tensor loss = Sum(Mul(x, x));  // sum(x^2), d/dx = 2x.
+  loss.Backward();
+  EXPECT_FLOAT_EQ(loss.item(), 14.0f);
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 2.0f);
+  EXPECT_FLOAT_EQ(x.grad_data()[1], 4.0f);
+  EXPECT_FLOAT_EQ(x.grad_data()[2], 6.0f);
+}
+
+TEST(TensorTest, GradientsAccumulateAcrossBackwards) {
+  Tensor x = Tensor::FromVector(Shape({1}), {2.0f}, /*requires_grad=*/true);
+  Sum(Mul(x, x)).Backward();
+  Sum(Mul(x, x)).Backward();
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 8.0f);  // 4 + 4.
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 0.0f);
+}
+
+TEST(TensorTest, SharedSubexpressionGradient) {
+  // y = x * x reused twice: loss = y + y => d/dx = 4x.
+  Tensor x = Tensor::FromVector(Shape({1}), {3.0f}, /*requires_grad=*/true);
+  Tensor y = Mul(x, x);
+  Tensor loss = Sum(Add(y, y));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 12.0f);
+}
+
+TEST(TensorTest, NoGradGuardStopsRecording) {
+  Tensor x = Tensor::FromVector(Shape({1}), {2.0f}, /*requires_grad=*/true);
+  Tensor y;
+  {
+    NoGradGuard guard;
+    y = Mul(x, x);
+  }
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(TensorTest, NoGradGuardRestoresMode) {
+  EXPECT_TRUE(GradModeEnabled());
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(GradModeEnabled());
+    {
+      NoGradGuard nested;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+TEST(TensorTest, DetachBreaksGraph) {
+  Tensor x = Tensor::FromVector(Shape({1}), {2.0f}, /*requires_grad=*/true);
+  Tensor y = Mul(x, x).Detach();
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_FLOAT_EQ(y.item(), 4.0f);
+  Tensor loss = Sum(Mul(y, x));
+  loss.Backward();
+  // Only the direct x path contributes: d/dx (4 * x) = 4.
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 4.0f);
+}
+
+TEST(TensorTest, CloneIsDeepCopy) {
+  Tensor x = Tensor::FromVector(Shape({2}), {1.0f, 2.0f});
+  Tensor y = x.Clone();
+  y.data()[0] = 100.0f;
+  EXPECT_FLOAT_EQ(x.data()[0], 1.0f);
+}
+
+TEST(TensorTest, GradTensorZeroWhenNoBackward) {
+  Tensor x = Tensor::FromVector(Shape({2}), {1.0f, 2.0f},
+                                /*requires_grad=*/true);
+  const Tensor g = x.GradTensor();
+  EXPECT_EQ(g.shape(), x.shape());
+  EXPECT_FLOAT_EQ(g.data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(g.data()[1], 0.0f);
+}
+
+TEST(TensorTest, NoGradThroughNonRequiringInputs) {
+  Tensor x = Tensor::FromVector(Shape({1}), {2.0f});  // No grad.
+  Tensor y = Mul(x, x);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(TensorTest, DiamondGraphGradient) {
+  // loss = (x*2) + (x*3); d/dx = 5.
+  Tensor x = Tensor::FromVector(Shape({1}), {1.0f}, /*requires_grad=*/true);
+  Tensor a = Mul(x, 2.0f);
+  Tensor b = Mul(x, 3.0f);
+  Sum(Add(a, b)).Backward();
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 5.0f);
+}
+
+TEST(TensorTest, DeepChainGradient) {
+  // loss = 2^10 * x through 10 doublings.
+  Tensor x = Tensor::FromVector(Shape({1}), {1.0f}, /*requires_grad=*/true);
+  Tensor y = x;
+  for (int i = 0; i < 10; ++i) y = Add(y, y);
+  Sum(y).Backward();
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 1024.0f);
+}
+
+TEST(TensorTest, ToStringContainsShape) {
+  const Tensor t = Tensor::Zeros(Shape({2, 2}));
+  EXPECT_NE(t.ToString().find("[2, 2]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stsm

@@ -1,0 +1,226 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "timeseries/dtw.h"
+#include "timeseries/pseudo_observations.h"
+#include "timeseries/series.h"
+#include "timeseries/temporal_adjacency.h"
+#include "timeseries/time_features.h"
+
+namespace stsm {
+namespace {
+
+TEST(DtwTest, IdenticalSequencesZero) {
+  const std::vector<float> a = {1, 2, 3, 4, 3, 2};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a, /*band=*/2), 0.0);
+}
+
+TEST(DtwTest, SymmetricInArguments) {
+  const std::vector<float> a = {1, 3, 5, 7};
+  const std::vector<float> b = {2, 2, 6, 6};
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), DtwDistance(b, a));
+}
+
+TEST(DtwTest, NonNegativeAndDiscriminative) {
+  const std::vector<float> base = {0, 1, 2, 3, 4, 5};
+  const std::vector<float> close = {0, 1, 2, 3, 4, 6};
+  const std::vector<float> far = {10, 9, 8, 7, 6, 5};
+  const double d_close = DtwDistance(base, close);
+  const double d_far = DtwDistance(base, far);
+  EXPECT_GE(d_close, 0.0);
+  EXPECT_LT(d_close, d_far);
+}
+
+TEST(DtwTest, InvariantToTimeShiftUnlikeEuclidean) {
+  // A shifted copy of a bump: DTW should be much smaller than the
+  // point-wise L1 distance.
+  std::vector<float> a(20, 0.0f), b(20, 0.0f);
+  for (int i = 5; i < 10; ++i) a[i] = 10.0f;
+  for (int i = 7; i < 12; ++i) b[i] = 10.0f;
+  double l1 = 0;
+  for (int i = 0; i < 20; ++i) l1 += std::fabs(a[i] - b[i]);
+  EXPECT_LT(DtwDistance(a, b), l1 * 0.25);
+}
+
+TEST(DtwTest, BandRestrictsWarping) {
+  // With a wide shift and a narrow band, the banded distance exceeds the
+  // unconstrained one.
+  std::vector<float> a(30, 0.0f), b(30, 0.0f);
+  for (int i = 0; i < 5; ++i) a[i] = 5.0f;
+  for (int i = 20; i < 25; ++i) b[i] = 5.0f;
+  EXPECT_GE(DtwDistance(a, b, /*band=*/2), DtwDistance(a, b, /*band=*/0));
+}
+
+TEST(DtwTest, DifferentLengthSequences) {
+  const std::vector<float> a = {1, 2, 3};
+  const std::vector<float> b = {1, 1, 2, 2, 3, 3};
+  EXPECT_GE(DtwDistance(a, b), 0.0);
+  EXPECT_LT(DtwDistance(a, b), 1e-9);  // Perfectly warpable.
+}
+
+TEST(DailyProfileTest, AveragesAcrossDays) {
+  // Two days, 4 slots: day2 = day1 + 2.
+  const std::vector<float> series = {1, 2, 3, 4, 3, 4, 5, 6};
+  const auto profile = DailyProfile(series, 4);
+  ASSERT_EQ(profile.size(), 4u);
+  EXPECT_FLOAT_EQ(profile[0], 2.0f);
+  EXPECT_FLOAT_EQ(profile[3], 5.0f);
+}
+
+TEST(SeriesMatrixTest, AccessorsAndSlicing) {
+  SeriesMatrix m(4, 2);
+  m.set(2, 1, 7.5f);
+  EXPECT_FLOAT_EQ(m.at(2, 1), 7.5f);
+  const auto node = m.NodeSeries(1);
+  EXPECT_FLOAT_EQ(node[2], 7.5f);
+  const SeriesMatrix slice = m.TimeSlice(2, 4);
+  EXPECT_EQ(slice.num_steps, 2);
+  EXPECT_FLOAT_EQ(slice.at(0, 1), 7.5f);
+}
+
+TEST(PseudoObsTest, WeightsSumToOne) {
+  // 3 nodes on a line; node 1 is the target.
+  const std::vector<double> d = {0, 1, 3,
+                                 1, 0, 2,
+                                 3, 2, 0};
+  const auto w = InverseDistanceWeights(d, 3, /*targets=*/{1},
+                                        /*sources=*/{0, 2});
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12);
+  // Closer source gets more weight: d(1,0)=1 < d(1,2)=2.
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_NEAR(w[0], (1.0 / 1.0) / (1.0 / 1.0 + 1.0 / 2.0), 1e-12);
+}
+
+TEST(PseudoObsTest, CoincidentSourceCopiesExactly) {
+  const std::vector<double> d = {0, 0, 5,
+                                 0, 0, 5,
+                                 5, 5, 0};
+  const auto w = InverseDistanceWeights(d, 3, {1}, {0, 2});
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+}
+
+TEST(PseudoObsTest, MaxNeighborsRestrictsSupport) {
+  // 4 nodes on a line at x = 0, 1, 2, 10; target is node 1.
+  const std::vector<double> d = {0, 1, 2, 10,
+                                 1, 0, 1, 9,
+                                 2, 1, 0, 8,
+                                 10, 9, 8, 0};
+  const auto w_all =
+      InverseDistanceWeights(d, 4, {1}, {0, 2, 3}, /*max_neighbors=*/0);
+  const auto w_two =
+      InverseDistanceWeights(d, 4, {1}, {0, 2, 3}, /*max_neighbors=*/2);
+  // Full weighting touches node 3; 2-NN weighting must not.
+  EXPECT_GT(w_all[2], 0.0);
+  EXPECT_DOUBLE_EQ(w_two[2], 0.0);
+  EXPECT_NEAR(w_two[0] + w_two[1], 1.0, 1e-12);
+  // Nearest nodes 0 and 2 are equidistant: equal weights.
+  EXPECT_NEAR(w_two[0], 0.5, 1e-12);
+}
+
+TEST(PseudoObsTest, FillReproducesConvexCombination) {
+  SeriesMatrix series(2, 3);
+  series.set(0, 0, 10.0f);
+  series.set(0, 2, 40.0f);
+  series.set(1, 0, 20.0f);
+  series.set(1, 2, 80.0f);
+  const std::vector<double> d = {0, 1, 2,
+                                 1, 0, 1,
+                                 2, 1, 0};
+  FillPseudoObservations(&series, d, /*targets=*/{1}, /*sources=*/{0, 2});
+  // Equidistant: plain average.
+  EXPECT_NEAR(series.at(0, 1), 25.0f, 1e-4);
+  EXPECT_NEAR(series.at(1, 1), 50.0f, 1e-4);
+  // Pseudo-values lie within the source range (convexity).
+  EXPECT_GE(series.at(0, 1), 10.0f);
+  EXPECT_LE(series.at(0, 1), 40.0f);
+}
+
+TEST(TemporalAdjacencyTest, DirectedObservedToTarget) {
+  // Node 2 (target) mirrors node 0's daily pattern; node 1 differs.
+  const int steps_per_day = 8;
+  SeriesMatrix series(steps_per_day * 2, 3);
+  for (int t = 0; t < series.num_steps; ++t) {
+    const float phase = static_cast<float>(t % steps_per_day);
+    series.set(t, 0, std::sin(phase));
+    series.set(t, 1, 5.0f * std::cos(phase) + 20.0f);
+    series.set(t, 2, std::sin(phase));  // Pseudo-obs identical to node 0.
+  }
+  TemporalAdjacencyOptions options;
+  options.q_kk = 1;
+  options.q_ku = 1;
+  options.steps_per_day = steps_per_day;
+  options.dtw_band = 0;
+  const Tensor adj =
+      TemporalSimilarityAdjacency(series, /*observed=*/{0, 1},
+                                  /*targets=*/{2}, options);
+  // Target 2 aggregates from its most similar observed node (0).
+  EXPECT_EQ(adj.at({2, 0}), 1.0f);
+  EXPECT_EQ(adj.at({2, 1}), 0.0f);
+  // No edges from observed nodes into the target (directedness).
+  EXPECT_EQ(adj.at({0, 2}), 0.0f);
+  EXPECT_EQ(adj.at({1, 2}), 0.0f);
+  // Observed pair linked symmetrically (q_kk = 1, only one other obs).
+  EXPECT_EQ(adj.at({0, 1}), 1.0f);
+  EXPECT_EQ(adj.at({1, 0}), 1.0f);
+}
+
+TEST(TemporalAdjacencyTest, QkuControlsInDegree) {
+  const int steps_per_day = 6;
+  SeriesMatrix series(steps_per_day * 2, 5);
+  Rng rng(11);
+  for (int t = 0; t < series.num_steps; ++t) {
+    for (int n = 0; n < 5; ++n) {
+      series.set(t, n, static_cast<float>(rng.Uniform()));
+    }
+  }
+  TemporalAdjacencyOptions options;
+  options.q_kk = 1;
+  options.q_ku = 3;
+  options.steps_per_day = steps_per_day;
+  const Tensor adj = TemporalSimilarityAdjacency(series, {0, 1, 2, 3}, {4},
+                                                 options);
+  int in_degree = 0;
+  for (int64_t j = 0; j < 5; ++j) {
+    in_degree += adj.at({4, j}) != 0.0f ? 1 : 0;
+  }
+  EXPECT_EQ(in_degree, 3);
+}
+
+TEST(TimeFeaturesTest, IdsWrapAtMidnight) {
+  const auto ids = TimeOfDayIds(/*start=*/6, /*window=*/4, /*steps_per_day=*/8);
+  EXPECT_EQ(ids, (std::vector<int>{6, 7, 0, 1}));
+}
+
+TEST(TimeFeaturesTest, FeatureEncodingContinuity) {
+  // sin/cos features must be continuous across midnight; the raw id is not.
+  const auto before = TimeOfDayFeatures({287}, 288);
+  const auto after = TimeOfDayFeatures({0}, 288);
+  EXPECT_NEAR(before.at({0, 1}), after.at({0, 1}), 0.05);  // sin.
+  EXPECT_NEAR(before.at({0, 2}), after.at({0, 2}), 0.05);  // cos.
+}
+
+TEST(TimeFeaturesTest, ShapeAndRange) {
+  const auto ids = TimeOfDayIds(0, 24, 288);
+  const Tensor f = TimeOfDayFeatures(ids, 288);
+  EXPECT_EQ(f.shape(), Shape({24, 3}));
+  for (int64_t i = 0; i < f.numel(); ++i) {
+    EXPECT_LE(std::fabs(f.data()[i]), 1.0f);
+  }
+}
+
+TEST(ProfileDtwTest, ZeroDiagonalSymmetric) {
+  SeriesMatrix series(16, 3);
+  Rng rng(13);
+  for (auto& v : series.values) v = static_cast<float>(rng.Uniform());
+  const auto d = ProfileDtwDistances(series, /*steps_per_day=*/8, 2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(d[i * 3 + i], 0.0);
+    for (int j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(d[i * 3 + j], d[j * 3 + i]);
+  }
+}
+
+}  // namespace
+}  // namespace stsm
