@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multiregion.dir/bench_ext_multiregion.cc.o"
+  "CMakeFiles/bench_ext_multiregion.dir/bench_ext_multiregion.cc.o.d"
+  "bench_ext_multiregion"
+  "bench_ext_multiregion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multiregion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

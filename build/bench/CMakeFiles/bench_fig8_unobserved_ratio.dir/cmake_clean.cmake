@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_unobserved_ratio.dir/bench_fig8_unobserved_ratio.cc.o"
+  "CMakeFiles/bench_fig8_unobserved_ratio.dir/bench_fig8_unobserved_ratio.cc.o.d"
+  "bench_fig8_unobserved_ratio"
+  "bench_fig8_unobserved_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_unobserved_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_substrate.cc" "bench/CMakeFiles/bench_micro_substrate.dir/bench_micro_substrate.cc.o" "gcc" "bench/CMakeFiles/bench_micro_substrate.dir/bench_micro_substrate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/stsm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/stsm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/stsm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/masking/CMakeFiles/stsm_masking.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/stsm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/stsm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/stsm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stsm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

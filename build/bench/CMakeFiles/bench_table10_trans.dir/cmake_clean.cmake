@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_trans.dir/bench_table10_trans.cc.o"
+  "CMakeFiles/bench_table10_trans.dir/bench_table10_trans.cc.o.d"
+  "bench_table10_trans"
+  "bench_table10_trans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_trans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_sensors.dir/bench_table6_sensors.cc.o"
+  "CMakeFiles/bench_table6_sensors.dir/bench_table6_sensors.cc.o.d"
+  "bench_table6_sensors"
+  "bench_table6_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

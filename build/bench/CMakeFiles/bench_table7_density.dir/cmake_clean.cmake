@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_density.dir/bench_table7_density.cc.o"
+  "CMakeFiles/bench_table7_density.dir/bench_table7_density.cc.o.d"
+  "bench_table7_density"
+  "bench_table7_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

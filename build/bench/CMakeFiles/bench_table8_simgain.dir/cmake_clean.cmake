@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_simgain.dir/bench_table8_simgain.cc.o"
+  "CMakeFiles/bench_table8_simgain.dir/bench_table8_simgain.cc.o.d"
+  "bench_table8_simgain"
+  "bench_table8_simgain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_simgain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

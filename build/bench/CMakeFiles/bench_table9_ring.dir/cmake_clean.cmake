@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_ring.dir/bench_table9_ring.cc.o"
+  "CMakeFiles/bench_table9_ring.dir/bench_table9_ring.cc.o.d"
+  "bench_table9_ring"
+  "bench_table9_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

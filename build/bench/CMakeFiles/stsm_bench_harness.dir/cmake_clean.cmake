@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stsm_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/stsm_bench_harness.dir/harness.cc.o.d"
+  "libstsm_bench_harness.a"
+  "libstsm_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stsm_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

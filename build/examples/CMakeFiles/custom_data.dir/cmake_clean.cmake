@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_data.dir/custom_data.cpp.o"
+  "CMakeFiles/custom_data.dir/custom_data.cpp.o.d"
+  "custom_data"
+  "custom_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

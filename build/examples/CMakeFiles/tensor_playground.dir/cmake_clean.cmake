@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tensor_playground.dir/tensor_playground.cpp.o"
+  "CMakeFiles/tensor_playground.dir/tensor_playground.cpp.o.d"
+  "tensor_playground"
+  "tensor_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tensor_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

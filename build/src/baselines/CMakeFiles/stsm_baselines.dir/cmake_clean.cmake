@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stsm_baselines.dir/context.cc.o"
+  "CMakeFiles/stsm_baselines.dir/context.cc.o.d"
+  "CMakeFiles/stsm_baselines.dir/gegan.cc.o"
+  "CMakeFiles/stsm_baselines.dir/gegan.cc.o.d"
+  "CMakeFiles/stsm_baselines.dir/ignnk.cc.o"
+  "CMakeFiles/stsm_baselines.dir/ignnk.cc.o.d"
+  "CMakeFiles/stsm_baselines.dir/increase.cc.o"
+  "CMakeFiles/stsm_baselines.dir/increase.cc.o.d"
+  "CMakeFiles/stsm_baselines.dir/zoo.cc.o"
+  "CMakeFiles/stsm_baselines.dir/zoo.cc.o.d"
+  "libstsm_baselines.a"
+  "libstsm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stsm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stsm_common.dir/env.cc.o"
+  "CMakeFiles/stsm_common.dir/env.cc.o.d"
+  "CMakeFiles/stsm_common.dir/rng.cc.o"
+  "CMakeFiles/stsm_common.dir/rng.cc.o.d"
+  "CMakeFiles/stsm_common.dir/table.cc.o"
+  "CMakeFiles/stsm_common.dir/table.cc.o.d"
+  "CMakeFiles/stsm_common.dir/thread_pool.cc.o"
+  "CMakeFiles/stsm_common.dir/thread_pool.cc.o.d"
+  "libstsm_common.a"
+  "libstsm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stsm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stsm_core.dir/config.cc.o"
+  "CMakeFiles/stsm_core.dir/config.cc.o.d"
+  "CMakeFiles/stsm_core.dir/experiment.cc.o"
+  "CMakeFiles/stsm_core.dir/experiment.cc.o.d"
+  "CMakeFiles/stsm_core.dir/st_model.cc.o"
+  "CMakeFiles/stsm_core.dir/st_model.cc.o.d"
+  "CMakeFiles/stsm_core.dir/stsm.cc.o"
+  "CMakeFiles/stsm_core.dir/stsm.cc.o.d"
+  "libstsm_core.a"
+  "libstsm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stsm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_io.cc" "src/data/CMakeFiles/stsm_data.dir/csv_io.cc.o" "gcc" "src/data/CMakeFiles/stsm_data.dir/csv_io.cc.o.d"
+  "/root/repo/src/data/metadata.cc" "src/data/CMakeFiles/stsm_data.dir/metadata.cc.o" "gcc" "src/data/CMakeFiles/stsm_data.dir/metadata.cc.o.d"
+  "/root/repo/src/data/metrics.cc" "src/data/CMakeFiles/stsm_data.dir/metrics.cc.o" "gcc" "src/data/CMakeFiles/stsm_data.dir/metrics.cc.o.d"
+  "/root/repo/src/data/normalizer.cc" "src/data/CMakeFiles/stsm_data.dir/normalizer.cc.o" "gcc" "src/data/CMakeFiles/stsm_data.dir/normalizer.cc.o.d"
+  "/root/repo/src/data/registry.cc" "src/data/CMakeFiles/stsm_data.dir/registry.cc.o" "gcc" "src/data/CMakeFiles/stsm_data.dir/registry.cc.o.d"
+  "/root/repo/src/data/simulator.cc" "src/data/CMakeFiles/stsm_data.dir/simulator.cc.o" "gcc" "src/data/CMakeFiles/stsm_data.dir/simulator.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/data/CMakeFiles/stsm_data.dir/splits.cc.o" "gcc" "src/data/CMakeFiles/stsm_data.dir/splits.cc.o.d"
+  "/root/repo/src/data/svg_map.cc" "src/data/CMakeFiles/stsm_data.dir/svg_map.cc.o" "gcc" "src/data/CMakeFiles/stsm_data.dir/svg_map.cc.o.d"
+  "/root/repo/src/data/windows.cc" "src/data/CMakeFiles/stsm_data.dir/windows.cc.o" "gcc" "src/data/CMakeFiles/stsm_data.dir/windows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/stsm_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/timeseries/CMakeFiles/stsm_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stsm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stsm_data.dir/csv_io.cc.o"
+  "CMakeFiles/stsm_data.dir/csv_io.cc.o.d"
+  "CMakeFiles/stsm_data.dir/metadata.cc.o"
+  "CMakeFiles/stsm_data.dir/metadata.cc.o.d"
+  "CMakeFiles/stsm_data.dir/metrics.cc.o"
+  "CMakeFiles/stsm_data.dir/metrics.cc.o.d"
+  "CMakeFiles/stsm_data.dir/normalizer.cc.o"
+  "CMakeFiles/stsm_data.dir/normalizer.cc.o.d"
+  "CMakeFiles/stsm_data.dir/registry.cc.o"
+  "CMakeFiles/stsm_data.dir/registry.cc.o.d"
+  "CMakeFiles/stsm_data.dir/simulator.cc.o"
+  "CMakeFiles/stsm_data.dir/simulator.cc.o.d"
+  "CMakeFiles/stsm_data.dir/splits.cc.o"
+  "CMakeFiles/stsm_data.dir/splits.cc.o.d"
+  "CMakeFiles/stsm_data.dir/svg_map.cc.o"
+  "CMakeFiles/stsm_data.dir/svg_map.cc.o.d"
+  "CMakeFiles/stsm_data.dir/windows.cc.o"
+  "CMakeFiles/stsm_data.dir/windows.cc.o.d"
+  "libstsm_data.a"
+  "libstsm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stsm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

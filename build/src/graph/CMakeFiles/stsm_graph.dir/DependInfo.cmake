@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/adjacency.cc" "src/graph/CMakeFiles/stsm_graph.dir/adjacency.cc.o" "gcc" "src/graph/CMakeFiles/stsm_graph.dir/adjacency.cc.o.d"
+  "/root/repo/src/graph/geo.cc" "src/graph/CMakeFiles/stsm_graph.dir/geo.cc.o" "gcc" "src/graph/CMakeFiles/stsm_graph.dir/geo.cc.o.d"
+  "/root/repo/src/graph/road.cc" "src/graph/CMakeFiles/stsm_graph.dir/road.cc.o" "gcc" "src/graph/CMakeFiles/stsm_graph.dir/road.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/stsm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

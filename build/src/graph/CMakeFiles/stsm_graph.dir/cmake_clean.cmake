@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stsm_graph.dir/adjacency.cc.o"
+  "CMakeFiles/stsm_graph.dir/adjacency.cc.o.d"
+  "CMakeFiles/stsm_graph.dir/geo.cc.o"
+  "CMakeFiles/stsm_graph.dir/geo.cc.o.d"
+  "CMakeFiles/stsm_graph.dir/road.cc.o"
+  "CMakeFiles/stsm_graph.dir/road.cc.o.d"
+  "libstsm_graph.a"
+  "libstsm_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stsm_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

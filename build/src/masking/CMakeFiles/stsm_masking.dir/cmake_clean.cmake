@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stsm_masking.dir/masking.cc.o"
+  "CMakeFiles/stsm_masking.dir/masking.cc.o.d"
+  "libstsm_masking.a"
+  "libstsm_masking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stsm_masking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/stsm_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/stsm_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/stsm_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/stsm_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/gcn.cc" "src/nn/CMakeFiles/stsm_nn.dir/gcn.cc.o" "gcc" "src/nn/CMakeFiles/stsm_nn.dir/gcn.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/stsm_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/stsm_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/stsm_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/stsm_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/stsm_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/stsm_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/norm.cc" "src/nn/CMakeFiles/stsm_nn.dir/norm.cc.o" "gcc" "src/nn/CMakeFiles/stsm_nn.dir/norm.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/nn/CMakeFiles/stsm_nn.dir/optim.cc.o" "gcc" "src/nn/CMakeFiles/stsm_nn.dir/optim.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/stsm_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/stsm_nn.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/stsm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stsm_nn.dir/attention.cc.o"
+  "CMakeFiles/stsm_nn.dir/attention.cc.o.d"
+  "CMakeFiles/stsm_nn.dir/conv.cc.o"
+  "CMakeFiles/stsm_nn.dir/conv.cc.o.d"
+  "CMakeFiles/stsm_nn.dir/gcn.cc.o"
+  "CMakeFiles/stsm_nn.dir/gcn.cc.o.d"
+  "CMakeFiles/stsm_nn.dir/gru.cc.o"
+  "CMakeFiles/stsm_nn.dir/gru.cc.o.d"
+  "CMakeFiles/stsm_nn.dir/linear.cc.o"
+  "CMakeFiles/stsm_nn.dir/linear.cc.o.d"
+  "CMakeFiles/stsm_nn.dir/loss.cc.o"
+  "CMakeFiles/stsm_nn.dir/loss.cc.o.d"
+  "CMakeFiles/stsm_nn.dir/norm.cc.o"
+  "CMakeFiles/stsm_nn.dir/norm.cc.o.d"
+  "CMakeFiles/stsm_nn.dir/optim.cc.o"
+  "CMakeFiles/stsm_nn.dir/optim.cc.o.d"
+  "CMakeFiles/stsm_nn.dir/serialize.cc.o"
+  "CMakeFiles/stsm_nn.dir/serialize.cc.o.d"
+  "libstsm_nn.a"
+  "libstsm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stsm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stsm_tensor.dir/grad_check.cc.o"
+  "CMakeFiles/stsm_tensor.dir/grad_check.cc.o.d"
+  "CMakeFiles/stsm_tensor.dir/ops.cc.o"
+  "CMakeFiles/stsm_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/stsm_tensor.dir/shape.cc.o"
+  "CMakeFiles/stsm_tensor.dir/shape.cc.o.d"
+  "CMakeFiles/stsm_tensor.dir/tensor.cc.o"
+  "CMakeFiles/stsm_tensor.dir/tensor.cc.o.d"
+  "libstsm_tensor.a"
+  "libstsm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stsm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

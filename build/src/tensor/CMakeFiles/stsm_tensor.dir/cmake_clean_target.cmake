@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstsm_tensor.a"
+)

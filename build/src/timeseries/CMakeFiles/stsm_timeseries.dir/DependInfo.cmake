@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/dtw.cc" "src/timeseries/CMakeFiles/stsm_timeseries.dir/dtw.cc.o" "gcc" "src/timeseries/CMakeFiles/stsm_timeseries.dir/dtw.cc.o.d"
+  "/root/repo/src/timeseries/pseudo_observations.cc" "src/timeseries/CMakeFiles/stsm_timeseries.dir/pseudo_observations.cc.o" "gcc" "src/timeseries/CMakeFiles/stsm_timeseries.dir/pseudo_observations.cc.o.d"
+  "/root/repo/src/timeseries/temporal_adjacency.cc" "src/timeseries/CMakeFiles/stsm_timeseries.dir/temporal_adjacency.cc.o" "gcc" "src/timeseries/CMakeFiles/stsm_timeseries.dir/temporal_adjacency.cc.o.d"
+  "/root/repo/src/timeseries/time_features.cc" "src/timeseries/CMakeFiles/stsm_timeseries.dir/time_features.cc.o" "gcc" "src/timeseries/CMakeFiles/stsm_timeseries.dir/time_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/stsm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/stsm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

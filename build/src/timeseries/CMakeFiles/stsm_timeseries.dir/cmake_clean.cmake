@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stsm_timeseries.dir/dtw.cc.o"
+  "CMakeFiles/stsm_timeseries.dir/dtw.cc.o.d"
+  "CMakeFiles/stsm_timeseries.dir/pseudo_observations.cc.o"
+  "CMakeFiles/stsm_timeseries.dir/pseudo_observations.cc.o.d"
+  "CMakeFiles/stsm_timeseries.dir/temporal_adjacency.cc.o"
+  "CMakeFiles/stsm_timeseries.dir/temporal_adjacency.cc.o.d"
+  "CMakeFiles/stsm_timeseries.dir/time_features.cc.o"
+  "CMakeFiles/stsm_timeseries.dir/time_features.cc.o.d"
+  "libstsm_timeseries.a"
+  "libstsm_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stsm_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
