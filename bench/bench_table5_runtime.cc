@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "common/prof.h"
 #include "harness.h"
 
 namespace stsm {
@@ -13,6 +14,9 @@ namespace bench {
 namespace {
 
 void Run() {
+  // Table 5 is the runtime table, so it also carries the per-op profile.
+  prof::SetEnabled(true);
+  prof::Reset();
   const BenchScale scale = ScaleFromEnv();
   const std::vector<std::string> datasets = {"bay-sim", "pems07-sim",
                                              "pems08-sim", "melbourne-sim"};
@@ -46,6 +50,20 @@ void Run() {
     table.AddRow(test_row);
   }
   EmitTable("table5_runtime", "Table 5: model training/testing time", table);
+
+  // The four comparison models all use TCN or GRU temporal modules, so run
+  // one small STSM-trans split to get attention into the profile as well.
+  {
+    const std::string name = datasets.front();
+    const SpatioTemporalDataset dataset =
+        MakeDataset(name, DataScaleFor(scale));
+    StsmConfig config = ScaledConfig(name, scale, /*effort=*/0.2);
+    const std::vector<SpaceSplit> splits = BenchSplits(dataset.coords, 1);
+    std::fprintf(stderr, "[table5] %s / %s (profile only) ...\n", name.c_str(),
+                 ModelName(ModelKind::kStsmTrans).c_str());
+    RunAveraged(ModelKind::kStsmTrans, dataset, splits, config);
+  }
+  EmitProfile("table5");
 }
 
 }  // namespace

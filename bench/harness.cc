@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/env.h"
+#include "common/prof.h"
 
 namespace stsm {
 namespace bench {
@@ -105,6 +106,16 @@ void EmitTable(const std::string& name, const std::string& heading,
     std::printf("[csv written to %s]\n", csv_path.c_str());
   }
   std::fflush(stdout);
+}
+
+void EmitProfile(const std::string& name) {
+  const prof::Snapshot snapshot = prof::TakeSnapshot();
+  if (snapshot.timers.empty() && snapshot.counters.empty()) return;
+  const std::string json_path = name + "_profile.json";
+  if (snapshot.WriteJson(json_path)) {
+    std::printf("[profile written to %s]\n", json_path.c_str());
+    std::fflush(stdout);
+  }
 }
 
 }  // namespace bench

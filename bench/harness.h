@@ -59,6 +59,11 @@ std::vector<std::string> MetricCells(const Metrics& metrics);
 void EmitTable(const std::string& name, const std::string& heading,
                const Table& table);
 
+// Writes the current stsm::prof snapshot to `<name>_profile.json` in the
+// current working directory and prints the path. No-op (and no file) when
+// the snapshot is empty, e.g. when profiling was never enabled.
+void EmitProfile(const std::string& name);
+
 }  // namespace bench
 }  // namespace stsm
 

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "common/prof.h"
 #include "common/rng.h"
 #include "data/windows.h"
 #include "nn/linear.h"
@@ -164,6 +165,7 @@ ExperimentResult RunGeGan(const SpatioTemporalDataset& dataset,
   };
 
   for (int epoch = 0; epoch < total_epochs; ++epoch) {
+    STSM_PROF_SCOPE("train.epoch");
     double epoch_loss = 0.0;
     for (int batch = 0; batch < config.batches_per_epoch; ++batch) {
       std::vector<int> node_ids;

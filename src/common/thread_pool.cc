@@ -81,15 +81,16 @@ void ThreadPool::ParallelFor(
   done_cv.wait(lock, [&] { return remaining.load() == 0; });
 }
 
+int ThreadPool::ConfiguredThreadCount() {
+  int threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (const char* env = std::getenv("STSM_NUM_THREADS")) {
+    threads = std::atoi(env);
+  }
+  return std::max(1, std::min(threads, 16));
+}
+
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool* pool = [] {
-    int threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (const char* env = std::getenv("STSM_NUM_THREADS")) {
-      threads = std::atoi(env);
-    }
-    threads = std::max(1, std::min(threads, 16));
-    return new ThreadPool(threads);
-  }();
+  static ThreadPool* pool = new ThreadPool(ConfiguredThreadCount());
   return *pool;
 }
 

@@ -38,6 +38,11 @@ class ThreadPool {
   // the STSM_NUM_THREADS environment variable when set).
   static ThreadPool& Global();
 
+  // The worker count Global() would be created with: STSM_NUM_THREADS when
+  // set, else the hardware concurrency, clamped to [1, 16]. Re-reads the
+  // environment on every call (Global() samples it only once).
+  static int ConfiguredThreadCount();
+
  private:
   void Enqueue(std::function<void()> task);
   void WorkerLoop();

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/prof.h"
 #include "data/normalizer.h"
 #include "data/windows.h"
 #include "graph/adjacency.h"
@@ -257,6 +258,8 @@ void StsmRunner::Train(ExperimentResult* result) {
 
   double similarity_sum = 0.0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    STSM_PROF_SCOPE("train.epoch");
+    STSM_PROF_COUNT("train.epochs", 1);
     // Draw the epoch's mask (Section 3.3 / 4.1).
     const std::vector<int> masked_global =
         config_.selective_masking ? DrawSelectiveMask(s.mask_context, &s.rng)
@@ -283,13 +286,18 @@ void StsmRunner::Train(ExperimentResult* result) {
 
     // Temporal-similarity adjacency, rebuilt every epoch because the mask
     // changes (Section 3.4.1).
-    const Tensor a_dtw_train = NormalizeRow(
-        TemporalSimilarityAdjacency(masked_view, source_local, masked_local,
-                                    s.dtw_options),
-        /*add_self_loops=*/true);
+    Tensor a_dtw_train;
+    {
+      STSM_PROF_SCOPE("train.temporal_adj");
+      a_dtw_train = NormalizeRow(
+          TemporalSimilarityAdjacency(masked_view, source_local, masked_local,
+                                      s.dtw_options),
+          /*add_self_loops=*/true);
+    }
 
     double epoch_loss = 0.0;
     for (int batch = 0; batch < config_.batches_per_epoch; ++batch) {
+      STSM_PROF_SCOPE("train.batch");
       const std::vector<int> starts =
           SampleWindowStarts(0, s.time_split.train_steps, s.window_spec,
                              config_.batch_size, &s.rng);
@@ -347,6 +355,7 @@ void StsmRunner::Train(ExperimentResult* result) {
 }
 
 void StsmRunner::Evaluate(ExperimentResult* result) {
+  STSM_PROF_SCOPE("evaluate");
   State& s = *state_;
   NoGradGuard no_grad;
 

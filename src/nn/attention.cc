@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/prof.h"
 #include "tensor/ops.h"
 
 namespace stsm {
@@ -21,6 +22,7 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t model_dim,
 }
 
 Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
+  STSM_PROF_SCOPE("attention.fwd");
   STSM_CHECK_EQ(x.ndim(), 3) << "attention expects [B, T, C]";
   STSM_CHECK_EQ(x.shape()[-1], model_dim_);
   const int64_t batch = x.shape()[0];
@@ -60,6 +62,7 @@ TransformerEncoderBlock::TransformerEncoderBlock(int64_t model_dim,
       ffn2_(ffn_dim, model_dim, rng) {}
 
 Tensor TransformerEncoderBlock::Forward(const Tensor& x) const {
+  STSM_PROF_SCOPE("transformer.fwd");
   const Tensor attended = Add(x, attention_.Forward(norm1_.Forward(x)));
   const Tensor ffn_out =
       ffn2_.Forward(Relu(ffn1_.Forward(norm2_.Forward(attended))));

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/prof.h"
 #include "tensor/ops.h"
 
 namespace stsm {
@@ -17,6 +18,7 @@ GcnLayer::GcnLayer(int64_t in_features, int64_t out_features, Rng* rng)
 }
 
 Tensor GcnLayer::Forward(const Tensor& adj, const Tensor& x) const {
+  STSM_PROF_SCOPE("gcn.fwd");
   STSM_CHECK_EQ(adj.ndim(), 2);
   STSM_CHECK_EQ(adj.shape()[0], adj.shape()[1]);
   STSM_CHECK_EQ(x.shape()[-2], adj.shape()[0]);
@@ -32,6 +34,7 @@ GcnlLayer::GcnlLayer(int64_t in_features, int64_t out_features, Rng* rng)
       gate_(in_features, out_features, rng) {}
 
 Tensor GcnlLayer::Forward(const Tensor& adj, const Tensor& x) const {
+  STSM_PROF_SCOPE("gcnl.fwd");
   return Mul(value_.Forward(adj, x), Sigmoid(gate_.Forward(adj, x)));
 }
 

@@ -1,6 +1,7 @@
 #include "nn/gru.h"
 
 #include "common/check.h"
+#include "common/prof.h"
 #include "tensor/ops.h"
 
 namespace stsm {
@@ -15,6 +16,7 @@ GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng* rng)
       hidden_n_(hidden_size, hidden_size, rng, /*use_bias=*/false) {}
 
 Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  STSM_PROF_SCOPE("gru.cell.fwd");
   const Tensor z = Sigmoid(Add(input_z_.Forward(x), hidden_z_.Forward(h)));
   const Tensor r = Sigmoid(Add(input_r_.Forward(x), hidden_r_.Forward(h)));
   const Tensor n = Tanh(Add(input_n_.Forward(x), hidden_n_.Forward(Mul(r, h))));
@@ -35,6 +37,7 @@ Gru::Gru(int64_t input_size, int64_t hidden_size, Rng* rng)
     : cell_(input_size, hidden_size, rng) {}
 
 Tensor Gru::ForwardFinal(const Tensor& sequence) const {
+  STSM_PROF_SCOPE("gru.fwd");
   STSM_CHECK_EQ(sequence.ndim(), 3) << "Gru expects [B, T, C]";
   const int64_t batch = sequence.shape()[0];
   const int64_t time = sequence.shape()[1];
@@ -47,6 +50,7 @@ Tensor Gru::ForwardFinal(const Tensor& sequence) const {
 }
 
 Tensor Gru::ForwardSequence(const Tensor& sequence) const {
+  STSM_PROF_SCOPE("gru.fwd");
   STSM_CHECK_EQ(sequence.ndim(), 3) << "Gru expects [B, T, C]";
   const int64_t batch = sequence.shape()[0];
   const int64_t time = sequence.shape()[1];

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/prof.h"
 #include "tensor/ops.h"
 
 namespace stsm {
@@ -22,6 +23,7 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
 }
 
 Tensor Linear::Forward(const Tensor& x) const {
+  STSM_PROF_SCOPE("linear.fwd");
   STSM_CHECK_EQ(x.shape()[-1], in_features_);
   // Flatten all leading dims into the matmul row dimension.
   const Shape original = x.shape();

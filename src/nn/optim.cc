@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/prof.h"
 
 namespace stsm {
 
@@ -35,6 +36,7 @@ Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate, float momentum)
 }
 
 void Sgd::Step() {
+  STSM_PROF_SCOPE("optim.step");
   for (size_t i = 0; i < parameters_.size(); ++i) {
     Tensor& p = parameters_[i];
     float* data = p.data();
@@ -64,6 +66,7 @@ Adam::Adam(std::vector<Tensor> parameters, float learning_rate, float beta1,
 }
 
 void Adam::Step() {
+  STSM_PROF_SCOPE("optim.step");
   ++step_count_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
@@ -85,6 +88,7 @@ void Adam::Step() {
 }
 
 float ClipGradNorm(std::vector<Tensor>& parameters, float max_norm) {
+  STSM_PROF_SCOPE("optim.clip_grad");
   STSM_CHECK_GT(max_norm, 0.0f);
   double sum_sq = 0.0;
   for (Tensor& p : parameters) {

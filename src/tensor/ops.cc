@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "common/prof.h"
 #include "common/thread_pool.h"
 
 namespace stsm {
@@ -102,8 +103,11 @@ bool IsSuffixBroadcast(const Shape& in, const Shape& out) {
 // Three execution strategies, fastest first: identical shapes (flat loop),
 // suffix broadcast on either side (modulo indexing), and a precomputed
 // odometer index table for arbitrary broadcasts.
+// `fwd_name` / `bwd_name` label the op in the profiler (string literals).
 template <typename Fwd, typename DfA, typename DfB>
-Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfA dfa, DfB dfb) {
+Tensor BinaryOp(const char* fwd_name, const char* bwd_name, const Tensor& a,
+                const Tensor& b, Fwd fwd, DfA dfa, DfB dfb) {
+  STSM_PROF_SCOPE(fwd_name);
   STSM_CHECK(a.defined() && b.defined());
   const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
   ImplPtr result = internal::MakeResult(out_shape, {a.impl(), b.impl()});
@@ -141,7 +145,8 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfA dfa, DfB dfb) {
     ImplPtr bi = b.impl();
     TensorImpl* self = result.get();
     result->backward_fn = [ai, bi, self, table, n, an, bn, a_same, b_same,
-                           a_suffix, b_suffix, dfa, dfb]() {
+                           a_suffix, b_suffix, dfa, dfb, bwd_name]() {
+      STSM_PROF_SCOPE(bwd_name);
       const float* gout = self->grad.data();
       const float* av = ai->data.data();
       const float* bv = bi->data.data();
@@ -187,7 +192,9 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, DfA dfa, DfB dfb) {
 // Generic elementwise unary op. `dfx(x, y)` is d out / d x given the input
 // value and the already-computed output value.
 template <typename Fwd, typename Dfx>
-Tensor UnaryOp(const Tensor& x, Fwd fwd, Dfx dfx) {
+Tensor UnaryOp(const char* fwd_name, const char* bwd_name, const Tensor& x,
+               Fwd fwd, Dfx dfx) {
+  STSM_PROF_SCOPE(fwd_name);
   STSM_CHECK(x.defined());
   ImplPtr result = internal::MakeResult(x.shape(), {x.impl()});
   const int64_t n = x.numel();
@@ -198,8 +205,9 @@ Tensor UnaryOp(const Tensor& x, Fwd fwd, Dfx dfx) {
   if (result->requires_grad) {
     ImplPtr xi = x.impl();
     TensorImpl* self = result.get();
-    result->backward_fn = [xi, self, n, dfx]() {
+    result->backward_fn = [xi, self, n, dfx, bwd_name]() {
       if (!xi->requires_grad) return;
+      STSM_PROF_SCOPE(bwd_name);
       xi->EnsureGrad();
       const float* gout = self->grad.data();
       const float* xv = xi->data.data();
@@ -217,39 +225,41 @@ Tensor UnaryOp(const Tensor& x, Fwd fwd, Dfx dfx) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x + y; },
+      "add.fwd", "add.bwd", a, b, [](float x, float y) { return x + y; },
       [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x - y; },
+      "sub.fwd", "sub.bwd", a, b, [](float x, float y) { return x - y; },
       [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x * y; },
+      "mul.fwd", "mul.bwd", a, b, [](float x, float y) { return x * y; },
       [](float, float y) { return y; }, [](float x, float) { return x; });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x / y; },
+      "div.fwd", "div.bwd", a, b, [](float x, float y) { return x / y; },
       [](float, float y) { return 1.0f / y; },
       [](float x, float y) { return -x / (y * y); });
 }
 
 Tensor Maximum(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x >= y ? x : y; },
+      "maximum.fwd", "maximum.bwd", a, b,
+      [](float x, float y) { return x >= y ? x : y; },
       [](float x, float y) { return x >= y ? 1.0f : 0.0f; },
       [](float x, float y) { return x >= y ? 0.0f : 1.0f; });
 }
 
 Tensor Minimum(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      a, b, [](float x, float y) { return x <= y ? x : y; },
+      "minimum.fwd", "minimum.bwd", a, b,
+      [](float x, float y) { return x <= y ? x : y; },
       [](float x, float y) { return x <= y ? 1.0f : 0.0f; },
       [](float x, float y) { return x <= y ? 0.0f : 1.0f; });
 }
@@ -265,24 +275,26 @@ Tensor Div(float a, const Tensor& b) { return Div(Tensor::Scalar(a), b); }
 
 Tensor Neg(const Tensor& x) {
   return UnaryOp(
-      x, [](float v) { return -v; }, [](float, float) { return -1.0f; });
+      "neg.fwd", "neg.bwd", x, [](float v) { return -v; },
+      [](float, float) { return -1.0f; });
 }
 
 Tensor Relu(const Tensor& x) {
   return UnaryOp(
-      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      "relu.fwd", "relu.bwd", x, [](float v) { return v > 0.0f ? v : 0.0f; },
       [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& x, float alpha) {
   return UnaryOp(
-      x, [alpha](float v) { return v > 0.0f ? v : alpha * v; },
+      "leaky_relu.fwd", "leaky_relu.bwd", x,
+      [alpha](float v) { return v > 0.0f ? v : alpha * v; },
       [alpha](float v, float) { return v > 0.0f ? 1.0f : alpha; });
 }
 
 Tensor Sigmoid(const Tensor& x) {
   return UnaryOp(
-      x,
+      "sigmoid.fwd", "sigmoid.bwd", x,
       [](float v) {
         // Numerically stable logistic.
         return v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
@@ -293,43 +305,45 @@ Tensor Sigmoid(const Tensor& x) {
 
 Tensor Tanh(const Tensor& x) {
   return UnaryOp(
-      x, [](float v) { return std::tanh(v); },
+      "tanh.fwd", "tanh.bwd", x, [](float v) { return std::tanh(v); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Exp(const Tensor& x) {
   return UnaryOp(
-      x, [](float v) { return std::exp(v); },
+      "exp.fwd", "exp.bwd", x, [](float v) { return std::exp(v); },
       [](float, float y) { return y; });
 }
 
 Tensor Log(const Tensor& x) {
   return UnaryOp(
-      x, [](float v) { return std::log(std::max(v, kLogEpsilon)); },
+      "log.fwd", "log.bwd", x,
+      [](float v) { return std::log(std::max(v, kLogEpsilon)); },
       [](float v, float) { return 1.0f / std::max(v, kLogEpsilon); });
 }
 
 Tensor Sqrt(const Tensor& x) {
   return UnaryOp(
-      x, [](float v) { return std::sqrt(v); },
+      "sqrt.fwd", "sqrt.bwd", x, [](float v) { return std::sqrt(v); },
       [](float, float y) { return y > 0.0f ? 0.5f / y : 0.0f; });
 }
 
 Tensor Square(const Tensor& x) {
   return UnaryOp(
-      x, [](float v) { return v * v; },
+      "square.fwd", "square.bwd", x, [](float v) { return v * v; },
       [](float v, float) { return 2.0f * v; });
 }
 
 Tensor Abs(const Tensor& x) {
   return UnaryOp(
-      x, [](float v) { return std::fabs(v); },
+      "abs.fwd", "abs.bwd", x, [](float v) { return std::fabs(v); },
       [](float v, float) { return v >= 0.0f ? 1.0f : -1.0f; });
 }
 
 Tensor Pow(const Tensor& x, float exponent) {
   return UnaryOp(
-      x, [exponent](float v) { return std::pow(v, exponent); },
+      "pow.fwd", "pow.bwd", x,
+      [exponent](float v) { return std::pow(v, exponent); },
       [exponent](float v, float) {
         return exponent * std::pow(v, exponent - 1.0f);
       });
@@ -357,6 +371,7 @@ Tensor Reshape(const Tensor& x, const Shape& shape) {
 }
 
 Tensor Transpose(const Tensor& x, int dim0, int dim1) {
+  STSM_PROF_SCOPE("transpose.fwd");
   STSM_CHECK(x.defined());
   const int ndim = x.ndim();
   if (dim0 < 0) dim0 += ndim;
@@ -407,6 +422,7 @@ Tensor Transpose(const Tensor& x, int dim0, int dim1) {
     TensorImpl* self = result.get();
     result->backward_fn = [xi, self, for_each]() {
       if (!xi->requires_grad) return;
+      STSM_PROF_SCOPE("transpose.bwd");
       xi->EnsureGrad();
       const float* gout = self->grad.data();
       float* gx = xi->grad.data();
@@ -417,6 +433,7 @@ Tensor Transpose(const Tensor& x, int dim0, int dim1) {
 }
 
 Tensor Slice(const Tensor& x, int dim, int64_t start, int64_t end) {
+  STSM_PROF_SCOPE("slice.fwd");
   STSM_CHECK(x.defined());
   const int ndim = x.ndim();
   if (dim < 0) dim += ndim;
@@ -463,6 +480,7 @@ Tensor Slice(const Tensor& x, int dim, int64_t start, int64_t end) {
 }
 
 Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
+  STSM_PROF_SCOPE("concat.fwd");
   STSM_CHECK(!tensors.empty());
   const int ndim = tensors[0].ndim();
   if (dim < 0) dim += ndim;
@@ -529,6 +547,7 @@ Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
 }
 
 Tensor IndexSelect(const Tensor& x, int dim, const std::vector<int>& indices) {
+  STSM_PROF_SCOPE("index_select.fwd");
   STSM_CHECK(x.defined());
   const int ndim = x.ndim();
   if (dim < 0) dim += ndim;
@@ -608,6 +627,7 @@ Tensor BroadcastTo(const Tensor& x, const Shape& shape) {
 // ---- Reductions -------------------------------------------------------------------
 
 Tensor Sum(const Tensor& x) {
+  STSM_PROF_SCOPE("sum.fwd");
   STSM_CHECK(x.defined());
   ImplPtr result = internal::MakeResult(Shape({}), {x.impl()});
   const float* xd = x.data();
@@ -621,6 +641,7 @@ Tensor Sum(const Tensor& x) {
     TensorImpl* self = result.get();
     result->backward_fn = [xi, self, n]() {
       if (!xi->requires_grad) return;
+      STSM_PROF_SCOPE("sum.bwd");
       xi->EnsureGrad();
       const float g = self->grad[0];
       float* gx = xi->grad.data();
@@ -667,6 +688,7 @@ Shape ReducedShape(const Shape& shape, int dim, bool keepdim) {
 }  // namespace
 
 Tensor Sum(const Tensor& x, int dim, bool keepdim) {
+  STSM_PROF_SCOPE("sum_dim.fwd");
   STSM_CHECK(x.defined());
   const DimSplit s = SplitAtDim(x.shape(), dim);
   const Shape out_shape = ReducedShape(x.shape(), dim, keepdim);
@@ -689,6 +711,7 @@ Tensor Sum(const Tensor& x, int dim, bool keepdim) {
     TensorImpl* self = result.get();
     result->backward_fn = [xi, self, s]() {
       if (!xi->requires_grad) return;
+      STSM_PROF_SCOPE("sum_dim.bwd");
       xi->EnsureGrad();
       const float* gout = self->grad.data();
       float* gx = xi->grad.data();
@@ -717,6 +740,7 @@ namespace {
 
 // Shared implementation of Max/Min along a dimension.
 Tensor ExtremumAlongDim(const Tensor& x, int dim, bool keepdim, bool is_max) {
+  STSM_PROF_SCOPE("extremum_dim.fwd");
   STSM_CHECK(x.defined());
   const DimSplit s = SplitAtDim(x.shape(), dim);
   STSM_CHECK_GT(s.reduce, 0);
@@ -821,6 +845,7 @@ MatMulPlan PlanMatMul(const Shape& a, const Shape& b) {
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  STSM_PROF_SCOPE("matmul.fwd");
   STSM_CHECK(a.defined() && b.defined());
   auto plan = std::make_shared<MatMulPlan>(PlanMatMul(a.shape(), b.shape()));
 
@@ -864,6 +889,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       const float* bv = bi->data.data();
 
       if (ai->requires_grad) {
+        STSM_PROF_SCOPE("matmul.bwd_a");
         ai->EnsureGrad();
         float* ga = ai->grad.data();
         // dA = dC @ B^T. Parallel over row i: a given thread owns row i of
@@ -885,6 +911,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
         });
       }
       if (bi->requires_grad) {
+        STSM_PROF_SCOPE("matmul.bwd_b");
         bi->EnsureGrad();
         float* gb = bi->grad.data();
         // dB = A^T @ dC. Parallel over kk: a thread owns row kk of every B
@@ -912,6 +939,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 // ---- NN primitives ------------------------------------------------------------------
 
 Tensor Softmax(const Tensor& x, int dim) {
+  STSM_PROF_SCOPE("softmax.fwd");
   STSM_CHECK(x.defined());
   const DimSplit s = SplitAtDim(x.shape(), dim);
   ImplPtr result = internal::MakeResult(x.shape(), {x.impl()});
@@ -942,6 +970,7 @@ Tensor Softmax(const Tensor& x, int dim) {
     TensorImpl* self = result.get();
     result->backward_fn = [xi, self, s]() {
       if (!xi->requires_grad) return;
+      STSM_PROF_SCOPE("softmax.bwd");
       xi->EnsureGrad();
       const float* y = self->data.data();
       const float* gout = self->grad.data();
@@ -968,6 +997,7 @@ Tensor LogSoftmax(const Tensor& x, int dim) { return Log(Softmax(x, dim)); }
 
 Tensor Conv1dTime(const Tensor& x, const Tensor& weight, const Tensor& bias,
                   int dilation) {
+  STSM_PROF_SCOPE("conv1d.fwd");
   STSM_CHECK(x.defined() && weight.defined());
   STSM_CHECK_EQ(x.ndim(), 4) << "Conv1dTime expects [B, T, N, C_in]";
   STSM_CHECK_EQ(weight.ndim(), 3) << "weight must be [C_out, C_in, K]";
@@ -1034,6 +1064,7 @@ Tensor Conv1dTime(const Tensor& x, const Tensor& weight, const Tensor& bias,
     TensorImpl* self = result.get();
     result->backward_fn = [xi, wi, biasi, self, batch, time, nodes, c_in,
                            c_out, kernel, dilation]() {
+      STSM_PROF_SCOPE("conv1d.bwd");
       const float* gout = self->grad.data();
       const float* xv = xi->data.data();
       const float* wv = wi->data.data();

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/prof.h"
 
 namespace stsm {
 
@@ -169,6 +170,7 @@ void Tensor::ZeroGrad() {
 }
 
 void Tensor::Backward() {
+  STSM_PROF_SCOPE("autograd.backward");
   STSM_CHECK(defined());
   STSM_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss";
 

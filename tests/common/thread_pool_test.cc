@@ -1,13 +1,41 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
 
 namespace stsm {
 namespace {
+
+// Sets STSM_NUM_THREADS for the test's lifetime and restores the previous
+// value (or unsets it) on destruction.
+class ScopedNumThreadsEnv {
+ public:
+  explicit ScopedNumThreadsEnv(const char* value) {
+    const char* previous = std::getenv("STSM_NUM_THREADS");
+    if (previous != nullptr) {
+      had_previous_ = true;
+      previous_ = previous;
+    }
+    setenv("STSM_NUM_THREADS", value, /*overwrite=*/1);
+  }
+  ~ScopedNumThreadsEnv() {
+    if (had_previous_) {
+      setenv("STSM_NUM_THREADS", previous_.c_str(), /*overwrite=*/1);
+    } else {
+      unsetenv("STSM_NUM_THREADS");
+    }
+  }
+
+ private:
+  bool had_previous_ = false;
+  std::string previous_;
+};
 
 TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
   ThreadPool pool(4);
@@ -54,6 +82,80 @@ TEST(ThreadPoolTest, ReusableAcrossCalls) {
       count.fetch_add(static_cast<int>(end - begin));
     });
     EXPECT_EQ(count.load(), 100);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeAcrossSizesAndPools) {
+  // No gaps, no overlaps, for ranges that exercise every chunking branch:
+  // below/at/above the worker count and with a ragged final chunk.
+  const int64_t sizes[] = {1, 2, 3, 7, 16, 101, 1000};
+  const int pool_sizes[] = {1, 2, 3, 8};
+  for (int threads : pool_sizes) {
+    ThreadPool pool(threads);
+    for (int64_t total : sizes) {
+      const int64_t begin = 5;  // Non-zero start catches begin-offset bugs.
+      const int64_t end = begin + total;
+      std::vector<std::atomic<int>> counts(total);
+      pool.ParallelFor(begin, end, [&](int64_t chunk_begin, int64_t chunk_end) {
+        ASSERT_GE(chunk_begin, begin);
+        ASSERT_LE(chunk_end, end);
+        ASSERT_LT(chunk_begin, chunk_end);
+        for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+          counts[i - begin].fetch_add(1);
+        }
+      });
+      for (int64_t i = 0; i < total; ++i) {
+        EXPECT_EQ(counts[i].load(), 1)
+            << "index " << i << " with " << threads << " threads over "
+            << total << " items";
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SmallRangeRunsInlineOnCallingThread) {
+  const std::thread::id caller = std::this_thread::get_id();
+  {
+    ThreadPool pool(4);
+    std::thread::id executed;
+    pool.ParallelFor(0, 1, [&](int64_t, int64_t) {
+      executed = std::this_thread::get_id();
+    });
+    EXPECT_EQ(executed, caller) << "total == 1 should not touch the queue";
+  }
+  {
+    ThreadPool pool(1);
+    std::thread::id executed;
+    pool.ParallelFor(0, 100, [&](int64_t, int64_t) {
+      executed = std::this_thread::get_id();
+    });
+    EXPECT_EQ(executed, caller) << "1-thread pools should run inline";
+  }
+}
+
+TEST(ThreadPoolTest, ConfiguredThreadCountHonoursEnv) {
+  {
+    ScopedNumThreadsEnv env("1");
+    EXPECT_EQ(ThreadPool::ConfiguredThreadCount(), 1);
+  }
+  {
+    ScopedNumThreadsEnv env("3");
+    EXPECT_EQ(ThreadPool::ConfiguredThreadCount(), 3);
+  }
+}
+
+TEST(ThreadPoolTest, ConfiguredThreadCountClampsToValidRange) {
+  {
+    ScopedNumThreadsEnv env("64");
+    EXPECT_EQ(ThreadPool::ConfiguredThreadCount(), 16);
+  }
+  {
+    ScopedNumThreadsEnv env("0");
+    EXPECT_EQ(ThreadPool::ConfiguredThreadCount(), 1);
+  }
+  {
+    ScopedNumThreadsEnv env("-4");
+    EXPECT_EQ(ThreadPool::ConfiguredThreadCount(), 1);
   }
 }
 

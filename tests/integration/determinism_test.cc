@@ -1,0 +1,96 @@
+// Two STSM runs with the same seed must be bitwise identical, including
+// when tensor ops dispatch through the multi-threaded global pool. This
+// binary is separate from integration_test so it can pin STSM_NUM_THREADS
+// before ThreadPool::Global() is first constructed.
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/thread_pool.h"
+#include "core/config.h"
+#include "core/stsm.h"
+#include "data/simulator.h"
+#include "data/splits.h"
+#include "gtest/gtest.h"
+
+namespace stsm {
+namespace {
+
+// Runs before main(): force a multi-threaded global pool regardless of the
+// host's core count, so determinism is checked under real parallelism.
+const bool g_env_pinned = [] {
+  setenv("STSM_NUM_THREADS", "4", /*overwrite=*/1);
+  return true;
+}();
+
+SpatioTemporalDataset SmallDataset() {
+  SimulatorConfig config;
+  config.name = "determinism-highway";
+  config.kind = RegionKind::kHighway;
+  config.num_sensors = 40;
+  config.num_days = 4;
+  config.steps_per_day = 48;
+  config.area_km = 25.0;
+  config.seed = 3;
+  return SimulateDataset(config);
+}
+
+StsmConfig SmallConfig(uint64_t seed) {
+  StsmConfig config;
+  config.input_length = 8;
+  config.horizon = 8;
+  config.hidden_dim = 8;
+  config.epochs = 3;
+  config.batches_per_epoch = 4;
+  config.batch_size = 4;
+  config.eval_stride = 8;
+  config.max_eval_windows = 6;
+  config.top_k = 12;
+  config.dtw_band = 6;
+  config.seed = seed;
+  return config;
+}
+
+ExperimentResult RunOnce(uint64_t seed) {
+  const auto dataset = SmallDataset();
+  const SpaceSplit split = SplitSpace(dataset.coords, SplitAxis::kVertical);
+  StsmRunner runner(dataset, split, SmallConfig(seed));
+  return runner.Run();
+}
+
+TEST(DeterminismTest, GlobalPoolIsMultiThreaded) {
+  ASSERT_TRUE(g_env_pinned);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 4);
+}
+
+TEST(DeterminismTest, SameSeedSameLossesAndMetrics) {
+  const ExperimentResult first = RunOnce(11);
+  const ExperimentResult second = RunOnce(11);
+
+  ASSERT_EQ(first.train_losses.size(), second.train_losses.size());
+  for (size_t i = 0; i < first.train_losses.size(); ++i) {
+    // Bitwise equality: identical arithmetic in identical order.
+    EXPECT_EQ(first.train_losses[i], second.train_losses[i])
+        << "epoch " << i << " diverged";
+  }
+  EXPECT_EQ(first.metrics.rmse, second.metrics.rmse);
+  EXPECT_EQ(first.metrics.mae, second.metrics.mae);
+  EXPECT_EQ(first.metrics.mape, second.metrics.mape);
+  EXPECT_EQ(first.metrics.r2, second.metrics.r2);
+  EXPECT_EQ(first.metrics.count, second.metrics.count);
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  const ExperimentResult first = RunOnce(11);
+  const ExperimentResult other = RunOnce(12);
+  ASSERT_FALSE(first.train_losses.empty());
+  ASSERT_EQ(first.train_losses.size(), other.train_losses.size());
+  bool any_diff = false;
+  for (size_t i = 0; i < first.train_losses.size(); ++i) {
+    if (first.train_losses[i] != other.train_losses[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "seed should affect training";
+}
+
+}  // namespace
+}  // namespace stsm

@@ -92,6 +92,24 @@ TEST(ModuleGradTest, MultiHeadSelfAttention) {
                      [&] { return Mean(Square(attention.Forward(x))); });
 }
 
+TEST(ModuleGradTest, MultiHeadSelfAttentionSingleHead) {
+  Rng rng(16);
+  const MultiHeadSelfAttention attention(4, 1, &rng);
+  Rng data_rng(17);
+  const Tensor x = Tensor::Uniform(Shape({2, 3, 4}), -1, 1, &data_rng);
+  ExpectModuleGradOk(attention,
+                     [&] { return Mean(Square(attention.Forward(x))); });
+}
+
+TEST(ModuleGradTest, MultiHeadSelfAttentionFourHeads) {
+  Rng rng(18);
+  const MultiHeadSelfAttention attention(8, 4, &rng);
+  Rng data_rng(19);
+  const Tensor x = Tensor::Uniform(Shape({1, 2, 8}), -1, 1, &data_rng);
+  ExpectModuleGradOk(attention,
+                     [&] { return Mean(Square(attention.Forward(x))); });
+}
+
 TEST(ModuleGradTest, TransformerEncoderBlock) {
   Rng rng(14);
   const TransformerEncoderBlock block(4, 2, 6, &rng);
@@ -100,6 +118,88 @@ TEST(ModuleGradTest, TransformerEncoderBlock) {
   ExpectModuleGradOk(block,
                      [&] { return Mean(Square(block.Forward(x))); },
                      /*tolerance=*/5e-2);
+}
+
+TEST(ModuleGradTest, GcnLayerParams) {
+  Rng rng(20);
+  const GcnLayer layer(2, 3, &rng);
+  Rng data_rng(21);
+  const Tensor adj = Tensor::Uniform(Shape({3, 3}), 0, 0.5f, &data_rng);
+  const Tensor x = Tensor::Uniform(Shape({1, 2, 3, 2}), -1, 1, &data_rng);
+  ExpectModuleGradOk(layer,
+                     [&] { return Mean(Square(layer.Forward(adj, x))); });
+}
+
+// Input-gradient checks: the differentiated input is the module's data
+// input x, not its parameters. This exercises the backward paths the
+// encoder relies on when gradients flow from deeper layers through a
+// module into shallower ones.
+
+void ExpectInputGradOk(const std::function<Tensor(const Tensor&)>& loss_fn,
+                       const Tensor& x, double tolerance = 3e-2) {
+  const GradCheckResult result = CheckGradients(
+      [&](const std::vector<Tensor>& inputs) { return loss_fn(inputs[0]); },
+      {x}, 1e-2, tolerance);
+  EXPECT_TRUE(result.ok) << "max_abs=" << result.max_abs_error
+                         << " max_rel=" << result.max_rel_error
+                         << " worst_input=" << result.worst_input;
+}
+
+TEST(ModuleGradTest, AttentionInputGrad) {
+  Rng rng(22);
+  const MultiHeadSelfAttention attention(4, 2, &rng);
+  Rng data_rng(23);
+  const Tensor x = Tensor::Uniform(Shape({1, 3, 4}), -1, 1, &data_rng,
+                                   /*requires_grad=*/true);
+  ExpectInputGradOk(
+      [&](const Tensor& in) { return Mean(Square(attention.Forward(in))); },
+      x);
+}
+
+TEST(ModuleGradTest, TransformerInputGrad) {
+  Rng rng(24);
+  const TransformerEncoderBlock block(4, 2, 6, &rng);
+  Rng data_rng(25);
+  const Tensor x = Tensor::Uniform(Shape({1, 3, 4}), -0.5f, 0.5f, &data_rng,
+                                   /*requires_grad=*/true);
+  ExpectInputGradOk(
+      [&](const Tensor& in) { return Mean(Square(block.Forward(in))); }, x,
+      /*tolerance=*/5e-2);
+}
+
+TEST(ModuleGradTest, GcnLayerInputGrad) {
+  Rng rng(26);
+  const GcnLayer layer(2, 3, &rng);
+  Rng data_rng(27);
+  const Tensor adj = Tensor::Uniform(Shape({3, 3}), 0, 0.5f, &data_rng);
+  const Tensor x = Tensor::Uniform(Shape({1, 2, 3, 2}), -1, 1, &data_rng,
+                                   /*requires_grad=*/true);
+  ExpectInputGradOk(
+      [&](const Tensor& in) { return Mean(Square(layer.Forward(adj, in))); },
+      x);
+}
+
+TEST(ModuleGradTest, GcnlLayerInputGrad) {
+  Rng rng(28);
+  const GcnlLayer layer(2, 2, &rng);
+  Rng data_rng(29);
+  const Tensor adj = Tensor::Uniform(Shape({3, 3}), 0, 0.5f, &data_rng);
+  const Tensor x = Tensor::Uniform(Shape({1, 2, 3, 2}), -1, 1, &data_rng,
+                                   /*requires_grad=*/true);
+  ExpectInputGradOk(
+      [&](const Tensor& in) { return Mean(Square(layer.Forward(adj, in))); },
+      x);
+}
+
+TEST(ModuleGradTest, GruInputGrad) {
+  Rng rng(30);
+  const Gru gru(2, 2, &rng);
+  Rng data_rng(31);
+  const Tensor seq = Tensor::Uniform(Shape({1, 4, 2}), -1, 1, &data_rng,
+                                     /*requires_grad=*/true);
+  ExpectInputGradOk(
+      [&](const Tensor& in) { return Mean(Square(gru.ForwardFinal(in))); },
+      seq);
 }
 
 }  // namespace
