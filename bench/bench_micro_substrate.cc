@@ -43,6 +43,51 @@ void BM_MatMulBackward(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMulBackward)->Arg(50)->Arg(100);
 
+void BM_ReshapeView(benchmark::State& state) {
+  // Zero-copy path: must not scale with tensor size or touch the allocator.
+  Rng rng(7);
+  const Tensor x = Tensor::Uniform(Shape({8, 12, 100, 16}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Reshape(x, Shape({96, 1600})).data());
+  }
+}
+BENCHMARK(BM_ReshapeView);
+
+void BM_SliceLeadingDimView(benchmark::State& state) {
+  // Contiguous slice: aliases the storage at an offset.
+  Rng rng(7);
+  const Tensor x = Tensor::Uniform(Shape({64, 100, 16}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Slice(x, /*dim=*/0, 16, 48).data());
+  }
+}
+BENCHMARK(BM_SliceLeadingDimView);
+
+void BM_SliceInnerDimCopy(benchmark::State& state) {
+  // Non-contiguous slice: the copying path, for contrast with the view.
+  Rng rng(7);
+  const Tensor x = Tensor::Uniform(Shape({64, 100, 16}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Slice(x, /*dim=*/1, 25, 75).data());
+  }
+}
+BENCHMARK(BM_SliceInnerDimCopy);
+
+void BM_TrainStepPoolReuse(benchmark::State& state) {
+  // Steady-state step: after the first iteration every intermediate buffer
+  // comes from the pool (backward releases them eagerly).
+  Rng rng(7);
+  Tensor w = Tensor::Uniform(Shape({64, 64}), -0.1f, 0.1f, &rng, true);
+  const Tensor x = Tensor::Uniform(Shape({32, 64}), -1, 1, &rng);
+  for (auto _ : state) {
+    Tensor loss = Mean(Square(Tanh(MatMul(x, w))));
+    loss.Backward();
+    w.ZeroGrad();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_TrainStepPoolReuse);
+
 void BM_Conv1dTime(benchmark::State& state) {
   Rng rng(2);
   const Tensor x = Tensor::Uniform(Shape({8, 12, 100, 16}), -1, 1, &rng);

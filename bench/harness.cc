@@ -4,6 +4,7 @@
 
 #include "common/env.h"
 #include "common/prof.h"
+#include "tensor/pool.h"
 
 namespace stsm {
 namespace bench {
@@ -109,6 +110,9 @@ void EmitTable(const std::string& name, const std::string& heading,
 }
 
 void EmitProfile(const std::string& name) {
+  // Flush the allocator counters so the snapshot carries final pool totals
+  // (net leaked buffers = pool.acquire + pool.adopt - pool.release).
+  BufferPool::Instance().RecordProfCounters();
   const prof::Snapshot snapshot = prof::TakeSnapshot();
   if (snapshot.timers.empty() && snapshot.counters.empty()) return;
   const std::string json_path = name + "_profile.json";

@@ -84,6 +84,8 @@ Tensor TrainEmbeddings(const Tensor& adjacency, int embedding_dim, Rng* rng) {
     loss.Backward();
     optimizer.Step();
   }
+  // Zero-copy detach: training is over, so sharing the trained embedding
+  // buffer with the returned handle is safe (no further in-place updates).
   return embeddings.Detach();
 }
 

@@ -96,6 +96,8 @@ ExperimentResult RunIgnnk(const SpatioTemporalDataset& dataset,
       const std::vector<int> masked =
           rng.SampleWithoutReplacement(num_observed, mask_count);
 
+      // Clone (not Detach): the mask zeroing below mutates in place and must
+      // not write through to the batch's underlying storage.
       Tensor inputs = ToNodeFeatures(batch.inputs).Clone();  // [B, N, T].
       float* data = inputs.data();
       const int64_t b_count = inputs.shape()[0];

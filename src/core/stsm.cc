@@ -14,6 +14,7 @@
 #include "nn/loss.h"
 #include "nn/optim.h"
 #include "tensor/ops.h"
+#include "tensor/pool.h"
 #include "timeseries/pseudo_observations.h"
 #include "timeseries/temporal_adjacency.h"
 
@@ -333,6 +334,8 @@ void StsmRunner::Train(ExperimentResult* result) {
       epoch_loss += loss.item();
     }
     result->train_losses.push_back(epoch_loss / config_.batches_per_epoch);
+    // Per-epoch allocator deltas land in the profile as pool.* counters.
+    BufferPool::Instance().RecordProfCounters();
 
     if (config_.validation_selection) {
       const double loss = validation_loss();

@@ -7,6 +7,16 @@
 
 namespace stsm {
 
+namespace {
+
+// Read-only gradient view: nullptr (rather than a freshly allocated zero
+// buffer) when no gradient has been accumulated into the parameter.
+const float* GradOrNull(const Tensor& p) {
+  return p.has_grad() ? p.grad_data() : nullptr;
+}
+
+}  // namespace
+
 Optimizer::Optimizer(std::vector<Tensor> parameters)
     : parameters_(std::move(parameters)) {
   for (const Tensor& p : parameters_) {
@@ -40,11 +50,11 @@ void Sgd::Step() {
   for (size_t i = 0; i < parameters_.size(); ++i) {
     Tensor& p = parameters_[i];
     float* data = p.data();
-    const float* grad = p.grad_data();
+    const float* grad = GradOrNull(p);
     float* vel = velocity_[i].data();
     const int64_t n = p.numel();
     for (int64_t j = 0; j < n; ++j) {
-      vel[j] = momentum_ * vel[j] + grad[j];
+      vel[j] = momentum_ * vel[j] + (grad != nullptr ? grad[j] : 0.0f);
       data[j] -= learning_rate_ * vel[j];
     }
   }
@@ -73,13 +83,14 @@ void Adam::Step() {
   for (size_t i = 0; i < parameters_.size(); ++i) {
     Tensor& p = parameters_[i];
     float* data = p.data();
-    const float* grad = p.grad_data();
+    const float* grad = GradOrNull(p);
     float* m = first_moment_[i].data();
     float* v = second_moment_[i].data();
     const int64_t n = p.numel();
     for (int64_t j = 0; j < n; ++j) {
-      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad[j];
-      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad[j] * grad[j];
+      const float g = grad != nullptr ? grad[j] : 0.0f;
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
       const float m_hat = m[j] / bias1;
       const float v_hat = v[j] / bias2;
       data[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
@@ -92,7 +103,8 @@ float ClipGradNorm(std::vector<Tensor>& parameters, float max_norm) {
   STSM_CHECK_GT(max_norm, 0.0f);
   double sum_sq = 0.0;
   for (Tensor& p : parameters) {
-    const float* grad = p.grad_data();
+    const float* grad = GradOrNull(p);  // No grad: contributes zero.
+    if (grad == nullptr) continue;
     const int64_t n = p.numel();
     for (int64_t j = 0; j < n; ++j) {
       sum_sq += static_cast<double>(grad[j]) * grad[j];
@@ -102,6 +114,7 @@ float ClipGradNorm(std::vector<Tensor>& parameters, float max_norm) {
   if (norm > max_norm) {
     const float scale = max_norm / (norm + 1e-12f);
     for (Tensor& p : parameters) {
+      if (!p.has_grad()) continue;
       float* grad = p.grad_data();
       const int64_t n = p.numel();
       for (int64_t j = 0; j < n; ++j) grad[j] *= scale;

@@ -1,0 +1,28 @@
+#include "tensor/autograd.h"
+
+#include "common/check.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+namespace autograd {
+
+void Node::Run(TensorImpl* output) {
+  STSM_CHECK(!released_)
+      << "autograd node" << name()
+      << "already ran: its saved activations were released. Backward() may "
+         "only be called once per graph.";
+  Apply(output);
+  released_ = true;
+  ReleaseSaved();
+  inputs_.clear();
+  inputs_.shrink_to_fit();
+}
+
+ViewNode::ViewNode(std::shared_ptr<TensorImpl> base) : Node({std::move(base)}) {}
+
+// The view aliases the base's storage and grad buffer, so consumer writes
+// into the view's gradient region have already accumulated into the base.
+void ViewNode::Apply(TensorImpl*) {}
+
+}  // namespace autograd
+}  // namespace stsm

@@ -1,0 +1,87 @@
+// Explicit reverse-mode autograd graph.
+//
+// Every differentiable op attaches a `Node` to its output TensorImpl. A
+// Node owns strong references to the op's input impls (which is what keeps
+// saved activations alive between forward and backward) plus whatever
+// op-specific state its gradient needs (index tables, argmax indices, a
+// matmul plan, ...).
+//
+// `Tensor::Backward()` walks the node graph in reverse topological order
+// and calls `Node::Run(output)` exactly once per node. Eager-release rule:
+// immediately after a node's gradient routing has run, the node drops its
+// saved inputs and op state (`ReleaseSaved`), and the walk drops its own
+// reference to the node's output. Activations therefore die as the
+// backward frontier passes them — peak memory is frontier-resident, not
+// whole-graph-resident — and their buffers return to the BufferPool for the
+// next step. A released node refuses to run again: calling Backward() a
+// second time through the same graph is a checked error.
+
+#ifndef STSM_TENSOR_AUTOGRAD_H_
+#define STSM_TENSOR_AUTOGRAD_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace stsm {
+
+struct TensorImpl;
+
+namespace autograd {
+
+class Node {
+ public:
+  explicit Node(std::vector<std::shared_ptr<TensorImpl>> inputs)
+      : inputs_(std::move(inputs)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Profiler / error-message label, e.g. "mul" or "matmul".
+  virtual const char* name() const = 0;
+
+  // Routes `output`'s accumulated gradient into the inputs, then releases
+  // all saved state. Checked error if this node has already run.
+  void Run(TensorImpl* output);
+
+  bool released() const { return released_; }
+
+  // Graph edges for the topological walk. Empty after release.
+  const std::vector<std::shared_ptr<TensorImpl>>& inputs() const {
+    return inputs_;
+  }
+
+ protected:
+  // Op-specific gradient routing. `output->grad()` holds the incoming
+  // gradient; implementations accumulate (+=) into each input that
+  // requires_grad (after EnsureGrad).
+  virtual void Apply(TensorImpl* output) = 0;
+
+  // Drops op-specific saved state (index tables, plans, saved values).
+  // The base class clears `inputs_` afterwards.
+  virtual void ReleaseSaved() {}
+
+  std::vector<std::shared_ptr<TensorImpl>> inputs_;
+
+ private:
+  bool released_ = false;
+};
+
+// Gradient router for zero-copy views (Reshape / Squeeze / Unsqueeze /
+// contiguous Slice). The view shares its base's Storage — including the
+// grad buffer — so gradient contributions written at the view's offset are
+// already accumulated in the base. Apply is a no-op; the node exists only
+// to keep the base reachable in the topological walk.
+class ViewNode : public Node {
+ public:
+  explicit ViewNode(std::shared_ptr<TensorImpl> base);
+  const char* name() const override { return "view"; }
+
+ protected:
+  void Apply(TensorImpl* output) override;
+};
+
+}  // namespace autograd
+}  // namespace stsm
+
+#endif  // STSM_TENSOR_AUTOGRAD_H_

@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 #include "common/check.h"
 #include "common/prof.h"
 #include "common/thread_pool.h"
+#include "tensor/autograd.h"
 
 namespace stsm {
 namespace {
 
 using ImplPtr = std::shared_ptr<TensorImpl>;
+using autograd::Node;
 
 constexpr float kLogEpsilon = 1e-12f;
 
@@ -95,6 +98,121 @@ bool IsSuffixBroadcast(const Shape& in, const Shape& out) {
   return true;
 }
 
+// Index bookkeeping shared by a broadcast binary op's forward and backward.
+struct BinaryLayout {
+  int64_t n = 0, an = 0, bn = 0;
+  bool a_same = false, b_same = false;
+  bool a_suffix = false, b_suffix = false;
+  std::shared_ptr<BroadcastIndexTable> table;
+
+  int64_t a_index(int64_t i) const {
+    return a_same ? i : (a_suffix ? i % an : table->index_a[i]);
+  }
+  int64_t b_index(int64_t i) const {
+    return b_same ? i : (b_suffix ? i % bn : table->index_b[i]);
+  }
+};
+
+// ---- Node subclasses --------------------------------------------------------
+//
+// One class per op family. Each carries its saved inputs via the Node base
+// (strong refs, released after Run) plus whatever precomputed state the
+// gradient needs. Apply() accumulates into inputs that require grad.
+
+template <typename DfA, typename DfB>
+class BinaryNode : public Node {
+ public:
+  BinaryNode(const char* bwd_name, ImplPtr a, ImplPtr b, BinaryLayout layout,
+             DfA dfa, DfB dfb)
+      : Node({std::move(a), std::move(b)}),
+        bwd_name_(bwd_name),
+        layout_(std::move(layout)),
+        dfa_(dfa),
+        dfb_(dfb) {}
+
+  const char* name() const override { return bwd_name_; }
+
+ protected:
+  void Apply(TensorImpl* output) override {
+    STSM_PROF_SCOPE(bwd_name_);
+    const BinaryLayout& l = layout_;
+    TensorImpl* ai = inputs_[0].get();
+    TensorImpl* bi = inputs_[1].get();
+    const float* gout = output->grad();
+    const float* av = ai->data();
+    const float* bv = bi->data();
+    if (ai->requires_grad) {
+      ai->EnsureGrad();
+      float* ga = ai->grad();
+      if (l.a_same && l.b_same) {
+        for (int64_t i = 0; i < l.n; ++i) {
+          ga[i] += gout[i] * dfa_(av[i], bv[i]);
+        }
+      } else {
+        for (int64_t i = 0; i < l.n; ++i) {
+          const int64_t ia = l.a_index(i);
+          ga[ia] += gout[i] * dfa_(av[ia], bv[l.b_index(i)]);
+        }
+      }
+    }
+    if (bi->requires_grad) {
+      bi->EnsureGrad();
+      float* gb = bi->grad();
+      if (l.a_same && l.b_same) {
+        for (int64_t i = 0; i < l.n; ++i) {
+          gb[i] += gout[i] * dfb_(av[i], bv[i]);
+        }
+      } else {
+        for (int64_t i = 0; i < l.n; ++i) {
+          const int64_t ib = l.b_index(i);
+          gb[ib] += gout[i] * dfb_(av[l.a_index(i)], bv[ib]);
+        }
+      }
+    }
+  }
+
+  void ReleaseSaved() override { layout_.table.reset(); }
+
+ private:
+  const char* bwd_name_;
+  BinaryLayout layout_;
+  DfA dfa_;
+  DfB dfb_;
+};
+
+template <typename Dfx>
+class UnaryNode : public Node {
+ public:
+  UnaryNode(const char* bwd_name, ImplPtr x, Dfx dfx)
+      : Node({std::move(x)}), bwd_name_(bwd_name), dfx_(dfx) {}
+
+  const char* name() const override { return bwd_name_; }
+
+ protected:
+  void Apply(TensorImpl* output) override {
+    TensorImpl* xi = inputs_[0].get();
+    if (!xi->requires_grad) return;
+    STSM_PROF_SCOPE(bwd_name_);
+    xi->EnsureGrad();
+    const int64_t n = output->shape.numel();
+    const float* gout = output->grad();
+    const float* xv = xi->data();
+    const float* yv = output->data();
+    float* gx = xi->grad();
+    for (int64_t i = 0; i < n; ++i) gx[i] += gout[i] * dfx_(xv[i], yv[i]);
+  }
+
+ private:
+  const char* bwd_name_;
+  Dfx dfx_;
+};
+
+}  // namespace
+
+// ---- Elementwise op scaffolding ---------------------------------------------
+
+namespace {
+
 // Generic broadcasting elementwise binary op.
 //
 // `fwd(a, b)` computes the result; `dfa(a, b)` and `dfb(a, b)` compute the
@@ -110,81 +228,39 @@ Tensor BinaryOp(const char* fwd_name, const char* bwd_name, const Tensor& a,
   STSM_PROF_SCOPE(fwd_name);
   STSM_CHECK(a.defined() && b.defined());
   const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
-  ImplPtr result = internal::MakeResult(out_shape, {a.impl(), b.impl()});
-  const int64_t n = out_shape.numel();
-  const int64_t an = a.numel();
-  const int64_t bn = b.numel();
-  const bool a_same = a.shape() == out_shape;
-  const bool b_same = b.shape() == out_shape;
-  const bool a_suffix = a_same || IsSuffixBroadcast(a.shape(), out_shape);
-  const bool b_suffix = b_same || IsSuffixBroadcast(b.shape(), out_shape);
+  ImplPtr result =
+      internal::MakeResult(out_shape, {a.impl(), b.impl()}, /*zero=*/false);
 
-  auto table = std::make_shared<BroadcastIndexTable>();
-  if (!a_suffix) table->index_a = BuildIndexTable(a.shape(), out_shape);
-  if (!b_suffix) table->index_b = BuildIndexTable(b.shape(), out_shape);
-
-  // Maps an output element index to the input element index.
-  auto a_index = [&](int64_t i) {
-    return a_same ? i : (a_suffix ? i % an : table->index_a[i]);
-  };
-  auto b_index = [&](int64_t i) {
-    return b_same ? i : (b_suffix ? i % bn : table->index_b[i]);
-  };
+  BinaryLayout layout;
+  layout.n = out_shape.numel();
+  layout.an = a.numel();
+  layout.bn = b.numel();
+  layout.a_same = a.shape() == out_shape;
+  layout.b_same = b.shape() == out_shape;
+  layout.a_suffix = layout.a_same || IsSuffixBroadcast(a.shape(), out_shape);
+  layout.b_suffix = layout.b_same || IsSuffixBroadcast(b.shape(), out_shape);
+  layout.table = std::make_shared<BroadcastIndexTable>();
+  if (!layout.a_suffix) {
+    layout.table->index_a = BuildIndexTable(a.shape(), out_shape);
+  }
+  if (!layout.b_suffix) {
+    layout.table->index_b = BuildIndexTable(b.shape(), out_shape);
+  }
 
   const float* ad = a.data();
   const float* bd = b.data();
-  float* out = result->data.data();
-  if (a_same && b_same) {
-    for (int64_t i = 0; i < n; ++i) out[i] = fwd(ad[i], bd[i]);
+  float* out = result->data();
+  if (layout.a_same && layout.b_same) {
+    for (int64_t i = 0; i < layout.n; ++i) out[i] = fwd(ad[i], bd[i]);
   } else {
-    for (int64_t i = 0; i < n; ++i) out[i] = fwd(ad[a_index(i)], bd[b_index(i)]);
+    for (int64_t i = 0; i < layout.n; ++i) {
+      out[i] = fwd(ad[layout.a_index(i)], bd[layout.b_index(i)]);
+    }
   }
 
   if (result->requires_grad) {
-    ImplPtr ai = a.impl();
-    ImplPtr bi = b.impl();
-    TensorImpl* self = result.get();
-    result->backward_fn = [ai, bi, self, table, n, an, bn, a_same, b_same,
-                           a_suffix, b_suffix, dfa, dfb, bwd_name]() {
-      STSM_PROF_SCOPE(bwd_name);
-      const float* gout = self->grad.data();
-      const float* av = ai->data.data();
-      const float* bv = bi->data.data();
-      auto a_index = [&](int64_t i) {
-        return a_same ? i : (a_suffix ? i % an : table->index_a[i]);
-      };
-      auto b_index = [&](int64_t i) {
-        return b_same ? i : (b_suffix ? i % bn : table->index_b[i]);
-      };
-      if (ai->requires_grad) {
-        ai->EnsureGrad();
-        float* ga = ai->grad.data();
-        if (a_same && b_same) {
-          for (int64_t i = 0; i < n; ++i) {
-            ga[i] += gout[i] * dfa(av[i], bv[i]);
-          }
-        } else {
-          for (int64_t i = 0; i < n; ++i) {
-            const int64_t ia = a_index(i);
-            ga[ia] += gout[i] * dfa(av[ia], bv[b_index(i)]);
-          }
-        }
-      }
-      if (bi->requires_grad) {
-        bi->EnsureGrad();
-        float* gb = bi->grad.data();
-        if (a_same && b_same) {
-          for (int64_t i = 0; i < n; ++i) {
-            gb[i] += gout[i] * dfb(av[i], bv[i]);
-          }
-        } else {
-          for (int64_t i = 0; i < n; ++i) {
-            const int64_t ib = b_index(i);
-            gb[ib] += gout[i] * dfb(av[a_index(i)], bv[ib]);
-          }
-        }
-      }
-    };
+    result->grad_fn = std::make_shared<BinaryNode<DfA, DfB>>(
+        bwd_name, a.impl(), b.impl(), std::move(layout), dfa, dfb);
   }
   return Tensor(std::move(result));
 }
@@ -196,25 +272,16 @@ Tensor UnaryOp(const char* fwd_name, const char* bwd_name, const Tensor& x,
                Fwd fwd, Dfx dfx) {
   STSM_PROF_SCOPE(fwd_name);
   STSM_CHECK(x.defined());
-  ImplPtr result = internal::MakeResult(x.shape(), {x.impl()});
+  ImplPtr result =
+      internal::MakeResult(x.shape(), {x.impl()}, /*zero=*/false);
   const int64_t n = x.numel();
   const float* xd = x.data();
-  float* out = result->data.data();
+  float* out = result->data();
   for (int64_t i = 0; i < n; ++i) out[i] = fwd(xd[i]);
 
   if (result->requires_grad) {
-    ImplPtr xi = x.impl();
-    TensorImpl* self = result.get();
-    result->backward_fn = [xi, self, n, dfx, bwd_name]() {
-      if (!xi->requires_grad) return;
-      STSM_PROF_SCOPE(bwd_name);
-      xi->EnsureGrad();
-      const float* gout = self->grad.data();
-      const float* xv = xi->data.data();
-      const float* yv = self->data.data();
-      float* gx = xi->grad.data();
-      for (int64_t i = 0; i < n; ++i) gx[i] += gout[i] * dfx(xv[i], yv[i]);
-    };
+    result->grad_fn =
+        std::make_shared<UnaryNode<Dfx>>(bwd_name, x.impl(), dfx);
   }
   return Tensor(std::move(result));
 }
@@ -355,49 +422,30 @@ Tensor Reshape(const Tensor& x, const Shape& shape) {
   STSM_CHECK(x.defined());
   STSM_CHECK_EQ(x.numel(), shape.numel())
       << "reshape" << x.shape().ToString() << "->" << shape.ToString();
-  ImplPtr result = internal::MakeResult(shape, {x.impl()});
-  result->data = x.impl()->data;  // Same elements, new shape.
-  if (result->requires_grad) {
-    ImplPtr xi = x.impl();
-    TensorImpl* self = result.get();
-    result->backward_fn = [xi, self]() {
-      if (!xi->requires_grad) return;
-      xi->EnsureGrad();
-      const int64_t n = static_cast<int64_t>(self->grad.size());
-      for (int64_t i = 0; i < n; ++i) xi->grad[i] += self->grad[i];
-    };
-  }
-  return Tensor(std::move(result));
+  // Same elements, new metadata: a zero-copy view of the same storage.
+  return Tensor(internal::MakeView(x.impl(), shape, x.impl()->offset));
 }
 
-Tensor Transpose(const Tensor& x, int dim0, int dim1) {
-  STSM_PROF_SCOPE("transpose.fwd");
-  STSM_CHECK(x.defined());
-  const int ndim = x.ndim();
-  if (dim0 < 0) dim0 += ndim;
-  if (dim1 < 0) dim1 += ndim;
-  STSM_CHECK(dim0 >= 0 && dim0 < ndim && dim1 >= 0 && dim1 < ndim);
-  std::vector<int64_t> out_dims = x.shape().dims();
-  std::swap(out_dims[dim0], out_dims[dim1]);
-  const Shape out_shape(out_dims);
-  ImplPtr result = internal::MakeResult(out_shape, {x.impl()});
+namespace {
 
-  const std::vector<int64_t> in_strides = x.shape().Strides();
-  std::vector<int64_t> mapped_strides = in_strides;
-  std::swap(mapped_strides[dim0], mapped_strides[dim1]);
-  const std::vector<int64_t>& od = out_shape.dims();
+class TransposeNode : public Node {
+ public:
+  TransposeNode(ImplPtr x, std::vector<int64_t> out_dims,
+                std::vector<int64_t> mapped_strides)
+      : Node({std::move(x)}),
+        out_dims_(std::move(out_dims)),
+        mapped_strides_(std::move(mapped_strides)) {}
+
+  const char* name() const override { return "transpose"; }
 
   // Walks the output in order, computing the matching input offset from the
   // permuted strides. Shared by forward and backward.
-  auto for_each = [od, mapped_strides](const std::function<void(
-                      int64_t out_idx, int64_t in_idx)>& fn) {
+  template <typename Fn>
+  static void ForEach(const std::vector<int64_t>& od,
+                      const std::vector<int64_t>& mapped_strides, Fn fn) {
     const int nd = static_cast<int>(od.size());
-    const int64_t total =
-        [&] {
-          int64_t t = 1;
-          for (int64_t d : od) t *= d;
-          return t;
-        }();
+    int64_t total = 1;
+    for (int64_t d : od) total *= d;
     std::vector<int64_t> coord(nd, 0);
     int64_t in_idx = 0;
     for (int64_t out_idx = 0; out_idx < total; ++out_idx) {
@@ -411,26 +459,100 @@ Tensor Transpose(const Tensor& x, int dim0, int dim1) {
         in_idx -= mapped_strides[d] * (od[d] - 1);
       }
     }
-  };
+  }
+
+ protected:
+  void Apply(TensorImpl* output) override {
+    TensorImpl* xi = inputs_[0].get();
+    if (!xi->requires_grad) return;
+    STSM_PROF_SCOPE("transpose.bwd");
+    xi->EnsureGrad();
+    const float* gout = output->grad();
+    float* gx = xi->grad();
+    ForEach(out_dims_, mapped_strides_,
+            [&](int64_t oi, int64_t ii) { gx[ii] += gout[oi]; });
+  }
+
+  void ReleaseSaved() override {
+    out_dims_.clear();
+    out_dims_.shrink_to_fit();
+    mapped_strides_.clear();
+    mapped_strides_.shrink_to_fit();
+  }
+
+ private:
+  std::vector<int64_t> out_dims_;
+  std::vector<int64_t> mapped_strides_;
+};
+
+}  // namespace
+
+Tensor Transpose(const Tensor& x, int dim0, int dim1) {
+  STSM_PROF_SCOPE("transpose.fwd");
+  STSM_CHECK(x.defined());
+  const int ndim = x.ndim();
+  if (dim0 < 0) dim0 += ndim;
+  if (dim1 < 0) dim1 += ndim;
+  STSM_CHECK(dim0 >= 0 && dim0 < ndim && dim1 >= 0 && dim1 < ndim);
+  std::vector<int64_t> out_dims = x.shape().dims();
+  std::swap(out_dims[dim0], out_dims[dim1]);
+  const Shape out_shape(out_dims);
+  ImplPtr result =
+      internal::MakeResult(out_shape, {x.impl()}, /*zero=*/false);
+
+  const std::vector<int64_t> in_strides = x.shape().Strides();
+  std::vector<int64_t> mapped_strides = in_strides;
+  std::swap(mapped_strides[dim0], mapped_strides[dim1]);
+  const std::vector<int64_t>& od = out_shape.dims();
 
   const float* xd = x.data();
-  float* out = result->data.data();
-  for_each([&](int64_t oi, int64_t ii) { out[oi] = xd[ii]; });
+  float* out = result->data();
+  TransposeNode::ForEach(od, mapped_strides,
+                         [&](int64_t oi, int64_t ii) { out[oi] = xd[ii]; });
 
   if (result->requires_grad) {
-    ImplPtr xi = x.impl();
-    TensorImpl* self = result.get();
-    result->backward_fn = [xi, self, for_each]() {
-      if (!xi->requires_grad) return;
-      STSM_PROF_SCOPE("transpose.bwd");
-      xi->EnsureGrad();
-      const float* gout = self->grad.data();
-      float* gx = xi->grad.data();
-      for_each([&](int64_t oi, int64_t ii) { gx[ii] += gout[oi]; });
-    };
+    result->grad_fn = std::make_shared<TransposeNode>(
+        x.impl(), od, std::move(mapped_strides));
   }
   return Tensor(std::move(result));
 }
+
+namespace {
+
+// Gradient for the copying (non-contiguous) Slice path: scatter-adds the
+// output gradient back into the sliced window of the input.
+class SliceCopyNode : public Node {
+ public:
+  SliceCopyNode(ImplPtr x, int64_t outer, int64_t inner, int64_t in_dim,
+                int64_t out_dim, int64_t start)
+      : Node({std::move(x)}),
+        outer_(outer),
+        inner_(inner),
+        in_dim_(in_dim),
+        out_dim_(out_dim),
+        start_(start) {}
+
+  const char* name() const override { return "slice"; }
+
+ protected:
+  void Apply(TensorImpl* output) override {
+    TensorImpl* xi = inputs_[0].get();
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    const float* gout = output->grad();
+    float* gx = xi->grad();
+    for (int64_t o = 0; o < outer_; ++o) {
+      const float* src = gout + o * out_dim_ * inner_;
+      float* dst = gx + (o * in_dim_ + start_) * inner_;
+      for (int64_t i = 0; i < out_dim_ * inner_; ++i) dst[i] += src[i];
+    }
+  }
+
+ private:
+  int64_t outer_, inner_, in_dim_, out_dim_, start_;
+};
+
+}  // namespace
 
 Tensor Slice(const Tensor& x, int dim, int64_t start, int64_t end) {
   STSM_PROF_SCOPE("slice.fwd");
@@ -444,7 +566,6 @@ Tensor Slice(const Tensor& x, int dim, int64_t start, int64_t end) {
   std::vector<int64_t> out_dims = x.shape().dims();
   out_dims[dim] = end - start;
   const Shape out_shape(out_dims);
-  ImplPtr result = internal::MakeResult(out_shape, {x.impl()});
 
   // The tensor is a [outer, dim, inner] block structure.
   int64_t outer = 1, inner = 1;
@@ -453,8 +574,17 @@ Tensor Slice(const Tensor& x, int dim, int64_t start, int64_t end) {
   const int64_t in_dim = x.shape()[dim];
   const int64_t out_dim = end - start;
 
+  if (outer == 1) {
+    // Slicing the leading (or only non-trivial) dimension keeps the data
+    // contiguous: alias the storage at the window's offset instead of
+    // copying. Gradients land in the shared grad buffer at the same offset.
+    return Tensor(internal::MakeView(x.impl(), out_shape,
+                                     x.impl()->offset + start * inner));
+  }
+
+  ImplPtr result = internal::MakeResult(out_shape, {x.impl()}, /*zero=*/false);
   const float* xd = x.data();
-  float* out = result->data.data();
+  float* out = result->data();
   for (int64_t o = 0; o < outer; ++o) {
     const float* src = xd + (o * in_dim + start) * inner;
     float* dst = out + o * out_dim * inner;
@@ -462,22 +592,58 @@ Tensor Slice(const Tensor& x, int dim, int64_t start, int64_t end) {
   }
 
   if (result->requires_grad) {
-    ImplPtr xi = x.impl();
-    TensorImpl* self = result.get();
-    result->backward_fn = [xi, self, outer, inner, in_dim, out_dim, start]() {
-      if (!xi->requires_grad) return;
-      xi->EnsureGrad();
-      const float* gout = self->grad.data();
-      float* gx = xi->grad.data();
-      for (int64_t o = 0; o < outer; ++o) {
-        const float* src = gout + o * out_dim * inner;
-        float* dst = gx + (o * in_dim + start) * inner;
-        for (int64_t i = 0; i < out_dim * inner; ++i) dst[i] += src[i];
-      }
-    };
+    result->grad_fn = std::make_shared<SliceCopyNode>(
+        x.impl(), outer, inner, in_dim, out_dim, start);
   }
   return Tensor(std::move(result));
 }
+
+namespace {
+
+class ConcatNode : public Node {
+ public:
+  ConcatNode(std::vector<ImplPtr> inputs, int64_t outer, int64_t inner,
+             int64_t concat_size, std::vector<int64_t> offsets,
+             std::vector<int64_t> dim_sizes)
+      : Node(std::move(inputs)),
+        outer_(outer),
+        inner_(inner),
+        concat_size_(concat_size),
+        offsets_(std::move(offsets)),
+        dim_sizes_(std::move(dim_sizes)) {}
+
+  const char* name() const override { return "concat"; }
+
+ protected:
+  void Apply(TensorImpl* output) override {
+    const float* gout = output->grad();
+    for (size_t t = 0; t < inputs_.size(); ++t) {
+      TensorImpl* input = inputs_[t].get();
+      if (!input->requires_grad) continue;
+      input->EnsureGrad();
+      float* gx = input->grad();
+      for (int64_t o = 0; o < outer_; ++o) {
+        const float* src = gout + (o * concat_size_ + offsets_[t]) * inner_;
+        float* dst = gx + o * dim_sizes_[t] * inner_;
+        for (int64_t i = 0; i < dim_sizes_[t] * inner_; ++i) dst[i] += src[i];
+      }
+    }
+  }
+
+  void ReleaseSaved() override {
+    offsets_.clear();
+    offsets_.shrink_to_fit();
+    dim_sizes_.clear();
+    dim_sizes_.shrink_to_fit();
+  }
+
+ private:
+  int64_t outer_, inner_, concat_size_;
+  std::vector<int64_t> offsets_;
+  std::vector<int64_t> dim_sizes_;
+};
+
+}  // namespace
 
 Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
   STSM_PROF_SCOPE("concat.fwd");
@@ -501,18 +667,20 @@ Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
   std::vector<ImplPtr> inputs;
   inputs.reserve(tensors.size());
   for (const Tensor& t : tensors) inputs.push_back(t.impl());
-  ImplPtr result = internal::MakeResult(out_shape, inputs);
+  ImplPtr result = internal::MakeResult(out_shape, inputs, /*zero=*/false);
 
   int64_t outer = 1, inner = 1;
   for (int d = 0; d < dim; ++d) outer *= out_shape[d];
   for (int d = dim + 1; d < ndim; ++d) inner *= out_shape[d];
 
-  float* out = result->data.data();
+  float* out = result->data();
   int64_t offset = 0;  // Offset along the concat dimension.
   std::vector<int64_t> offsets(tensors.size());
+  std::vector<int64_t> dim_sizes(tensors.size());
   for (size_t t = 0; t < tensors.size(); ++t) {
     offsets[t] = offset;
     const int64_t this_dim = tensors[t].shape()[dim];
+    dim_sizes[t] = this_dim;
     const float* src = tensors[t].data();
     for (int64_t o = 0; o < outer; ++o) {
       std::memcpy(out + (o * concat_size + offset) * inner,
@@ -523,28 +691,55 @@ Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
   }
 
   if (result->requires_grad) {
-    TensorImpl* self = result.get();
-    std::vector<int64_t> dim_sizes(tensors.size());
-    for (size_t t = 0; t < tensors.size(); ++t) {
-      dim_sizes[t] = tensors[t].shape()[dim];
-    }
-    result->backward_fn = [inputs, self, outer, inner, concat_size, offsets,
-                           dim_sizes]() {
-      const float* gout = self->grad.data();
-      for (size_t t = 0; t < inputs.size(); ++t) {
-        if (!inputs[t]->requires_grad) continue;
-        inputs[t]->EnsureGrad();
-        float* gx = inputs[t]->grad.data();
-        for (int64_t o = 0; o < outer; ++o) {
-          const float* src = gout + (o * concat_size + offsets[t]) * inner;
-          float* dst = gx + o * dim_sizes[t] * inner;
-          for (int64_t i = 0; i < dim_sizes[t] * inner; ++i) dst[i] += src[i];
-        }
-      }
-    };
+    result->grad_fn = std::make_shared<ConcatNode>(
+        std::move(inputs), outer, inner, concat_size, std::move(offsets),
+        std::move(dim_sizes));
   }
   return Tensor(std::move(result));
 }
+
+namespace {
+
+class IndexSelectNode : public Node {
+ public:
+  IndexSelectNode(ImplPtr x, int64_t outer, int64_t inner, int64_t dim_size,
+                  std::vector<int> indices)
+      : Node({std::move(x)}),
+        outer_(outer),
+        inner_(inner),
+        dim_size_(dim_size),
+        indices_(std::move(indices)) {}
+
+  const char* name() const override { return "index_select"; }
+
+ protected:
+  void Apply(TensorImpl* output) override {
+    TensorImpl* xi = inputs_[0].get();
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    const int64_t k = static_cast<int64_t>(indices_.size());
+    const float* gout = output->grad();
+    float* gx = xi->grad();
+    for (int64_t o = 0; o < outer_; ++o) {
+      for (int64_t j = 0; j < k; ++j) {
+        const float* src = gout + (o * k + j) * inner_;
+        float* dst = gx + (o * dim_size_ + indices_[j]) * inner_;
+        for (int64_t i = 0; i < inner_; ++i) dst[i] += src[i];
+      }
+    }
+  }
+
+  void ReleaseSaved() override {
+    indices_.clear();
+    indices_.shrink_to_fit();
+  }
+
+ private:
+  int64_t outer_, inner_, dim_size_;
+  std::vector<int> indices_;
+};
+
+}  // namespace
 
 Tensor IndexSelect(const Tensor& x, int dim, const std::vector<int>& indices) {
   STSM_PROF_SCOPE("index_select.fwd");
@@ -561,7 +756,7 @@ Tensor IndexSelect(const Tensor& x, int dim, const std::vector<int>& indices) {
   std::vector<int64_t> out_dims = x.shape().dims();
   out_dims[dim] = static_cast<int64_t>(indices.size());
   const Shape out_shape(out_dims);
-  ImplPtr result = internal::MakeResult(out_shape, {x.impl()});
+  ImplPtr result = internal::MakeResult(out_shape, {x.impl()}, /*zero=*/false);
 
   int64_t outer = 1, inner = 1;
   for (int d = 0; d < dim; ++d) outer *= x.shape()[d];
@@ -569,7 +764,7 @@ Tensor IndexSelect(const Tensor& x, int dim, const std::vector<int>& indices) {
   const int64_t k = static_cast<int64_t>(indices.size());
 
   const float* xd = x.data();
-  float* out = result->data.data();
+  float* out = result->data();
   for (int64_t o = 0; o < outer; ++o) {
     for (int64_t j = 0; j < k; ++j) {
       std::memcpy(out + (o * k + j) * inner,
@@ -579,21 +774,8 @@ Tensor IndexSelect(const Tensor& x, int dim, const std::vector<int>& indices) {
   }
 
   if (result->requires_grad) {
-    ImplPtr xi = x.impl();
-    TensorImpl* self = result.get();
-    result->backward_fn = [xi, self, outer, inner, k, dim_size, indices]() {
-      if (!xi->requires_grad) return;
-      xi->EnsureGrad();
-      const float* gout = self->grad.data();
-      float* gx = xi->grad.data();
-      for (int64_t o = 0; o < outer; ++o) {
-        for (int64_t j = 0; j < k; ++j) {
-          const float* src = gout + (o * k + j) * inner;
-          float* dst = gx + (o * dim_size + indices[j]) * inner;
-          for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
-        }
-      }
-    };
+    result->grad_fn = std::make_shared<IndexSelectNode>(
+        x.impl(), outer, inner, dim_size, indices);
   }
   return Tensor(std::move(result));
 }
@@ -626,27 +808,40 @@ Tensor BroadcastTo(const Tensor& x, const Shape& shape) {
 
 // ---- Reductions -------------------------------------------------------------------
 
+namespace {
+
+class SumNode : public Node {
+ public:
+  explicit SumNode(ImplPtr x) : Node({std::move(x)}) {}
+  const char* name() const override { return "sum"; }
+
+ protected:
+  void Apply(TensorImpl* output) override {
+    TensorImpl* xi = inputs_[0].get();
+    if (!xi->requires_grad) return;
+    STSM_PROF_SCOPE("sum.bwd");
+    xi->EnsureGrad();
+    const int64_t n = xi->shape.numel();
+    const float g = output->grad()[0];
+    float* gx = xi->grad();
+    for (int64_t i = 0; i < n; ++i) gx[i] += g;
+  }
+};
+
+}  // namespace
+
 Tensor Sum(const Tensor& x) {
   STSM_PROF_SCOPE("sum.fwd");
   STSM_CHECK(x.defined());
-  ImplPtr result = internal::MakeResult(Shape({}), {x.impl()});
+  ImplPtr result = internal::MakeResult(Shape({}), {x.impl()}, /*zero=*/false);
   const float* xd = x.data();
   const int64_t n = x.numel();
   double acc = 0.0;
   for (int64_t i = 0; i < n; ++i) acc += xd[i];
-  result->data[0] = static_cast<float>(acc);
+  result->data()[0] = static_cast<float>(acc);
 
   if (result->requires_grad) {
-    ImplPtr xi = x.impl();
-    TensorImpl* self = result.get();
-    result->backward_fn = [xi, self, n]() {
-      if (!xi->requires_grad) return;
-      STSM_PROF_SCOPE("sum.bwd");
-      xi->EnsureGrad();
-      const float g = self->grad[0];
-      float* gx = xi->grad.data();
-      for (int64_t i = 0; i < n; ++i) gx[i] += g;
-    };
+    result->grad_fn = std::make_shared<SumNode>(x.impl());
   }
   return Tensor(std::move(result));
 }
@@ -685,6 +880,32 @@ Shape ReducedShape(const Shape& shape, int dim, bool keepdim) {
   return Shape(dims);
 }
 
+class SumDimNode : public Node {
+ public:
+  SumDimNode(ImplPtr x, DimSplit split) : Node({std::move(x)}), s_(split) {}
+  const char* name() const override { return "sum_dim"; }
+
+ protected:
+  void Apply(TensorImpl* output) override {
+    TensorImpl* xi = inputs_[0].get();
+    if (!xi->requires_grad) return;
+    STSM_PROF_SCOPE("sum_dim.bwd");
+    xi->EnsureGrad();
+    const float* gout = output->grad();
+    float* gx = xi->grad();
+    for (int64_t o = 0; o < s_.outer; ++o) {
+      for (int64_t r = 0; r < s_.reduce; ++r) {
+        for (int64_t i = 0; i < s_.inner; ++i) {
+          gx[(o * s_.reduce + r) * s_.inner + i] += gout[o * s_.inner + i];
+        }
+      }
+    }
+  }
+
+ private:
+  DimSplit s_;
+};
+
 }  // namespace
 
 Tensor Sum(const Tensor& x, int dim, bool keepdim) {
@@ -692,10 +913,10 @@ Tensor Sum(const Tensor& x, int dim, bool keepdim) {
   STSM_CHECK(x.defined());
   const DimSplit s = SplitAtDim(x.shape(), dim);
   const Shape out_shape = ReducedShape(x.shape(), dim, keepdim);
-  ImplPtr result = internal::MakeResult(out_shape, {x.impl()});
+  ImplPtr result = internal::MakeResult(out_shape, {x.impl()}, /*zero=*/false);
 
   const float* xd = x.data();
-  float* out = result->data.data();
+  float* out = result->data();
   for (int64_t o = 0; o < s.outer; ++o) {
     for (int64_t i = 0; i < s.inner; ++i) {
       double acc = 0.0;
@@ -707,22 +928,7 @@ Tensor Sum(const Tensor& x, int dim, bool keepdim) {
   }
 
   if (result->requires_grad) {
-    ImplPtr xi = x.impl();
-    TensorImpl* self = result.get();
-    result->backward_fn = [xi, self, s]() {
-      if (!xi->requires_grad) return;
-      STSM_PROF_SCOPE("sum_dim.bwd");
-      xi->EnsureGrad();
-      const float* gout = self->grad.data();
-      float* gx = xi->grad.data();
-      for (int64_t o = 0; o < s.outer; ++o) {
-        for (int64_t r = 0; r < s.reduce; ++r) {
-          for (int64_t i = 0; i < s.inner; ++i) {
-            gx[(o * s.reduce + r) * s.inner + i] += gout[o * s.inner + i];
-          }
-        }
-      }
-    };
+    result->grad_fn = std::make_shared<SumDimNode>(x.impl(), s);
   }
   return Tensor(std::move(result));
 }
@@ -738,6 +944,40 @@ Tensor Mean(const Tensor& x, int dim, bool keepdim) {
 
 namespace {
 
+class ExtremumNode : public Node {
+ public:
+  ExtremumNode(ImplPtr x, DimSplit split, std::vector<int64_t> arg_indices)
+      : Node({std::move(x)}),
+        s_(split),
+        arg_indices_(std::move(arg_indices)) {}
+
+  const char* name() const override { return "extremum_dim"; }
+
+ protected:
+  void Apply(TensorImpl* output) override {
+    TensorImpl* xi = inputs_[0].get();
+    if (!xi->requires_grad) return;
+    xi->EnsureGrad();
+    const float* gout = output->grad();
+    float* gx = xi->grad();
+    for (int64_t o = 0; o < s_.outer; ++o) {
+      for (int64_t i = 0; i < s_.inner; ++i) {
+        const int64_t r = arg_indices_[o * s_.inner + i];
+        gx[(o * s_.reduce + r) * s_.inner + i] += gout[o * s_.inner + i];
+      }
+    }
+  }
+
+  void ReleaseSaved() override {
+    arg_indices_.clear();
+    arg_indices_.shrink_to_fit();
+  }
+
+ private:
+  DimSplit s_;
+  std::vector<int64_t> arg_indices_;
+};
+
 // Shared implementation of Max/Min along a dimension.
 Tensor ExtremumAlongDim(const Tensor& x, int dim, bool keepdim, bool is_max) {
   STSM_PROF_SCOPE("extremum_dim.fwd");
@@ -745,12 +985,11 @@ Tensor ExtremumAlongDim(const Tensor& x, int dim, bool keepdim, bool is_max) {
   const DimSplit s = SplitAtDim(x.shape(), dim);
   STSM_CHECK_GT(s.reduce, 0);
   const Shape out_shape = ReducedShape(x.shape(), dim, keepdim);
-  ImplPtr result = internal::MakeResult(out_shape, {x.impl()});
+  ImplPtr result = internal::MakeResult(out_shape, {x.impl()}, /*zero=*/false);
 
   const float* xd = x.data();
-  float* out = result->data.data();
-  auto arg_indices = std::make_shared<std::vector<int64_t>>(
-      static_cast<size_t>(s.outer * s.inner));
+  float* out = result->data();
+  std::vector<int64_t> arg_indices(static_cast<size_t>(s.outer * s.inner));
   for (int64_t o = 0; o < s.outer; ++o) {
     for (int64_t i = 0; i < s.inner; ++i) {
       int64_t best_r = 0;
@@ -763,25 +1002,13 @@ Tensor ExtremumAlongDim(const Tensor& x, int dim, bool keepdim, bool is_max) {
         }
       }
       out[o * s.inner + i] = best;
-      (*arg_indices)[o * s.inner + i] = best_r;
+      arg_indices[o * s.inner + i] = best_r;
     }
   }
 
   if (result->requires_grad) {
-    ImplPtr xi = x.impl();
-    TensorImpl* self = result.get();
-    result->backward_fn = [xi, self, s, arg_indices]() {
-      if (!xi->requires_grad) return;
-      xi->EnsureGrad();
-      const float* gout = self->grad.data();
-      float* gx = xi->grad.data();
-      for (int64_t o = 0; o < s.outer; ++o) {
-        for (int64_t i = 0; i < s.inner; ++i) {
-          const int64_t r = (*arg_indices)[o * s.inner + i];
-          gx[(o * s.reduce + r) * s.inner + i] += gout[o * s.inner + i];
-        }
-      }
-    };
+    result->grad_fn = std::make_shared<ExtremumNode>(
+        x.impl(), s, std::move(arg_indices));
   }
   return Tensor(std::move(result));
 }
@@ -842,6 +1069,75 @@ MatMulPlan PlanMatMul(const Shape& a, const Shape& b) {
   return plan;
 }
 
+class MatMulNode : public Node {
+ public:
+  MatMulNode(ImplPtr a, ImplPtr b, std::shared_ptr<MatMulPlan> plan)
+      : Node({std::move(a), std::move(b)}), plan_(std::move(plan)) {}
+
+  const char* name() const override { return "matmul"; }
+
+ protected:
+  void Apply(TensorImpl* output) override {
+    TensorImpl* ai = inputs_[0].get();
+    TensorImpl* bi = inputs_[1].get();
+    const MatMulPlan& plan = *plan_;
+    const int64_t m = plan.m, k = plan.k, n = plan.n;
+    const int64_t batches = plan.batch_count;
+    const float* gout = output->grad();
+    const float* av = ai->data();
+    const float* bv = bi->data();
+
+    if (ai->requires_grad) {
+      STSM_PROF_SCOPE("matmul.bwd_a");
+      ai->EnsureGrad();
+      float* ga = ai->grad();
+      // dA = dC @ B^T. Parallel over row i: a given thread owns row i of
+      // every (possibly shared) A batch, so accumulation never races.
+      ParallelFor(0, m, [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          for (int64_t batch = 0; batch < batches; ++batch) {
+            const float* g_row = gout + (batch * m + i) * n;
+            const float* b_mat = bv + plan.b_batch_offset[batch];
+            float* ga_row = ga + plan.a_batch_offset[batch] + i * k;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              const float* b_row = b_mat + kk * n;
+              float acc = 0.0f;
+              for (int64_t j = 0; j < n; ++j) acc += g_row[j] * b_row[j];
+              ga_row[kk] += acc;
+            }
+          }
+        }
+      });
+    }
+    if (bi->requires_grad) {
+      STSM_PROF_SCOPE("matmul.bwd_b");
+      bi->EnsureGrad();
+      float* gb = bi->grad();
+      // dB = A^T @ dC. Parallel over kk: a thread owns row kk of every B
+      // batch gradient.
+      ParallelFor(0, k, [&](int64_t begin, int64_t end) {
+        for (int64_t kk = begin; kk < end; ++kk) {
+          for (int64_t batch = 0; batch < batches; ++batch) {
+            const float* a_mat = av + plan.a_batch_offset[batch];
+            float* gb_row = gb + plan.b_batch_offset[batch] + kk * n;
+            for (int64_t i = 0; i < m; ++i) {
+              const float a_val = a_mat[i * k + kk];
+              if (a_val == 0.0f) continue;
+              const float* g_row = gout + (batch * m + i) * n;
+              for (int64_t j = 0; j < n; ++j) gb_row[j] += a_val * g_row[j];
+            }
+          }
+        }
+      });
+    }
+  }
+
+  void ReleaseSaved() override { plan_.reset(); }
+
+ private:
+  std::shared_ptr<MatMulPlan> plan_;
+};
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -853,11 +1149,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   out_dims.push_back(plan->m);
   out_dims.push_back(plan->n);
   const Shape out_shape(out_dims);
+  // The kernel accumulates into the output, so it must start zeroed.
   ImplPtr result = internal::MakeResult(out_shape, {a.impl(), b.impl()});
 
   const float* ad = a.data();
   const float* bd = b.data();
-  float* out = result->data.data();
+  float* out = result->data();
   const int64_t m = plan->m, k = plan->k, n = plan->n;
 
   // Forward: parallel over (batch, row) pairs; each owns one output row.
@@ -878,74 +1175,59 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   });
 
   if (result->requires_grad) {
-    ImplPtr ai = a.impl();
-    ImplPtr bi = b.impl();
-    TensorImpl* self = result.get();
-    result->backward_fn = [ai, bi, self, plan]() {
-      const int64_t m = plan->m, k = plan->k, n = plan->n;
-      const int64_t batches = plan->batch_count;
-      const float* gout = self->grad.data();
-      const float* av = ai->data.data();
-      const float* bv = bi->data.data();
-
-      if (ai->requires_grad) {
-        STSM_PROF_SCOPE("matmul.bwd_a");
-        ai->EnsureGrad();
-        float* ga = ai->grad.data();
-        // dA = dC @ B^T. Parallel over row i: a given thread owns row i of
-        // every (possibly shared) A batch, so accumulation never races.
-        ParallelFor(0, m, [&](int64_t begin, int64_t end) {
-          for (int64_t i = begin; i < end; ++i) {
-            for (int64_t batch = 0; batch < batches; ++batch) {
-              const float* g_row = gout + (batch * m + i) * n;
-              const float* b_mat = bv + plan->b_batch_offset[batch];
-              float* ga_row = ga + plan->a_batch_offset[batch] + i * k;
-              for (int64_t kk = 0; kk < k; ++kk) {
-                const float* b_row = b_mat + kk * n;
-                float acc = 0.0f;
-                for (int64_t j = 0; j < n; ++j) acc += g_row[j] * b_row[j];
-                ga_row[kk] += acc;
-              }
-            }
-          }
-        });
-      }
-      if (bi->requires_grad) {
-        STSM_PROF_SCOPE("matmul.bwd_b");
-        bi->EnsureGrad();
-        float* gb = bi->grad.data();
-        // dB = A^T @ dC. Parallel over kk: a thread owns row kk of every B
-        // batch gradient.
-        ParallelFor(0, k, [&](int64_t begin, int64_t end) {
-          for (int64_t kk = begin; kk < end; ++kk) {
-            for (int64_t batch = 0; batch < batches; ++batch) {
-              const float* a_mat = av + plan->a_batch_offset[batch];
-              float* gb_row = gb + plan->b_batch_offset[batch] + kk * n;
-              for (int64_t i = 0; i < m; ++i) {
-                const float a_val = a_mat[i * k + kk];
-                if (a_val == 0.0f) continue;
-                const float* g_row = gout + (batch * m + i) * n;
-                for (int64_t j = 0; j < n; ++j) gb_row[j] += a_val * g_row[j];
-              }
-            }
-          }
-        });
-      }
-    };
+    result->grad_fn = std::make_shared<MatMulNode>(a.impl(), b.impl(),
+                                                   std::move(plan));
   }
   return Tensor(std::move(result));
 }
 
 // ---- NN primitives ------------------------------------------------------------------
 
+namespace {
+
+class SoftmaxNode : public Node {
+ public:
+  SoftmaxNode(ImplPtr x, DimSplit split) : Node({std::move(x)}), s_(split) {}
+  const char* name() const override { return "softmax"; }
+
+ protected:
+  void Apply(TensorImpl* output) override {
+    TensorImpl* xi = inputs_[0].get();
+    if (!xi->requires_grad) return;
+    STSM_PROF_SCOPE("softmax.bwd");
+    xi->EnsureGrad();
+    const float* y = output->data();
+    const float* gout = output->grad();
+    float* gx = xi->grad();
+    for (int64_t o = 0; o < s_.outer; ++o) {
+      for (int64_t i = 0; i < s_.inner; ++i) {
+        double dot = 0.0;
+        for (int64_t r = 0; r < s_.reduce; ++r) {
+          const int64_t idx = (o * s_.reduce + r) * s_.inner + i;
+          dot += static_cast<double>(gout[idx]) * y[idx];
+        }
+        for (int64_t r = 0; r < s_.reduce; ++r) {
+          const int64_t idx = (o * s_.reduce + r) * s_.inner + i;
+          gx[idx] += (gout[idx] - static_cast<float>(dot)) * y[idx];
+        }
+      }
+    }
+  }
+
+ private:
+  DimSplit s_;
+};
+
+}  // namespace
+
 Tensor Softmax(const Tensor& x, int dim) {
   STSM_PROF_SCOPE("softmax.fwd");
   STSM_CHECK(x.defined());
   const DimSplit s = SplitAtDim(x.shape(), dim);
-  ImplPtr result = internal::MakeResult(x.shape(), {x.impl()});
+  ImplPtr result = internal::MakeResult(x.shape(), {x.impl()}, /*zero=*/false);
 
   const float* xd = x.data();
-  float* out = result->data.data();
+  float* out = result->data();
   for (int64_t o = 0; o < s.outer; ++o) {
     for (int64_t i = 0; i < s.inner; ++i) {
       float max_v = -std::numeric_limits<float>::infinity();
@@ -966,34 +1248,117 @@ Tensor Softmax(const Tensor& x, int dim) {
   }
 
   if (result->requires_grad) {
-    ImplPtr xi = x.impl();
-    TensorImpl* self = result.get();
-    result->backward_fn = [xi, self, s]() {
-      if (!xi->requires_grad) return;
-      STSM_PROF_SCOPE("softmax.bwd");
-      xi->EnsureGrad();
-      const float* y = self->data.data();
-      const float* gout = self->grad.data();
-      float* gx = xi->grad.data();
-      for (int64_t o = 0; o < s.outer; ++o) {
-        for (int64_t i = 0; i < s.inner; ++i) {
-          double dot = 0.0;
-          for (int64_t r = 0; r < s.reduce; ++r) {
-            const int64_t idx = (o * s.reduce + r) * s.inner + i;
-            dot += static_cast<double>(gout[idx]) * y[idx];
-          }
-          for (int64_t r = 0; r < s.reduce; ++r) {
-            const int64_t idx = (o * s.reduce + r) * s.inner + i;
-            gx[idx] += (gout[idx] - static_cast<float>(dot)) * y[idx];
-          }
-        }
-      }
-    };
+    result->grad_fn = std::make_shared<SoftmaxNode>(x.impl(), s);
   }
   return Tensor(std::move(result));
 }
 
 Tensor LogSoftmax(const Tensor& x, int dim) { return Log(Softmax(x, dim)); }
+
+namespace {
+
+class Conv1dNode : public Node {
+ public:
+  Conv1dNode(ImplPtr x, ImplPtr w, ImplPtr bias, int64_t batch, int64_t time,
+             int64_t nodes, int64_t c_in, int64_t c_out, int64_t kernel,
+             int dilation)
+      : Node(bias ? std::vector<ImplPtr>{std::move(x), std::move(w),
+                                         std::move(bias)}
+                  : std::vector<ImplPtr>{std::move(x), std::move(w)}),
+        batch_(batch),
+        time_(time),
+        nodes_(nodes),
+        c_in_(c_in),
+        c_out_(c_out),
+        kernel_(kernel),
+        dilation_(dilation) {}
+
+  const char* name() const override { return "conv1d"; }
+
+ protected:
+  void Apply(TensorImpl* output) override {
+    STSM_PROF_SCOPE("conv1d.bwd");
+    TensorImpl* xi = inputs_[0].get();
+    TensorImpl* wi = inputs_[1].get();
+    TensorImpl* biasi = inputs_.size() > 2 ? inputs_[2].get() : nullptr;
+    const int64_t batch = batch_, time = time_, nodes = nodes_, c_in = c_in_,
+                  c_out = c_out_, kernel = kernel_;
+    const int dilation = dilation_;
+    const float* gout = output->grad();
+    const float* xv = xi->data();
+    const float* wv = wi->data();
+
+    if (biasi != nullptr && biasi->requires_grad) {
+      biasi->EnsureGrad();
+      float* gb = biasi->grad();
+      for (int64_t idx = 0; idx < batch * time * nodes; ++idx) {
+        const float* g_row = gout + idx * c_out;
+        for (int64_t co = 0; co < c_out; ++co) gb[co] += g_row[co];
+      }
+    }
+    if (wi->requires_grad) {
+      wi->EnsureGrad();
+      float* gw = wi->grad();
+      for (int64_t b = 0; b < batch; ++b) {
+        for (int64_t t = 0; t < time; ++t) {
+          const float* g_bt = gout + (b * time + t) * nodes * c_out;
+          for (int64_t kk = 0; kk < kernel; ++kk) {
+            const int64_t t_in = t - (kernel - 1 - kk) * dilation;
+            if (t_in < 0) continue;
+            const float* x_bt = xv + (b * time + t_in) * nodes * c_in;
+            for (int64_t n = 0; n < nodes; ++n) {
+              const float* x_row = x_bt + n * c_in;
+              const float* g_row = g_bt + n * c_out;
+              for (int64_t co = 0; co < c_out; ++co) {
+                const float g = g_row[co];
+                if (g == 0.0f) continue;
+                float* gw_row = gw + (co * c_in) * kernel;
+                for (int64_t ci = 0; ci < c_in; ++ci) {
+                  gw_row[ci * kernel + kk] += g * x_row[ci];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    if (xi->requires_grad) {
+      xi->EnsureGrad();
+      float* gx = xi->grad();
+      // Parallel over batch: each thread owns a disjoint x[b] block.
+      ParallelFor(0, batch, [&](int64_t begin, int64_t end) {
+        for (int64_t b = begin; b < end; ++b) {
+          for (int64_t t = 0; t < time; ++t) {
+            const float* g_bt = gout + (b * time + t) * nodes * c_out;
+            for (int64_t kk = 0; kk < kernel; ++kk) {
+              const int64_t t_in = t - (kernel - 1 - kk) * dilation;
+              if (t_in < 0) continue;
+              float* gx_bt = gx + (b * time + t_in) * nodes * c_in;
+              for (int64_t n = 0; n < nodes; ++n) {
+                const float* g_row = g_bt + n * c_out;
+                float* gx_row = gx_bt + n * c_in;
+                for (int64_t co = 0; co < c_out; ++co) {
+                  const float g = g_row[co];
+                  if (g == 0.0f) continue;
+                  const float* w_row = wv + (co * c_in) * kernel;
+                  for (int64_t ci = 0; ci < c_in; ++ci) {
+                    gx_row[ci] += g * w_row[ci * kernel + kk];
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+
+ private:
+  int64_t batch_, time_, nodes_, c_in_, c_out_, kernel_;
+  int dilation_;
+};
+
+}  // namespace
 
 Tensor Conv1dTime(const Tensor& x, const Tensor& weight, const Tensor& bias,
                   int dilation) {
@@ -1016,12 +1381,13 @@ Tensor Conv1dTime(const Tensor& x, const Tensor& weight, const Tensor& bias,
   const Shape out_shape({batch, time, nodes, c_out});
   std::vector<ImplPtr> inputs = {x.impl(), weight.impl()};
   if (bias.defined()) inputs.push_back(bias.impl());
+  // The kernel accumulates window contributions, so it must start zeroed.
   ImplPtr result = internal::MakeResult(out_shape, inputs);
 
   const float* xd = x.data();
   const float* wd = weight.data();
   const float* biasd = bias.defined() ? bias.data() : nullptr;
-  float* out = result->data.data();
+  float* out = result->data();
 
   // out[b,t,n,co] = bias[co]
   //   + sum_{kk,ci} w[co,ci,kk] * x[b, t - (K-1-kk)*dilation, n, ci]
@@ -1058,81 +1424,9 @@ Tensor Conv1dTime(const Tensor& x, const Tensor& weight, const Tensor& bias,
   });
 
   if (result->requires_grad) {
-    ImplPtr xi = x.impl();
-    ImplPtr wi = weight.impl();
-    ImplPtr biasi = bias.defined() ? bias.impl() : nullptr;
-    TensorImpl* self = result.get();
-    result->backward_fn = [xi, wi, biasi, self, batch, time, nodes, c_in,
-                           c_out, kernel, dilation]() {
-      STSM_PROF_SCOPE("conv1d.bwd");
-      const float* gout = self->grad.data();
-      const float* xv = xi->data.data();
-      const float* wv = wi->data.data();
-
-      if (biasi != nullptr && biasi->requires_grad) {
-        biasi->EnsureGrad();
-        float* gb = biasi->grad.data();
-        for (int64_t idx = 0; idx < batch * time * nodes; ++idx) {
-          const float* g_row = gout + idx * c_out;
-          for (int64_t co = 0; co < c_out; ++co) gb[co] += g_row[co];
-        }
-      }
-      if (wi->requires_grad) {
-        wi->EnsureGrad();
-        float* gw = wi->grad.data();
-        for (int64_t b = 0; b < batch; ++b) {
-          for (int64_t t = 0; t < time; ++t) {
-            const float* g_bt = gout + (b * time + t) * nodes * c_out;
-            for (int64_t kk = 0; kk < kernel; ++kk) {
-              const int64_t t_in = t - (kernel - 1 - kk) * dilation;
-              if (t_in < 0) continue;
-              const float* x_bt = xv + (b * time + t_in) * nodes * c_in;
-              for (int64_t n = 0; n < nodes; ++n) {
-                const float* x_row = x_bt + n * c_in;
-                const float* g_row = g_bt + n * c_out;
-                for (int64_t co = 0; co < c_out; ++co) {
-                  const float g = g_row[co];
-                  if (g == 0.0f) continue;
-                  float* gw_row = gw + (co * c_in) * kernel;
-                  for (int64_t ci = 0; ci < c_in; ++ci) {
-                    gw_row[ci * kernel + kk] += g * x_row[ci];
-                  }
-                }
-              }
-            }
-          }
-        }
-      }
-      if (xi->requires_grad) {
-        xi->EnsureGrad();
-        float* gx = xi->grad.data();
-        // Parallel over batch: each thread owns a disjoint x[b] block.
-        ParallelFor(0, batch, [&](int64_t begin, int64_t end) {
-          for (int64_t b = begin; b < end; ++b) {
-            for (int64_t t = 0; t < time; ++t) {
-              const float* g_bt = gout + (b * time + t) * nodes * c_out;
-              for (int64_t kk = 0; kk < kernel; ++kk) {
-                const int64_t t_in = t - (kernel - 1 - kk) * dilation;
-                if (t_in < 0) continue;
-                float* gx_bt = gx + (b * time + t_in) * nodes * c_in;
-                for (int64_t n = 0; n < nodes; ++n) {
-                  const float* g_row = g_bt + n * c_out;
-                  float* gx_row = gx_bt + n * c_in;
-                  for (int64_t co = 0; co < c_out; ++co) {
-                    const float g = g_row[co];
-                    if (g == 0.0f) continue;
-                    const float* w_row = wv + (co * c_in) * kernel;
-                    for (int64_t ci = 0; ci < c_in; ++ci) {
-                      gx_row[ci] += g * w_row[ci * kernel + kk];
-                    }
-                  }
-                }
-              }
-            }
-          }
-        });
-      }
-    };
+    result->grad_fn = std::make_shared<Conv1dNode>(
+        x.impl(), weight.impl(), bias.defined() ? bias.impl() : nullptr,
+        batch, time, nodes, c_in, c_out, kernel, dilation);
   }
   return Tensor(std::move(result));
 }

@@ -1,0 +1,115 @@
+// BufferPool: a thread-safe, size-bucketed recycler for the float buffers
+// behind tensor Storage.
+//
+// Training loops allocate and drop the same handful of buffer sizes every
+// step (op outputs, gradient buffers, saved activations released during the
+// backward walk). The pool keeps freed buffers in power-of-two size buckets
+// and hands them back on the next request of a compatible size, so steady
+// state training performs almost no malloc/free traffic.
+//
+// Thread-safety contract: every public member function may be called from
+// any thread concurrently; the pool serialises free-list access with a
+// single internal mutex (acquisition is O(1): one bucket pop). Statistics
+// are plain counters updated under the same mutex, so a Stats() snapshot is
+// internally consistent. Buffers themselves are NOT synchronised — a buffer
+// returned by Acquire is owned exclusively by the caller until Release.
+//
+// Sanitizer builds (ASan/MSan) disable recycling at compile time so that
+// use-after-free and leak detection keep seeing real malloc/free events;
+// statistics still work (every acquire is a miss). STSM_POOL=0 in the
+// environment disables recycling at runtime.
+
+#ifndef STSM_TENSOR_POOL_H_
+#define STSM_TENSOR_POOL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace stsm {
+
+// Point-in-time view of the pool counters. All counts are cumulative since
+// process start (or the last ResetStats), except cached_* and live_buffers
+// which are gauges.
+struct BufferPoolStats {
+  uint64_t acquires = 0;       // Acquire() calls.
+  uint64_t hits = 0;           // Acquires served from a free list.
+  uint64_t misses = 0;         // Acquires that had to allocate.
+  uint64_t adopts = 0;         // Buffers that entered via Adopt (FromVector).
+  uint64_t releases = 0;       // Buffers returned (cached or freed).
+  uint64_t bytes_requested = 0;  // Sum of requested sizes across acquires.
+  uint64_t bytes_reused = 0;     // Requested bytes served by hits.
+  uint64_t cached_buffers = 0;   // Gauge: buffers sitting in free lists.
+  uint64_t cached_bytes = 0;     // Gauge: capacity bytes in free lists.
+  // Gauge: buffers handed out (acquired or adopted) and not yet released.
+  // Zero when every Storage has been destroyed — the leak check.
+  uint64_t live_buffers = 0;
+};
+
+class BufferPool {
+ public:
+  // Process-wide pool used by Storage. Never destroyed (leaked on exit) so
+  // that static-duration tensors can release safely in any order.
+  static BufferPool& Instance();
+
+  BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns a vector with size() == n. When `zero` is set the content is
+  // all zeros; otherwise it is unspecified (fully-overwriting ops skip the
+  // zero-fill). n == 0 returns an empty vector without touching the pool.
+  std::vector<float> Acquire(int64_t n, bool zero);
+
+  // Returns a buffer to the pool. Recycles it into a free list when
+  // recycling is on and the cache cap is not exceeded; frees it otherwise.
+  void Release(std::vector<float>&& buffer);
+
+  // Records a buffer that was allocated outside the pool but will be
+  // Released through it later (Storage adopting a caller's vector). Keeps
+  // the live_buffers gauge balanced.
+  void RecordAdopt();
+
+  BufferPoolStats Stats() const;
+
+  // Drops all cached buffers (free lists only; live buffers are untouched).
+  void Clear();
+
+  // Zeroes the cumulative counters; gauges are recomputed, not reset.
+  void ResetStats();
+
+  // True when freed buffers are kept for reuse (false under sanitizers or
+  // STSM_POOL=0; Acquire/Release bookkeeping still runs).
+  bool recycling_enabled() const { return recycling_enabled_; }
+  void set_recycling_enabled(bool enabled);
+
+  // Exports the counters through stsm::prof as monotonic counters
+  // ("pool.acquire", "pool.hit", "pool.miss", "pool.adopt", "pool.release",
+  // "pool.bytes_requested", "pool.bytes_reused"). Each call records only the
+  // delta since the previous call, so repeated exports (e.g. once per epoch
+  // plus once before a snapshot) sum to the true totals. Net leaked buffers
+  // at export time = pool.acquire + pool.adopt - pool.release.
+  void RecordProfCounters();
+
+ private:
+  // One free list per power-of-two capacity class. Bucket b holds buffers
+  // with capacity in [2^b, 2^(b+1)); Acquire(n) looks in the first bucket
+  // whose every member is guaranteed to fit n, i.e. ceil(log2(n)), and at
+  // most kMaxWasteClasses above it — a small request must not hog a much
+  // larger cached buffer that a later large request would then miss.
+  static constexpr int kNumBuckets = 40;
+  static constexpr int kMaxWasteClasses = 2;
+
+  mutable std::mutex mutex_;
+  std::vector<std::vector<float>> buckets_[kNumBuckets];
+  BufferPoolStats stats_;
+  uint64_t max_cached_bytes_;
+  bool recycling_enabled_;
+
+  // Deltas already exported to stsm::prof (guarded by mutex_).
+  BufferPoolStats exported_;
+};
+
+}  // namespace stsm
+
+#endif  // STSM_TENSOR_POOL_H_

@@ -1,0 +1,43 @@
+#include "tensor/storage.h"
+
+#include <utility>
+
+#include "tensor/pool.h"
+
+namespace stsm {
+
+Storage::Storage(Private, std::vector<float> data, bool adopted)
+    : data_(std::move(data)) {
+  // Empty buffers never reach Release, so don't count them as live.
+  if (adopted && data_.capacity() > 0) BufferPool::Instance().RecordAdopt();
+}
+
+std::shared_ptr<Storage> Storage::New(int64_t size, bool zero) {
+  return std::make_shared<Storage>(
+      Private{}, BufferPool::Instance().Acquire(size, zero),
+      /*adopted=*/false);
+}
+
+std::shared_ptr<Storage> Storage::Adopt(std::vector<float> values) {
+  return std::make_shared<Storage>(Private{}, std::move(values),
+                                   /*adopted=*/true);
+}
+
+Storage::~Storage() {
+  BufferPool& pool = BufferPool::Instance();
+  pool.Release(std::move(data_));
+  if (!grad_.empty()) pool.Release(std::move(grad_));
+}
+
+void Storage::EnsureGrad() {
+  if (grad_.empty() && !data_.empty()) {
+    grad_ = BufferPool::Instance().Acquire(size(), /*zero=*/true);
+  }
+}
+
+void Storage::FreeGrad() {
+  if (!grad_.empty()) BufferPool::Instance().Release(std::move(grad_));
+  grad_.clear();
+}
+
+}  // namespace stsm

@@ -1,0 +1,64 @@
+// Storage: the ref-counted buffer block behind one or more TensorImpls.
+//
+// A Storage owns a contiguous float data buffer and, once gradients are
+// needed, a parallel grad buffer of the same length. Zero-copy views
+// (Reshape / Squeeze / Unsqueeze / Detach / contiguous Slice) are separate
+// TensorImpls pointing at the same Storage with their own shape and element
+// offset; because the grad buffer lives here too, gradient accumulation
+// into a view lands directly in the base tensor's gradient at the view's
+// offset — no scatter pass is needed.
+//
+// Buffers come from (and return to) the process-wide BufferPool, so dropping
+// a Storage during the backward walk recycles its memory for the next op.
+
+#ifndef STSM_TENSOR_STORAGE_H_
+#define STSM_TENSOR_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace stsm {
+
+class Storage {
+ public:
+  // Pool-backed buffer of `size` elements (zero-filled unless `zero` is
+  // false, in which case the content is unspecified and the caller must
+  // overwrite every element).
+  static std::shared_ptr<Storage> New(int64_t size, bool zero = true);
+
+  // Adopts an existing vector without copying (Tensor::FromVector).
+  static std::shared_ptr<Storage> Adopt(std::vector<float> values);
+
+  ~Storage();
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  // Gradient buffer management. The grad buffer covers the whole storage
+  // (all views share it) and is zero-initialised on first allocation.
+  bool has_grad() const { return !grad_.empty(); }
+  void EnsureGrad();
+  float* grad() { return grad_.data(); }
+  const float* grad() const { return grad_.data(); }
+  // Returns the grad buffer to the pool (ZeroGrad keeps it; this drops it).
+  void FreeGrad();
+
+ private:
+  struct Private {};  // make_shared-able but only via the factories.
+
+ public:
+  Storage(Private, std::vector<float> data, bool adopted);
+
+ private:
+  std::vector<float> data_;
+  std::vector<float> grad_;
+};
+
+}  // namespace stsm
+
+#endif  // STSM_TENSOR_STORAGE_H_

@@ -1,8 +1,10 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <unordered_set>
+#include <utility>
 
 #include "common/check.h"
 #include "common/prof.h"
@@ -23,14 +25,14 @@ NoGradGuard::NoGradGuard() : previous_(g_grad_mode_enabled) {
 
 NoGradGuard::~NoGradGuard() { g_grad_mode_enabled = previous_; }
 
-void TensorImpl::EnsureGrad() {
-  if (grad.empty()) grad.assign(data.size(), 0.0f);
-}
-
 // ---- Factories --------------------------------------------------------------
 
 Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
-  return Full(shape, 0.0f, requires_grad);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->storage = Storage::New(shape.numel(), /*zero=*/true);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
 }
 
 Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
@@ -38,9 +40,12 @@ Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
 }
 
 Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  if (value == 0.0f) return Zeros(shape, requires_grad);
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(shape.numel(), value);
+  impl->storage = Storage::New(shape.numel(), /*zero=*/false);
+  std::fill(impl->storage->data(), impl->storage->data() + shape.numel(),
+            value);
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -50,7 +55,7 @@ Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
   STSM_CHECK_EQ(static_cast<int64_t>(values.size()), shape.numel());
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data = std::move(values);
+  impl->storage = Storage::Adopt(std::move(values));
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -91,17 +96,17 @@ const Shape& Tensor::shape() const {
 
 float* Tensor::data() {
   STSM_CHECK(defined());
-  return impl_->data.data();
+  return impl_->data();
 }
 
 const float* Tensor::data() const {
   STSM_CHECK(defined());
-  return impl_->data.data();
+  return impl_->data();
 }
 
 float Tensor::item() const {
   STSM_CHECK_EQ(numel(), 1);
-  return impl_->data[0];
+  return impl_->data()[0];
 }
 
 namespace {
@@ -139,34 +144,47 @@ bool Tensor::requires_grad() const {
 
 Tensor& Tensor::set_requires_grad(bool value) {
   STSM_CHECK(defined());
-  STSM_CHECK(impl_->parents.empty())
+  STSM_CHECK(impl_->is_leaf())
       << "set_requires_grad is only valid on leaf tensors";
   impl_->requires_grad = value;
   return *this;
 }
 
+bool Tensor::has_grad() const {
+  STSM_CHECK(defined());
+  return impl_->has_grad();
+}
+
 float* Tensor::grad_data() {
   STSM_CHECK(defined());
   impl_->EnsureGrad();
-  return impl_->grad.data();
+  return impl_->grad();
 }
 
 const float* Tensor::grad_data() const {
   STSM_CHECK(defined());
-  const_cast<TensorImpl*>(impl_.get())->EnsureGrad();
-  return impl_->grad.data();
+  // A const read must not allocate: before any gradient exists the caller
+  // gets nullptr (see has_grad() / GradTensor()).
+  return impl_->grad();
 }
 
 Tensor Tensor::GradTensor() const {
   STSM_CHECK(defined());
-  std::vector<float> grad_copy = impl_->grad;
-  if (grad_copy.empty()) grad_copy.assign(impl_->data.size(), 0.0f);
+  const int64_t n = numel();
+  std::vector<float> grad_copy(static_cast<size_t>(n), 0.0f);
+  if (impl_->has_grad()) {
+    const float* g = impl_->grad();
+    std::copy(g, g + n, grad_copy.begin());
+  }
   return FromVector(impl_->shape, std::move(grad_copy));
 }
 
 void Tensor::ZeroGrad() {
   STSM_CHECK(defined());
-  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  if (!impl_->has_grad()) return;
+  // Only this tensor's window: views must not clobber siblings' gradients.
+  float* g = impl_->grad();
+  std::fill(g, g + numel(), 0.0f);
 }
 
 void Tensor::Backward() {
@@ -174,31 +192,49 @@ void Tensor::Backward() {
   STSM_CHECK(defined());
   STSM_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss";
 
-  // Topological order over the tape (parents before children in `order`).
-  std::vector<TensorImpl*> order;
+  // Topological order over the node graph (inputs before outputs in
+  // `order`). The vector holds strong references: they are what keeps each
+  // impl alive exactly until the walk has passed it.
+  std::vector<std::shared_ptr<TensorImpl>> order;
   std::unordered_set<TensorImpl*> visited;
-  std::vector<std::pair<TensorImpl*, size_t>> stack;
-  stack.emplace_back(impl_.get(), 0);
+  std::vector<std::pair<std::shared_ptr<TensorImpl>, size_t>> stack;
+  stack.emplace_back(impl_, 0);
   visited.insert(impl_.get());
   while (!stack.empty()) {
-    auto& [node, next_parent] = stack.back();
-    if (next_parent < node->parents.size()) {
-      TensorImpl* parent = node->parents[next_parent].get();
-      ++next_parent;
-      if (visited.insert(parent).second) stack.emplace_back(parent, 0);
+    auto& [node, next_input] = stack.back();
+    const autograd::Node* fn = node->grad_fn.get();
+    if (fn != nullptr) {
+      STSM_CHECK(!fn->released())
+          << "Backward() through an already-backward-ed graph: node"
+          << fn->name()
+          << "has released its saved activations. Each graph supports a "
+             "single Backward() call.";
+    }
+    const size_t num_inputs = fn ? fn->inputs().size() : 0;
+    if (next_input < num_inputs) {
+      const std::shared_ptr<TensorImpl>& input = fn->inputs()[next_input];
+      ++next_input;
+      if (visited.insert(input.get()).second) stack.emplace_back(input, 0);
     } else {
-      order.push_back(node);
+      order.push_back(std::move(node));
       stack.pop_back();
     }
   }
 
   impl_->EnsureGrad();
-  impl_->grad[0] += 1.0f;
+  impl_->grad()[0] += 1.0f;
 
-  // `order` has the root last; walk children-to-parents.
+  // `order` has the root last; walk outputs-to-inputs. After a node has
+  // routed its gradient it releases its saved activations, and dropping our
+  // reference frees the impl (and recycles its buffers) unless the caller
+  // still holds a handle — peak memory tracks the walk frontier.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    TensorImpl* node = *it;
-    if (node->backward_fn) node->backward_fn();
+    std::shared_ptr<TensorImpl>& node = *it;
+    if (node->grad_fn != nullptr) {
+      node->grad_fn->Run(node.get());
+      STSM_PROF_COUNT("autograd.nodes_run", 1);
+    }
+    node.reset();
   }
 }
 
@@ -206,21 +242,38 @@ Tensor Tensor::Detach() const {
   STSM_CHECK(defined());
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;  // Copy: keeps detached values stable.
+  impl->storage = impl_->storage;  // Zero-copy alias of the same buffer.
+  impl->offset = impl_->offset;
   impl->requires_grad = false;
   return Tensor(std::move(impl));
 }
 
-Tensor Tensor::Clone() const { return Detach(); }
+Tensor Tensor::Clone() const {
+  STSM_CHECK(defined());
+  const int64_t n = numel();
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->storage = Storage::New(n, /*zero=*/false);
+  std::memcpy(impl->storage->data(), impl_->data(),
+              sizeof(float) * static_cast<size_t>(n));
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+bool Tensor::is_view() const {
+  STSM_CHECK(defined());
+  return impl_->offset != 0 || impl_->storage->size() != numel();
+}
 
 std::string Tensor::ToString() const {
   if (!defined()) return "Tensor(undefined)";
   std::ostringstream out;
   out << "Tensor" << shape().ToString() << " [";
   const int64_t preview = std::min<int64_t>(numel(), 8);
+  const float* d = impl_->data();
   for (int64_t i = 0; i < preview; ++i) {
     if (i > 0) out << ", ";
-    out << impl_->data[i];
+    out << d[i];
   }
   if (numel() > preview) out << ", ...";
   out << "]";
@@ -238,14 +291,27 @@ bool ShouldRecord(const std::vector<std::shared_ptr<TensorImpl>>& inputs) {
 }
 
 std::shared_ptr<TensorImpl> MakeResult(
-    const Shape& shape,
-    const std::vector<std::shared_ptr<TensorImpl>>& inputs) {
+    const Shape& shape, const std::vector<std::shared_ptr<TensorImpl>>& inputs,
+    bool zero) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(shape.numel(), 0.0f);
-  if (ShouldRecord(inputs)) {
+  impl->storage = Storage::New(shape.numel(), zero);
+  if (ShouldRecord(inputs)) impl->requires_grad = true;
+  return impl;
+}
+
+std::shared_ptr<TensorImpl> MakeView(const std::shared_ptr<TensorImpl>& base,
+                                     const Shape& shape, int64_t offset) {
+  STSM_CHECK(base != nullptr);
+  STSM_CHECK_GE(offset, 0);
+  STSM_CHECK_LE(offset + shape.numel(), base->storage->size());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->storage = base->storage;
+  impl->offset = offset;
+  if (ShouldRecord({base})) {
     impl->requires_grad = true;
-    impl->parents = inputs;
+    impl->grad_fn = std::make_shared<autograd::ViewNode>(base);
   }
   return impl;
 }

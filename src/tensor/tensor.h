@@ -1,49 +1,76 @@
-// Tensor: a dense float32 n-dimensional array with tape-based reverse-mode
-// automatic differentiation.
+// Tensor: a dense float32 n-dimensional array with reverse-mode automatic
+// differentiation over an explicit graph of autograd nodes.
 //
-// A `Tensor` is a cheap value-semantic handle onto a shared `TensorImpl`.
+// A `Tensor` is a cheap value-semantic handle onto a shared `TensorImpl`,
+// which in turn is {Storage, shape, offset}: the ref-counted `Storage` owns
+// the contiguous data buffer (and the gradient buffer, once one is needed)
+// while the impl carries the metadata. Shape ops that preserve contiguity —
+// `Reshape`, `Unsqueeze`, `Squeeze`, `Detach`, and `Slice` along the leading
+// dimension — return zero-copy views: new impls aliasing the same Storage at
+// an element offset. `Clone()` is the deep copy.
+//
 // Operations on tensors (declared in tensor/ops.h) record the computation
 // graph when gradient mode is enabled and any input requires gradients;
-// calling `Backward()` on a scalar result then accumulates gradients into
-// every tensor with `requires_grad() == true` that contributed to it.
+// calling `Backward()` on a scalar result walks the node graph and
+// accumulates gradients into every tensor with `requires_grad() == true`
+// that contributed to it. The walk releases each node's saved activations
+// as soon as its gradient has been routed, returning their buffers to the
+// BufferPool — so a graph can only be backward-ed once.
 //
 // Example:
 //   Tensor w = Tensor::Normal({4, 2}, 0.f, 0.1f, &rng, /*requires_grad=*/true);
 //   Tensor x = Tensor::Ones({3, 4});
-//   Tensor loss = Mean(Square(MatMul(x, w)));
+//   Tensor h = Reshape(MatMul(x, w), Shape({6}));  // zero-copy view
+//   Tensor loss = Mean(Square(h));
 //   loss.Backward();
-//   // w.grad_data() now holds dLoss/dw.
+//   // w.grad_data() now holds dLoss/dw; the graph's intermediate buffers
+//   // are already back in the pool.
 
 #ifndef STSM_TENSOR_TENSOR_H_
 #define STSM_TENSOR_TENSOR_H_
 
-#include <functional>
 #include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "tensor/autograd.h"
 #include "tensor/shape.h"
+#include "tensor/storage.h"
 
 namespace stsm {
 
-// Internal storage node shared by Tensor handles. Public members are used by
-// the op implementations in tensor/ops.cc; application code should go through
-// the Tensor interface.
+// Shared tensor node: metadata over a Storage. Public members are used by
+// the op implementations in tensor/ops.cc; application code should go
+// through the Tensor interface.
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;  // Lazily allocated; empty until needed.
+  std::shared_ptr<Storage> storage;
+  // Element offset of this tensor's first element inside `storage`. Always 0
+  // for non-view tensors; views cover [offset, offset + shape.numel()).
+  int64_t offset = 0;
   bool requires_grad = false;
 
-  // Autograd tape: the inputs this node was computed from and the function
-  // that routes this node's gradient into them. Empty for leaves.
-  std::vector<std::shared_ptr<TensorImpl>> parents;
-  std::function<void()> backward_fn;
+  // The autograd node that produced this tensor; null for leaves (factory
+  // tensors, detached tensors, and anything built with recording off).
+  std::shared_ptr<autograd::Node> grad_fn;
 
+  float* data() { return storage->data() + offset; }
+  const float* data() const { return storage->data() + offset; }
+
+  // Gradient buffer access. The grad buffer belongs to the Storage and is
+  // shared by all views of it; these accessors are pre-offset like data().
+  bool has_grad() const { return storage != nullptr && storage->has_grad(); }
   // Allocates (zero-filled) gradient storage if not yet present.
-  void EnsureGrad();
+  void EnsureGrad() { storage->EnsureGrad(); }
+  float* grad() { return storage->grad() + offset; }
+  // Null when no gradient has been allocated.
+  const float* grad() const {
+    return has_grad() ? storage->grad() + offset : nullptr;
+  }
+
+  bool is_leaf() const { return grad_fn == nullptr; }
 };
 
 // Value-semantic handle to a TensorImpl. A default-constructed Tensor is
@@ -59,7 +86,7 @@ class Tensor {
   static Tensor Ones(const Shape& shape, bool requires_grad = false);
   static Tensor Full(const Shape& shape, float value,
                      bool requires_grad = false);
-  // Takes ownership of `values`; its size must equal shape.numel().
+  // Takes ownership of `values` (no copy); its size must equal shape.numel().
   static Tensor FromVector(const Shape& shape, std::vector<float> values,
                            bool requires_grad = false);
   static Tensor Scalar(float value, bool requires_grad = false);
@@ -97,25 +124,45 @@ class Tensor {
   // already has a recorded history.
   Tensor& set_requires_grad(bool value);
 
-  // Gradient storage (allocated on demand). Only meaningful after Backward().
+  // True once gradient storage exists (i.e. after Backward() or an explicit
+  // mutable grad_data() call).
+  bool has_grad() const;
+
+  // Mutable gradient access: allocates zero-filled gradient storage on
+  // demand and returns it.
   float* grad_data();
+  // Const gradient access never mutates: it returns nullptr until gradient
+  // storage exists. Check has_grad() (or use GradTensor(), which yields
+  // zeros) when the tensor may not have been backward-ed yet.
   const float* grad_data() const;
-  // Returns a copy of the gradient as a tensor of the same shape (zeros if no
-  // gradient has been accumulated).
+  // Returns a copy of the gradient as a tensor of the same shape (zeros if
+  // no gradient has been accumulated).
   Tensor GradTensor() const;
+  // Zeroes this tensor's gradient range only. For a view, that is the
+  // [offset, offset + numel()) window of the shared grad buffer — sibling
+  // views' accumulated gradients outside the range are untouched.
   void ZeroGrad();
 
   // Runs reverse-mode differentiation from this tensor, which must be a
   // scalar (numel() == 1). Gradients accumulate (+=) into `grad` of every
-  // reachable tensor with requires_grad() set.
+  // reachable tensor with requires_grad() set. Saved activations are
+  // released eagerly as the walk passes them, so calling Backward() twice
+  // through the same graph is a checked error (build a fresh graph per
+  // step, as every training loop here already does).
   void Backward();
 
-  // Returns a tensor sharing this tensor's storage but detached from the
-  // autograd graph (no parents, requires_grad = false).
+  // Returns a tensor that shares this tensor's storage (zero-copy alias)
+  // but is detached from the autograd graph: no grad_fn, requires_grad
+  // false. In-place writes through either handle are visible to both; use
+  // Clone() for an independent copy.
   Tensor Detach() const;
 
-  // Deep copy of the data (detached leaf).
+  // Deep copy of the data into fresh storage (detached leaf).
   Tensor Clone() const;
+
+  // True when this tensor aliases a sub-range or reinterpretation of a
+  // shared Storage rather than owning it end-to-end.
+  bool is_view() const;
 
   // Human-readable summary (shape plus leading values) for debugging.
   std::string ToString() const;
@@ -144,12 +191,20 @@ bool GradModeEnabled();
 
 namespace internal {
 
-// Creates an op output node: allocates the result, and when recording is
-// active and any input requires grad, registers `backward_fn` and parents.
-// `backward_fn` is built by the caller via MakeBackward after the output
-// exists; see ops.cc for the usage pattern.
+// Creates an op output impl backed by fresh pool storage. When `zero` is
+// false the buffer content is unspecified and the op must write every
+// element. When recording is active and any input requires grad, the result
+// is marked requires_grad; the caller then attaches the op's autograd node
+// via `result->grad_fn = ...`.
 std::shared_ptr<TensorImpl> MakeResult(
-    const Shape& shape, const std::vector<std::shared_ptr<TensorImpl>>& inputs);
+    const Shape& shape, const std::vector<std::shared_ptr<TensorImpl>>& inputs,
+    bool zero = true);
+
+// Creates a zero-copy view of `base` with the given shape and absolute
+// storage offset. Attaches a ViewNode when recording is active and the base
+// requires grad.
+std::shared_ptr<TensorImpl> MakeView(const std::shared_ptr<TensorImpl>& base,
+                                     const Shape& shape, int64_t offset);
 
 // True if autograd should record for this set of inputs.
 bool ShouldRecord(const std::vector<std::shared_ptr<TensorImpl>>& inputs);

@@ -166,5 +166,24 @@ TEST(OptimizerTest, NumParametersCountsAll) {
   EXPECT_EQ(adam.num_parameters(), 3 * 2 + 2);
 }
 
+TEST(OptimizerTest, StepWithGradlessParameterDoesNotAllocateGrad) {
+  // A parameter outside the current loss's graph has no gradient buffer;
+  // Step / ClipGradNorm must treat it as zero-grad without allocating one.
+  Tensor used = Tensor::FromVector(Shape({2}), {1, 2}, /*requires_grad=*/true);
+  Tensor unused = Tensor::FromVector(Shape({2}), {3, 4},
+                                     /*requires_grad=*/true);
+  std::vector<Tensor> params = {used, unused};
+  Adam adam(params, 0.1f);
+  Sum(Mul(used, used)).Backward();
+  ClipGradNorm(params, 100.0f);
+  adam.Step();
+  EXPECT_FALSE(unused.has_grad());
+  // Zero gradient, zero moments: the unused parameter must not move.
+  EXPECT_FLOAT_EQ(unused.data()[0], 3.0f);
+  EXPECT_FLOAT_EQ(unused.data()[1], 4.0f);
+  // The used one does move.
+  EXPECT_NE(used.data()[0], 1.0f);
+}
+
 }  // namespace
 }  // namespace stsm

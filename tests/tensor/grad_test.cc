@@ -308,5 +308,59 @@ TEST(GradTest, GluGatePattern) {
       {RandomInput({3, 3}, 56), RandomInput({3, 2}, 57)});
 }
 
+// ---- Zero-copy view chains ---------------------------------------------------
+// The shape ops below return aliases of their input's storage; the checks
+// confirm gradient routing through shared grad buffers matches finite
+// differences exactly like a copying implementation would.
+
+TEST(GradTest, ReshapeChainView) {
+  ExpectGradOk(
+      [](const auto& in) {
+        const Tensor flat = Reshape(in[0], Shape({6}));
+        return Sum(Square(Reshape(flat, Shape({3, 2}))));
+      },
+      {RandomInput({2, 3}, 58)});
+}
+
+TEST(GradTest, UnsqueezeSqueezeView) {
+  ExpectGradOk(
+      [](const auto& in) {
+        return Sum(Mul(Squeeze(Unsqueeze(in[0], 0), 0), in[1]));
+      },
+      {RandomInput({2, 3}, 59), RandomInput({2, 3}, 60)});
+}
+
+TEST(GradTest, ContiguousSliceView) {
+  // Slice along dim 0 is the zero-copy path; the unused rows must end up
+  // with exactly zero gradient.
+  ExpectGradOk(
+      [](const auto& in) {
+        return Sum(Square(Slice(in[0], /*dim=*/0, 1, 3)));
+      },
+      {RandomInput({4, 2}, 61)});
+}
+
+TEST(GradTest, BaseAndViewDiamond) {
+  // Both the base tensor and a view of it feed the loss: contributions must
+  // accumulate in the shared grad buffer without double counting.
+  ExpectGradOk(
+      [](const auto& in) {
+        const Tensor flat = Reshape(in[0], Shape({6}));
+        return Add(Sum(Square(in[0])), Sum(Mul(flat, flat)));
+      },
+      {RandomInput({2, 3}, 62)});
+}
+
+TEST(GradTest, ViewIntoMatMul) {
+  // View feeding a compute op (the common pattern in the ST models:
+  // reshape activations, then matmul).
+  ExpectGradOk(
+      [](const auto& in) {
+        const Tensor flat = Reshape(in[0], Shape({2, 6}));
+        return Sum(Tanh(MatMul(flat, in[1])));
+      },
+      {RandomInput({2, 3, 2}, 63), RandomInput({6, 2}, 64)});
+}
+
 }  // namespace
 }  // namespace stsm

@@ -1,0 +1,305 @@
+// Tests for the tensor-core storage layer: zero-copy views over shared
+// Storage, gradient routing through views, the BufferPool recycler, and the
+// eager-release semantics of Backward().
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "tensor/pool.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+namespace {
+
+BufferPool& Pool() { return BufferPool::Instance(); }
+
+// ---- BufferPool -------------------------------------------------------------
+
+TEST(BufferPoolTest, AcquireReleaseRoundTrip) {
+  BufferPoolStats before = Pool().Stats();
+  {
+    std::vector<float> buf = Pool().Acquire(100, /*zero=*/true);
+    ASSERT_EQ(buf.size(), 100u);
+    for (float v : buf) EXPECT_EQ(v, 0.0f);
+    BufferPoolStats mid = Pool().Stats();
+    EXPECT_EQ(mid.acquires, before.acquires + 1);
+    EXPECT_EQ(mid.live_buffers, before.live_buffers + 1);
+    Pool().Release(std::move(buf));
+  }
+  BufferPoolStats after = Pool().Stats();
+  EXPECT_EQ(after.releases, before.releases + 1);
+  EXPECT_EQ(after.live_buffers, before.live_buffers);
+}
+
+TEST(BufferPoolTest, ZeroSizedAcquireSkipsPool) {
+  BufferPoolStats before = Pool().Stats();
+  std::vector<float> buf = Pool().Acquire(0, /*zero=*/true);
+  EXPECT_TRUE(buf.empty());
+  BufferPoolStats after = Pool().Stats();
+  EXPECT_EQ(after.acquires, before.acquires);
+  EXPECT_EQ(after.live_buffers, before.live_buffers);
+}
+
+TEST(BufferPoolTest, RecycledBufferIsAHit) {
+  if (!Pool().recycling_enabled()) {
+    GTEST_SKIP() << "recycling disabled (sanitizer build or STSM_POOL=0)";
+  }
+  Pool().Clear();  // Start from empty free lists.
+  BufferPoolStats before = Pool().Stats();
+
+  std::vector<float> buf = Pool().Acquire(100, /*zero=*/false);
+  Pool().Release(std::move(buf));
+  // 90 rounds up to the same power-of-two class as 100 (both need 2^7), so
+  // the freed buffer must be reused — and handed back zeroed on request.
+  std::vector<float> again = Pool().Acquire(90, /*zero=*/true);
+  ASSERT_EQ(again.size(), 90u);
+  for (float v : again) EXPECT_EQ(v, 0.0f);
+
+  BufferPoolStats after = Pool().Stats();
+  EXPECT_EQ(after.acquires, before.acquires + 2);
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_GT(after.bytes_reused, before.bytes_reused);
+  Pool().Release(std::move(again));
+}
+
+TEST(BufferPoolTest, SmallerClassDoesNotServeLargerRequest) {
+  if (!Pool().recycling_enabled()) {
+    GTEST_SKIP() << "recycling disabled (sanitizer build or STSM_POOL=0)";
+  }
+  Pool().Clear();
+  BufferPoolStats before = Pool().Stats();
+
+  std::vector<float> small = Pool().Acquire(8, /*zero=*/false);
+  Pool().Release(std::move(small));
+  // A capacity-8 buffer can never serve a 1000-element request.
+  std::vector<float> large = Pool().Acquire(1000, /*zero=*/false);
+  ASSERT_EQ(large.size(), 1000u);
+
+  BufferPoolStats after = Pool().Stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses + 2);
+  Pool().Release(std::move(large));
+}
+
+TEST(BufferPoolTest, TensorLifecycleBalancesLiveGauge) {
+  const uint64_t live_before = Pool().Stats().live_buffers;
+  {
+    // Exercises both entry paths: pool-backed (Zeros) and adopted
+    // (FromVector), plus a grad buffer.
+    Tensor a = Tensor::Zeros(Shape({16, 16}), /*requires_grad=*/true);
+    Tensor b = Tensor::FromVector(Shape({4}), {1, 2, 3, 4});
+    Tensor loss = Sum(Mul(a, a));
+    loss.Backward();
+    EXPECT_GT(Pool().Stats().live_buffers, live_before);
+  }
+  EXPECT_EQ(Pool().Stats().live_buffers, live_before);
+}
+
+// ---- Zero-copy views --------------------------------------------------------
+
+TEST(ViewTest, ShapeOpsAliasTheSameStorage) {
+  Tensor x = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(Reshape(x, Shape({6})).data(), x.data());
+  EXPECT_EQ(Reshape(x, Shape({3, 2})).data(), x.data());
+  EXPECT_EQ(Unsqueeze(x, 0).data(), x.data());
+  EXPECT_EQ(Squeeze(Unsqueeze(x, 0), 0).data(), x.data());
+  EXPECT_EQ(x.Detach().data(), x.data());
+  // Slicing the leading dimension aliases at an element offset.
+  Tensor row1 = Slice(x, /*dim=*/0, 1, 2);
+  EXPECT_EQ(row1.data(), x.data() + 3);
+  EXPECT_EQ(row1.at({0, 0}), 4.0f);
+  EXPECT_TRUE(row1.is_view());
+  EXPECT_FALSE(x.is_view());
+}
+
+TEST(ViewTest, ShapeOpsDoNotTouchThePool) {
+  Tensor x = Tensor::Zeros(Shape({4, 3}), /*requires_grad=*/true);
+  const uint64_t acquires_before = Pool().Stats().acquires;
+  Tensor a = Reshape(x, Shape({12}));
+  Tensor b = Unsqueeze(x, 1);
+  Tensor c = Squeeze(b, 1);
+  Tensor d = x.Detach();
+  Tensor e = Slice(x, /*dim=*/0, 1, 3);
+  EXPECT_EQ(Pool().Stats().acquires, acquires_before);
+}
+
+TEST(ViewTest, WritesThroughViewVisibleInBase) {
+  Tensor x = Tensor::FromVector(Shape({2, 2}), {1, 2, 3, 4});
+  Tensor flat = Reshape(x, Shape({4}));
+  flat.data()[3] = 9.0f;
+  EXPECT_EQ(x.at({1, 1}), 9.0f);
+}
+
+TEST(ViewTest, SliceInnerDimStillCopies) {
+  // Slicing a non-leading dimension breaks contiguity, so it must copy.
+  Tensor x = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor col = Slice(x, /*dim=*/1, 0, 2);
+  EXPECT_NE(col.data(), x.data());
+  EXPECT_FALSE(col.is_view());
+  EXPECT_EQ(col.at({1, 1}), 5.0f);
+}
+
+TEST(ViewTest, ViewGradientsAccumulateIntoBase) {
+  Tensor x = Tensor::FromVector(Shape({2, 2}), {1, 2, 3, 4},
+                                /*requires_grad=*/true);
+  // Diamond: both the base and a view of it feed the loss. d/dx of
+  // (sum(x*x) + sum(reshape(x)*3)) = 2x + 3.
+  Tensor flat = Reshape(x, Shape({4}));
+  Tensor loss = Add(Sum(Mul(x, x)), Sum(Mul(flat, Tensor::Scalar(3.0f))));
+  loss.Backward();
+  const float* g = x.grad_data();
+  const float expected[] = {2 * 1 + 3, 2 * 2 + 3, 2 * 3 + 3, 2 * 4 + 3};
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(g[i], expected[i]);
+}
+
+TEST(ViewTest, SliceViewGradientLandsAtOffset) {
+  Tensor x = Tensor::FromVector(Shape({3, 2}), {1, 2, 3, 4, 5, 6},
+                                /*requires_grad=*/true);
+  // Loss only sees rows 1..2; row 0 must get zero gradient.
+  Tensor window = Slice(x, /*dim=*/0, 1, 3);
+  Sum(Mul(window, window)).Backward();
+  const float* g = x.grad_data();
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 0.0f);
+  for (int i = 2; i < 6; ++i) EXPECT_FLOAT_EQ(g[i], 2.0f * (i + 1));
+}
+
+TEST(ViewTest, ZeroGradOnViewKeepsSiblingGradients) {
+  // Regression: zeroing one view's gradient window must not clobber the
+  // gradients other views have accumulated in the same shared buffer.
+  Tensor x = Tensor::FromVector(Shape({4}), {1, 2, 3, 4},
+                                /*requires_grad=*/true);
+  Sum(Mul(x, x)).Backward();  // grad = {2, 4, 6, 8}
+  Tensor head = Slice(x, /*dim=*/0, 0, 2);
+  head.ZeroGrad();
+  const float* g = x.grad_data();
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 0.0f);
+  EXPECT_FLOAT_EQ(g[2], 6.0f);
+  EXPECT_FLOAT_EQ(g[3], 8.0f);
+}
+
+// ---- Detach / Clone semantics ----------------------------------------------
+
+TEST(DetachCloneTest, DetachAliasesCloneCopies) {
+  Tensor x = Tensor::FromVector(Shape({3}), {1, 2, 3}, /*requires_grad=*/true);
+  Tensor detached = x.Detach();
+  Tensor cloned = x.Clone();
+  EXPECT_FALSE(detached.requires_grad());
+  EXPECT_FALSE(cloned.requires_grad());
+
+  x.data()[0] = 42.0f;
+  EXPECT_EQ(detached.data()[0], 42.0f);  // Alias sees the write...
+  EXPECT_EQ(cloned.data()[0], 1.0f);     // ...the deep copy does not.
+
+  cloned.data()[1] = -5.0f;
+  EXPECT_EQ(x.data()[1], 2.0f);
+}
+
+TEST(DetachCloneTest, DetachCutsTheGraph) {
+  Tensor x = Tensor::FromVector(Shape({2}), {1, 2}, /*requires_grad=*/true);
+  Tensor y = Mul(x, x);
+  Tensor cut = y.Detach();
+  // The detached branch contributes no gradient to x.
+  Sum(Mul(cut, Tensor::Scalar(10.0f))).Backward();
+  EXPECT_FALSE(x.has_grad());
+}
+
+// ---- Const-correctness of gradient access ----------------------------------
+
+TEST(GradAccessTest, ConstGradDataDoesNotAllocate) {
+  const Tensor x = Tensor::Zeros(Shape({3}), /*requires_grad=*/true);
+  EXPECT_FALSE(x.has_grad());
+  EXPECT_EQ(x.grad_data(), nullptr);  // Const read: no allocation.
+  EXPECT_FALSE(x.has_grad());
+  // GradTensor on a gradient-less tensor yields zeros, still no allocation.
+  Tensor g = x.GradTensor();
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(g.data()[i], 0.0f);
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(GradAccessTest, MutableGradDataAllocates) {
+  Tensor x = Tensor::Zeros(Shape({3}), /*requires_grad=*/true);
+  float* g = x.grad_data();
+  ASSERT_NE(g, nullptr);
+  EXPECT_TRUE(x.has_grad());
+  for (int64_t i = 0; i < 3; ++i) EXPECT_EQ(g[i], 0.0f);
+}
+
+// ---- Eager release / graph lifetime -----------------------------------------
+
+TEST(GraphReleaseTest, SecondIterationHitsThePool) {
+  if (!Pool().recycling_enabled()) {
+    GTEST_SKIP() << "recycling disabled (sanitizer build or STSM_POOL=0)";
+  }
+  Pool().Clear();  // Deterministic free lists regardless of prior tests.
+  Tensor w = Tensor::FromVector(Shape({8, 8}),
+                                std::vector<float>(64, 0.1f),
+                                /*requires_grad=*/true);
+  Tensor x = Tensor::Ones(Shape({4, 8}));
+
+  auto step = [&] {
+    Tensor h = Tanh(MatMul(x, w));
+    Tensor loss = Mean(Square(h));
+    loss.Backward();
+    w.ZeroGrad();
+  };
+
+  step();  // Populates the pool when the graph is released.
+  const BufferPoolStats before = Pool().Stats();
+  step();
+  const BufferPoolStats after = Pool().Stats();
+  EXPECT_GT(after.acquires, before.acquires);
+  // Every intermediate of the second step reuses a buffer freed by the
+  // first: same sizes, released by the eager backward walk.
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+}
+
+TEST(GraphReleaseTest, BackwardReleasesIntermediateBuffers) {
+  const uint64_t live_before = Pool().Stats().live_buffers;
+  Tensor w = Tensor::Zeros(Shape({8, 8}), /*requires_grad=*/true);
+  {
+    Tensor x = Tensor::Ones(Shape({4, 8}));
+    Tensor loss = Mean(Square(Tanh(MatMul(x, w))));
+    loss.Backward();
+    // Intermediates were dropped by the walk; only x, loss, w (+ grads,
+    // which live inside their storages) remain.
+  }
+  // w and its grad buffer are the only survivors.
+  EXPECT_EQ(Pool().Stats().live_buffers, live_before + 2);
+}
+
+using GraphReleaseDeathTest = ::testing::Test;
+
+TEST(GraphReleaseDeathTest, SecondBackwardThroughSameGraphDies) {
+  Tensor x = Tensor::FromVector(Shape({2}), {1, 2}, /*requires_grad=*/true);
+  Tensor loss = Sum(Mul(x, x));
+  loss.Backward();
+  EXPECT_DEATH(loss.Backward(), "already");
+}
+
+TEST(GraphReleaseDeathTest, BackwardThroughConsumedSubgraphDies) {
+  Tensor x = Tensor::FromVector(Shape({2}), {1, 2}, /*requires_grad=*/true);
+  Tensor y = Mul(x, x);      // Shared subgraph.
+  Tensor loss1 = Sum(y);
+  Tensor loss2 = Sum(Mul(y, Tensor::Scalar(2.0f)));
+  loss1.Backward();          // Releases y's node.
+  EXPECT_DEATH(loss2.Backward(), "already");
+}
+
+TEST(GraphReleaseTest, SeparateGraphsFromSameLeafBothBackward) {
+  // Two graphs that share only the leaf are independent: gradients
+  // accumulate across both Backward() calls.
+  Tensor x = Tensor::FromVector(Shape({2}), {1, 2}, /*requires_grad=*/true);
+  Sum(Mul(x, x)).Backward();
+  Sum(Mul(x, x)).Backward();
+  const float* g = x.grad_data();
+  EXPECT_FLOAT_EQ(g[0], 4.0f);
+  EXPECT_FLOAT_EQ(g[1], 8.0f);
+}
+
+}  // namespace
+}  // namespace stsm

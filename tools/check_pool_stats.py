@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Validates BufferPool counters in a profile JSON emitted by the bench harness.
+
+Usage: check_pool_stats.py <profile.json>
+
+Asserts that the pool counters are present (the tensor core actually routed
+its allocations through the BufferPool) and that no buffer leaked: every
+buffer that entered circulation (acquired from the pool or adopted via
+Tensor::FromVector) was released back by the time the profile was written.
+
+Exit status 0 on success; 1 with a diagnostic on failure. Stdlib only.
+"""
+
+import json
+import sys
+
+REQUIRED = ["pool.acquire", "pool.hit", "pool.miss", "pool.adopt",
+            "pool.release", "pool.bytes_requested", "pool.bytes_reused"]
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <profile.json>", file=sys.stderr)
+        return 1
+    path = argv[1]
+    with open(path, "r", encoding="utf-8") as f:
+        profile = json.load(f)
+
+    # Counter entries reuse the timer record shape: `total_ns` carries the
+    # accumulated counter value, `count` the number of increment calls.
+    counters = {c["name"]: c["total_ns"] for c in profile.get("counters", [])}
+
+    missing = [name for name in REQUIRED if name not in counters]
+    if missing:
+        print(f"FAIL: {path} is missing pool counters: {', '.join(missing)}",
+              file=sys.stderr)
+        print(f"counters present: {sorted(counters)}", file=sys.stderr)
+        return 1
+
+    acquires = counters["pool.acquire"]
+    adopts = counters["pool.adopt"]
+    releases = counters["pool.release"]
+    hits = counters["pool.hit"]
+    misses = counters["pool.miss"]
+
+    if acquires <= 0:
+        print("FAIL: pool.acquire is 0 — tensor allocations are not going "
+              "through the BufferPool", file=sys.stderr)
+        return 1
+    if hits + misses != acquires:
+        print(f"FAIL: pool.hit ({hits}) + pool.miss ({misses}) != "
+              f"pool.acquire ({acquires})", file=sys.stderr)
+        return 1
+
+    leaked = acquires + adopts - releases
+    if leaked != 0:
+        print(f"FAIL: {leaked} net leaked buffer(s): pool.acquire "
+              f"({acquires}) + pool.adopt ({adopts}) != pool.release "
+              f"({releases})", file=sys.stderr)
+        return 1
+
+    reuse = hits / acquires
+    print(f"OK: {path}: {acquires} acquires ({hits} hits, {reuse:.1%} reuse), "
+          f"{adopts} adopts, {releases} releases, 0 leaked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
