@@ -1,0 +1,345 @@
+// Load generator for the stsm::serve forecast service.
+//
+// Drives a ForecastServer over a simulated dataset through four phases:
+//   1. closed loop  - C client threads, each waiting for its response
+//                     before sending the next request (latency under light,
+//                     self-clocking load);
+//   2. open loop    - a burst submitted without waiting, sized past the
+//                     queue capacity so backpressure (kRejected) is
+//                     exercised;
+//   3. cache replay - distinct queries submitted twice each, so the second
+//                     round is answered from the LRU forecast cache;
+//   4. degradation  - requests injected with already-expired deadlines,
+//                     which the workers must answer with the
+//                     historical-average fallback (kDegraded).
+//
+// Also measures the no-grad inference speedup: the same batched forward
+// with autograd recording on vs. under autograd::NoGradGuard.
+//
+// Emits serve_load.json (QPS, p50/p95/p99 latency from the prof log2
+// histograms, batch-size distribution, cache hit rate, degraded/rejected
+// counts, no-grad speedup) plus the usual serve_load_profile.json.
+//
+// Usage: bench_serve_load [--smoke]   (--smoke forces STSM_BENCH_SCALE=smoke)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/prof.h"
+#include "common/rng.h"
+#include "data/windows.h"
+#include "harness.h"
+#include "nn/serialize.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "timeseries/time_features.h"
+
+namespace stsm {
+namespace bench {
+namespace {
+
+struct LoadShape {
+  int clients;         // Closed-loop client threads.
+  int per_client;      // Requests per closed-loop client.
+  int burst;           // Open-loop burst size (> queue capacity).
+  int cache_pairs;     // Distinct queries replayed once each.
+  int expired;         // Requests with already-missed deadlines.
+  int speedup_repeats; // Forward passes per timing arm.
+};
+
+LoadShape ShapeFor(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke:
+      return {2, 8, 96, 6, 4, 12};
+    case BenchScale::kFast:
+      return {3, 16, 128, 12, 8, 16};
+    case BenchScale::kFull:
+      return {4, 32, 256, 24, 16, 24};
+  }
+  return {2, 8, 96, 6, 4, 12};
+}
+
+// A raw observation window of the full graph starting at `start`.
+std::vector<float> WindowAt(const SeriesMatrix& series, int start, int t) {
+  std::vector<float> window(static_cast<size_t>(t) * series.num_nodes);
+  for (int step = 0; step < t; ++step) {
+    for (int node = 0; node < series.num_nodes; ++node) {
+      window[static_cast<size_t>(step) * series.num_nodes + node] =
+          series.at(start + step, node);
+    }
+  }
+  return window;
+}
+
+serve::ForecastRequest RequestAt(const SpatioTemporalDataset& dataset,
+                                 const std::vector<int>& regions,
+                                 int start, int t) {
+  serve::ForecastRequest request;
+  request.model = "stsm";
+  request.window = WindowAt(dataset.series, start, t);
+  request.regions = regions;
+  request.start_step = start;
+  return request;
+}
+
+// One timed forward (includes graph destruction for the grad-enabled arm —
+// tearing down the recorded graph is part of that mode's per-request cost).
+double TimeForwardOnce(const StModel& model, const Tensor& x,
+                       const Tensor& time, const Tensor& adj_s,
+                       const Tensor& adj_t, bool no_grad) {
+  const auto start = std::chrono::steady_clock::now();
+  if (no_grad) {
+    NoGradGuard guard;
+    model.Forward(x, time, adj_s, adj_t);
+  } else {
+    model.Forward(x, time, adj_s, adj_t);
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void Run() {
+  prof::SetEnabled(true);
+  prof::Reset();
+  const BenchScale scale = ScaleFromEnv();
+  const LoadShape shape = ShapeFor(scale);
+
+  const std::string dataset_name = "bay-sim";
+  const SpatioTemporalDataset dataset =
+      MakeDataset(dataset_name, DataScaleFor(scale));
+  const StsmConfig config = ScaledConfig(dataset_name, scale);
+  const SpaceSplit split = BenchSplits(dataset.coords, 1)[0];
+  const int t = config.input_length;
+
+  // Checkpoint: deterministically initialised weights. Serving cost is
+  // independent of the weight values, so the load test skips training.
+  const std::string checkpoint = "serve_load_checkpoint.bin";
+  {
+    Rng init_rng(config.seed + 13);
+    StModel model(config, &init_rng);
+    STSM_CHECK(SaveModule(model, checkpoint)) << "cannot write " << checkpoint;
+  }
+
+  // Everything holding tensors (registry, spec, server, timing model) lives
+  // in this scope so the buffers all return to the pool before the profile
+  // snapshot — check_pool_stats.py asserts zero net-leaked buffers.
+  double grad_seconds = 0.0, nograd_seconds = 0.0, load_seconds = 0.0;
+  serve::ServerStats stats;
+  {
+    std::fprintf(stderr, "[serve_load] building model spec (%d nodes) ...\n",
+                 dataset.num_nodes());
+    serve::ModelRegistry registry;
+    const serve::ModelSpec spec =
+        serve::BuildModelSpec("stsm", dataset, split, config, checkpoint);
+    STSM_CHECK(registry.Load(spec)) << "checkpoint load failed";
+
+    // ---- No-grad speedup (grad-recording forward vs NoGradGuard) ----
+    // Batched like the server path (batch_max windows), arms interleaved,
+    // min-of-N per arm so scheduler noise cancels out of the factor.
+    {
+      Rng init_rng(config.seed + 13);
+      StModel model(config, &init_rng);
+      STSM_CHECK(LoadModule(&model, checkpoint));
+      model.SetTraining(false);
+      const int speedup_batch = 8;
+      const int start_span = std::max(1, dataset.num_steps() - t -
+                                             config.horizon - 1);
+      std::vector<int> starts;
+      for (int i = 0; i < speedup_batch; ++i) {
+        starts.push_back((i * 7) % start_span);
+      }
+      const WindowBatch batch = MakeWindowBatch(
+          dataset.series, starts, WindowSpec{t, config.horizon},
+          dataset.steps_per_day);
+      // Warm both arms (buffer pool, instruction + data caches).
+      TimeForwardOnce(model, batch.inputs, batch.input_time, spec.adj_spatial,
+                      spec.adj_temporal, false);
+      TimeForwardOnce(model, batch.inputs, batch.input_time, spec.adj_spatial,
+                      spec.adj_temporal, true);
+      double grad_min = 0.0, nograd_min = 0.0;
+      for (int r = 0; r < shape.speedup_repeats; ++r) {
+        const double g =
+            TimeForwardOnce(model, batch.inputs, batch.input_time,
+                            spec.adj_spatial, spec.adj_temporal, false);
+        const double n =
+            TimeForwardOnce(model, batch.inputs, batch.input_time,
+                            spec.adj_spatial, spec.adj_temporal, true);
+        if (r == 0 || g < grad_min) grad_min = g;
+        if (r == 0 || n < nograd_min) nograd_min = n;
+      }
+      grad_seconds = grad_min;
+      nograd_seconds = nograd_min;
+    }
+    std::fprintf(stderr,
+                 "[serve_load] forward: grad %.2f ms, no-grad %.2f ms "
+                 "(%.2fx)\n",
+                 grad_seconds * 1e3, nograd_seconds * 1e3,
+                 nograd_seconds > 0.0 ? grad_seconds / nograd_seconds : 0.0);
+
+    // ---- Load phases ----
+    serve::ServerConfig server_config;
+    server_config.num_workers = 2;
+    server_config.queue_capacity = 32;
+    server_config.batch_max = 8;
+    server_config.cache_capacity = 128;
+    serve::ForecastServer server(&registry, server_config);
+
+    const std::vector<int>& regions = split.test;
+    const int max_start = dataset.num_steps() - t - 1;
+    STSM_CHECK_GE(max_start, 1);
+    const auto load_start = std::chrono::steady_clock::now();
+
+    // Phase 1: closed loop.
+    std::fprintf(stderr, "[serve_load] closed loop: %d clients x %d ...\n",
+                 shape.clients, shape.per_client);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < shape.clients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(1000 + c);
+        for (int i = 0; i < shape.per_client; ++i) {
+          const int start = rng.UniformInt(max_start);
+          server.SubmitAndWait(RequestAt(dataset, regions, start, t));
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+
+    // Phase 2: open-loop burst past the queue capacity.
+    std::fprintf(stderr, "[serve_load] open-loop burst: %d ...\n",
+                 shape.burst);
+    {
+      Rng rng(42);
+      std::vector<std::future<serve::ForecastResponse>> futures;
+      futures.reserve(shape.burst);
+      for (int i = 0; i < shape.burst; ++i) {
+        const int start = rng.UniformInt(max_start);
+        futures.push_back(
+            server.Submit(RequestAt(dataset, regions, start, t)));
+      }
+      for (auto& future : futures) future.get();
+    }
+
+    // Phase 3: cache replay — each query twice, second round must hit.
+    std::fprintf(stderr, "[serve_load] cache replay: %d pairs ...\n",
+                 shape.cache_pairs);
+    for (int round = 0; round < 2; ++round) {
+      for (int i = 0; i < shape.cache_pairs; ++i) {
+        const int start = (i * 37) % max_start;
+        server.SubmitAndWait(RequestAt(dataset, regions, start, t));
+      }
+    }
+
+    // Phase 4: injected deadline misses -> degraded responses.
+    std::fprintf(stderr, "[serve_load] expired deadlines: %d ...\n",
+                 shape.expired);
+    int degraded_seen = 0;
+    for (int i = 0; i < shape.expired; ++i) {
+      serve::ForecastRequest request =
+          RequestAt(dataset, regions, (i * 53 + 1) % max_start, t);
+      request.deadline = serve::Clock::now() - std::chrono::milliseconds(1);
+      const serve::ForecastResponse response =
+          server.SubmitAndWait(std::move(request));
+      if (response.status == serve::Status::kDegraded) ++degraded_seen;
+    }
+    STSM_CHECK_GE(degraded_seen, 1)
+        << "deadline injection produced no degrade";
+
+    server.Stop();
+    load_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - load_start)
+                       .count();
+    stats = server.stats();
+  }
+
+  // ---- Report ----
+  const double speedup =
+      nograd_seconds > 0.0 ? grad_seconds / nograd_seconds : 0.0;
+  const uint64_t completed = stats.ok + stats.cache_hits + stats.degraded;
+  const double qps = load_seconds > 0.0 ? completed / load_seconds : 0.0;
+  const uint64_t lookups = stats.cache.hits + stats.cache.misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(stats.cache.hits) / lookups : 0.0;
+  const double degraded_rate =
+      completed > 0 ? static_cast<double>(stats.degraded) / completed : 0.0;
+
+  const prof::Snapshot snapshot = prof::TakeSnapshot();
+  const prof::StatSnapshot* latency = snapshot.FindTimer("serve.latency");
+  STSM_CHECK(latency != nullptr) << "serve.latency not recorded";
+  const double p50 = latency->PercentileNs(0.50);
+  const double p95 = latency->PercentileNs(0.95);
+  const double p99 = latency->PercentileNs(0.99);
+
+  std::FILE* out = std::fopen("serve_load.json", "w");
+  STSM_CHECK(out != nullptr) << "cannot write serve_load.json";
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"scale\": \"%s\",\n", ScaleName(scale));
+  std::fprintf(out, "  \"submitted\": %llu,\n",
+               static_cast<unsigned long long>(stats.submitted));
+  std::fprintf(out, "  \"completed\": %llu,\n",
+               static_cast<unsigned long long>(completed));
+  std::fprintf(out, "  \"qps\": %.3f,\n", qps);
+  std::fprintf(out, "  \"latency_p50_ns\": %.0f,\n", p50);
+  std::fprintf(out, "  \"latency_p95_ns\": %.0f,\n", p95);
+  std::fprintf(out, "  \"latency_p99_ns\": %.0f,\n", p99);
+  std::fprintf(out, "  \"ok\": %llu,\n",
+               static_cast<unsigned long long>(stats.ok));
+  std::fprintf(out, "  \"cache_hits\": %llu,\n",
+               static_cast<unsigned long long>(stats.cache_hits));
+  std::fprintf(out, "  \"cache_hit_rate\": %.4f,\n", hit_rate);
+  std::fprintf(out, "  \"degraded\": %llu,\n",
+               static_cast<unsigned long long>(stats.degraded));
+  std::fprintf(out, "  \"degraded_rate\": %.4f,\n", degraded_rate);
+  std::fprintf(out, "  \"rejected\": %llu,\n",
+               static_cast<unsigned long long>(stats.rejected));
+  std::fprintf(out, "  \"errors\": %llu,\n",
+               static_cast<unsigned long long>(stats.errors));
+  std::fprintf(out, "  \"batches\": %llu,\n",
+               static_cast<unsigned long long>(stats.batches));
+  std::fprintf(out, "  \"batch_size_counts\": [");
+  for (size_t i = 0; i < stats.batch_size_counts.size(); ++i) {
+    std::fprintf(out, "%s%llu", i == 0 ? "" : ", ",
+                 static_cast<unsigned long long>(stats.batch_size_counts[i]));
+  }
+  std::fprintf(out, "],\n");
+  std::fprintf(out, "  \"grad_forward_seconds\": %.6f,\n", grad_seconds);
+  std::fprintf(out, "  \"nograd_forward_seconds\": %.6f,\n", nograd_seconds);
+  std::fprintf(out, "  \"nograd_speedup\": %.3f\n", speedup);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf(
+      "[serve_load] %llu completed in %.2fs (%.1f QPS), p50 %.2fms p99 "
+      "%.2fms, cache hit rate %.1f%%, %llu degraded, %llu rejected, "
+      "no-grad speedup %.2fx\n[serve_load.json written]\n",
+      static_cast<unsigned long long>(completed), load_seconds, qps,
+      p50 / 1e6, p99 / 1e6, hit_rate * 100.0,
+      static_cast<unsigned long long>(stats.degraded),
+      static_cast<unsigned long long>(stats.rejected), speedup);
+
+  EmitProfile("serve_load");
+  std::remove(checkpoint.c_str());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace stsm
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      setenv("STSM_BENCH_SCALE", "smoke", /*overwrite=*/1);
+    }
+  }
+  stsm::bench::Run();
+  return 0;
+}

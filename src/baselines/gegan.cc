@@ -253,4 +253,51 @@ ExperimentResult RunGeGan(const SpatioTemporalDataset& dataset,
   return result;
 }
 
+namespace {
+
+// Generator + discriminator as one checkpointable module. Parameter order
+// (generator first) matches the g_params/d_params concatenation a serving
+// or test caller would save.
+class GeGanNetwork : public Module {
+ public:
+  GeGanNetwork(const BaselineConfig& config, Rng* rng)
+      : generator_(config.gegan_embedding_dim + config.input_length +
+                       kNoiseDim,
+                   2 * config.hidden_dim, config.horizon, rng),
+        discriminator_(config.gegan_embedding_dim + config.horizon,
+                       2 * config.hidden_dim, 1, rng) {}
+
+  Tensor Generate(const Tensor& z) const { return generator_.Forward(z); }
+
+  std::vector<Tensor> Parameters() const override {
+    return ConcatParameters(
+        {generator_.Parameters(), discriminator_.Parameters()});
+  }
+  std::vector<Module*> Children() override {
+    return {&generator_, &discriminator_};
+  }
+
+ private:
+  Mlp generator_;
+  Mlp discriminator_;
+};
+
+}  // namespace
+
+ZooNetwork MakeGeGanNetwork(const BaselineConfig& config) {
+  Rng init_rng(config.seed + 13);  // Matches RunGeGan's init stream.
+  auto model = std::make_shared<GeGanNetwork>(config, &init_rng);
+  const int64_t gen_in =
+      config.gegan_embedding_dim + config.input_length + kNoiseDim;
+  ZooNetwork network;
+  network.module = model;
+  network.probe = [model, gen_in](uint64_t seed) {
+    Rng probe_rng(seed);
+    const Tensor z =
+        Tensor::Normal(Shape({2, gen_in}), 0.0f, 1.0f, &probe_rng);
+    return model->Generate(z);
+  };
+  return network;
+}
+
 }  // namespace stsm

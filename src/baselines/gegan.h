@@ -17,6 +17,7 @@
 #define STSM_BASELINES_GEGAN_H_
 
 #include "baselines/context.h"
+#include "baselines/network.h"
 #include "core/experiment.h"
 #include "data/dataset.h"
 #include "data/splits.h"
@@ -26,6 +27,11 @@ namespace stsm {
 ExperimentResult RunGeGan(const SpatioTemporalDataset& dataset,
                           const SpaceSplit& split,
                           const BaselineConfig& config);
+
+// Generator + discriminator MLPs as one module (parameters concatenated in
+// that order); the probe runs the generator on a synthetic conditioning
+// vector.
+ZooNetwork MakeGeGanNetwork(const BaselineConfig& config);
 
 }  // namespace stsm
 

@@ -172,4 +172,22 @@ ExperimentResult RunIgnnk(const SpatioTemporalDataset& dataset,
   return result;
 }
 
+ZooNetwork MakeIgnnkNetwork(const BaselineConfig& config, int num_nodes) {
+  Rng init_rng(config.seed + 13);  // Matches RunIgnnk's init stream.
+  auto model = std::make_shared<IgnnkModel>(
+      config.input_length, config.horizon, config.hidden_dim,
+      config.ignnk_layers, &init_rng);
+  const int input_length = config.input_length;
+  ZooNetwork network;
+  network.module = model;
+  network.probe = [model, num_nodes, input_length](uint64_t seed) {
+    Rng probe_rng(seed);
+    const Tensor x = Tensor::Normal(
+        Shape({1, num_nodes, input_length}), 0.0f, 1.0f, &probe_rng);
+    // Identity adjacency is already row-normalised.
+    return model->Forward(Tensor::Eye(num_nodes), x);
+  };
+  return network;
+}
+
 }  // namespace stsm

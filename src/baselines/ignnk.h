@@ -14,6 +14,7 @@
 #define STSM_BASELINES_IGNNK_H_
 
 #include "baselines/context.h"
+#include "baselines/network.h"
 #include "core/experiment.h"
 #include "data/dataset.h"
 #include "data/splits.h"
@@ -23,6 +24,10 @@ namespace stsm {
 ExperimentResult RunIgnnk(const SpatioTemporalDataset& dataset,
                           const SpaceSplit& split,
                           const BaselineConfig& config);
+
+// The IGNNK GCN stack with deterministic init (seed config.seed + 13, the
+// same stream RunIgnnk uses). `num_nodes` sizes the probe's graph.
+ZooNetwork MakeIgnnkNetwork(const BaselineConfig& config, int num_nodes);
 
 }  // namespace stsm
 

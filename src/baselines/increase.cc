@@ -298,4 +298,46 @@ ExperimentResult RunIncrease(const SpatioTemporalDataset& dataset,
   return result;
 }
 
+namespace {
+
+// GRU encoder + linear decoder as one checkpointable module, mirroring the
+// encoder/decoder pair RunIncrease trains (same parameter order).
+class IncreaseNetwork : public Module {
+ public:
+  IncreaseNetwork(const BaselineConfig& config, Rng* rng)
+      : encoder_(2, config.hidden_dim, rng),
+        decoder_(config.hidden_dim, config.horizon, rng) {}
+
+  // sequences: [pairs, T, 2] -> [pairs, T'].
+  Tensor Predict(const Tensor& sequences) const {
+    return decoder_.Forward(encoder_.ForwardFinal(sequences));
+  }
+
+  std::vector<Tensor> Parameters() const override {
+    return ConcatParameters({encoder_.Parameters(), decoder_.Parameters()});
+  }
+  std::vector<Module*> Children() override { return {&encoder_, &decoder_}; }
+
+ private:
+  Gru encoder_;
+  Linear decoder_;
+};
+
+}  // namespace
+
+ZooNetwork MakeIncreaseNetwork(const BaselineConfig& config) {
+  Rng init_rng(config.seed + 13);  // Matches RunIncrease's init stream.
+  auto model = std::make_shared<IncreaseNetwork>(config, &init_rng);
+  const int input_length = config.input_length;
+  ZooNetwork network;
+  network.module = model;
+  network.probe = [model, input_length](uint64_t seed) {
+    Rng probe_rng(seed);
+    const Tensor sequences =
+        Tensor::Normal(Shape({2, input_length, 2}), 0.0f, 1.0f, &probe_rng);
+    return model->Predict(sequences);
+  };
+  return network;
+}
+
 }  // namespace stsm

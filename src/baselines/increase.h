@@ -15,6 +15,7 @@
 #define STSM_BASELINES_INCREASE_H_
 
 #include "baselines/context.h"
+#include "baselines/network.h"
 #include "core/experiment.h"
 #include "data/dataset.h"
 #include "data/splits.h"
@@ -24,6 +25,10 @@ namespace stsm {
 ExperimentResult RunIncrease(const SpatioTemporalDataset& dataset,
                              const SpaceSplit& split,
                              const BaselineConfig& config);
+
+// GRU encoder + linear decoder as one module (parameters concatenated in
+// that order); the probe decodes a synthetic two-relation sequence.
+ZooNetwork MakeIncreaseNetwork(const BaselineConfig& config);
 
 }  // namespace stsm
 

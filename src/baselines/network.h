@@ -1,0 +1,30 @@
+// ZooNetwork: the untrained neural network behind one zoo entry, exposed
+// for checkpoint round-trip tests and the serving layer. The training loops
+// keep their model classes file-local; a factory per baseline hands out the
+// same architecture (same Parameters() order) with deterministic init.
+
+#ifndef STSM_BASELINES_NETWORK_H_
+#define STSM_BASELINES_NETWORK_H_
+
+#include <functional>
+#include <memory>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+
+struct ZooNetwork {
+  // Shared (not unique): the probe closure co-owns the concrete model.
+  std::shared_ptr<Module> module;
+
+  // Deterministic forward pass over synthetic inputs derived from `seed`,
+  // returning the network output. Two networks with bitwise-identical
+  // parameters produce bitwise-identical probe outputs for the same seed —
+  // the property the SaveModule/LoadModule round-trip tests assert.
+  std::function<Tensor(uint64_t seed)> probe;
+};
+
+}  // namespace stsm
+
+#endif  // STSM_BASELINES_NETWORK_H_

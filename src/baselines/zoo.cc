@@ -4,9 +4,38 @@
 #include "baselines/ignnk.h"
 #include "baselines/increase.h"
 #include "common/check.h"
+#include "common/rng.h"
+#include "core/st_model.h"
 #include "core/stsm.h"
+#include "tensor/ops.h"
+#include "timeseries/time_features.h"
 
 namespace stsm {
+namespace {
+
+// StModel under a variant's config, probed on a synthetic identity graph.
+ZooNetwork MakeStsmNetwork(StsmVariant variant, const StsmConfig& base_config,
+                           int num_nodes) {
+  const StsmConfig config = ApplyVariant(base_config, variant);
+  Rng init_rng(config.seed + 13);  // Matches StsmRunner's init stream.
+  auto model = std::make_shared<StModel>(config, &init_rng);
+  ZooNetwork network;
+  network.module = model;
+  network.probe = [model, config, num_nodes](uint64_t seed) {
+    Rng probe_rng(seed);
+    const Tensor x = Tensor::Normal(
+        Shape({1, config.input_length, num_nodes, 1}), 0.0f, 1.0f, &probe_rng);
+    const Tensor time = Unsqueeze(
+        TimeOfDayFeatures(TimeOfDayIds(0, config.input_length, /*steps_per_day=*/288),
+                          /*steps_per_day=*/288),
+        0);  // [1, T, 3].
+    const Tensor adjacency = Tensor::Eye(num_nodes);
+    return model->Forward(x, time, adjacency, adjacency).predictions;
+  };
+  return network;
+}
+
+}  // namespace
 
 std::string ModelName(ModelKind kind) {
   switch (kind) {
@@ -65,6 +94,34 @@ ExperimentResult RunModel(ModelKind kind, const SpatioTemporalDataset& dataset,
       return RunStsmVariant(dataset, split, StsmVariant::kRdA, config);
     case ModelKind::kStsmRdM:
       return RunStsmVariant(dataset, split, StsmVariant::kRdM, config);
+  }
+  STSM_CHECK(false) << "unknown model kind";
+  return {};
+}
+
+ZooNetwork MakeZooNetwork(ModelKind kind, const StsmConfig& config,
+                          int num_nodes) {
+  switch (kind) {
+    case ModelKind::kGeGan:
+      return MakeGeGanNetwork(BaselineFromStsm(config));
+    case ModelKind::kIgnnk:
+      return MakeIgnnkNetwork(BaselineFromStsm(config), num_nodes);
+    case ModelKind::kIncrease:
+      return MakeIncreaseNetwork(BaselineFromStsm(config));
+    case ModelKind::kStsmRnc:
+      return MakeStsmNetwork(StsmVariant::kRnc, config, num_nodes);
+    case ModelKind::kStsmNc:
+      return MakeStsmNetwork(StsmVariant::kNc, config, num_nodes);
+    case ModelKind::kStsmR:
+      return MakeStsmNetwork(StsmVariant::kR, config, num_nodes);
+    case ModelKind::kStsm:
+      return MakeStsmNetwork(StsmVariant::kFull, config, num_nodes);
+    case ModelKind::kStsmTrans:
+      return MakeStsmNetwork(StsmVariant::kTrans, config, num_nodes);
+    case ModelKind::kStsmRdA:
+      return MakeStsmNetwork(StsmVariant::kRdA, config, num_nodes);
+    case ModelKind::kStsmRdM:
+      return MakeStsmNetwork(StsmVariant::kRdM, config, num_nodes);
   }
   STSM_CHECK(false) << "unknown model kind";
   return {};

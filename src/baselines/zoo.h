@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "baselines/context.h"
+#include "baselines/network.h"
 #include "core/config.h"
 #include "core/experiment.h"
 #include "data/dataset.h"
@@ -38,6 +39,13 @@ BaselineConfig BaselineFromStsm(const StsmConfig& config);
 // Trains and evaluates one model on one dataset split.
 ExperimentResult RunModel(ModelKind kind, const SpatioTemporalDataset& dataset,
                           const SpaceSplit& split, const StsmConfig& config);
+
+// Builds the untrained network behind `kind` with deterministic init —
+// STSM kinds map to an StModel under the variant's config, baselines to
+// their factory in gegan/ignnk/increase. Used by the checkpoint round-trip
+// tests; `num_nodes` sizes the probe graph for graph-shaped networks.
+ZooNetwork MakeZooNetwork(ModelKind kind, const StsmConfig& config,
+                          int num_nodes);
 
 // The model columns of Table 4, in order.
 std::vector<ModelKind> Table4Models();

@@ -40,6 +40,11 @@ struct StsmConfig {
   int tcn_kernel = 2;             // Dilated conv kernel width.
   TemporalModule temporal_module = TemporalModule::kTcn;
   int attention_heads = 2;        // STSM-trans only.
+  // Training-mode dropout on the fused input embedding and the transformer
+  // residual branches. 0 (the default, matching the paper's setup) disables
+  // it entirely; eval-mode forwards are always dropout-free regardless
+  // (Module::SetTraining).
+  float dropout = 0.0f;
   // Adds the last input value (a persistence baseline) to the output head,
   // so the network learns the residual correction. Not in the paper's
   // Eq. 13; compensates for the far smaller CPU training budget of this

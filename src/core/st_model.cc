@@ -15,7 +15,7 @@ StBlock::StBlock(int64_t channels, const StsmConfig& config, Rng* rng)
     }
   } else {
     transformer_ = std::make_unique<TransformerEncoderBlock>(
-        channels, config.attention_heads, 2 * channels, rng);
+        channels, config.attention_heads, 2 * channels, rng, config.dropout);
     fusion_spatial_ = std::make_unique<Linear>(channels, channels, rng);
     fusion_temporal_ =
         std::make_unique<Linear>(channels, channels, rng, /*use_bias=*/false);
@@ -72,6 +72,18 @@ Tensor StBlock::Forward(const Tensor& x, const Tensor& adj_spatial,
   return Add(Mul(gate, h_spatial), Mul(Sub(1.0f, gate), h_temporal));
 }
 
+std::vector<Module*> StBlock::Children() {
+  std::vector<Module*> children;
+  for (const auto& conv : tcn_stack_) children.push_back(conv.get());
+  for (Module* child : CollectChildren({transformer_.get(),
+                                        fusion_spatial_.get(),
+                                        fusion_temporal_.get()})) {
+    children.push_back(child);
+  }
+  for (GcnlLayer& layer : gcn_layers_) children.push_back(&layer);
+  return children;
+}
+
 std::vector<Tensor> StBlock::Parameters() const {
   std::vector<Tensor> params;
   for (const auto& conv : tcn_stack_) {
@@ -100,6 +112,9 @@ StModel::StModel(const StsmConfig& config, Rng* rng)
     : config_(config),
       phi1_(1, config.hidden_dim, rng),
       phi2_(3, config.hidden_dim, rng),
+      // Fixed seed: see TransformerEncoderBlock — the shared init stream
+      // must not depend on whether dropout is configured.
+      input_dropout_(config.dropout, /*seed=*/0xd10u ^ config.seed),
       head1_(config.hidden_dim, config.hidden_dim, rng),
       head2_(config.hidden_dim, config.horizon, rng) {
   blocks_.reserve(config.num_blocks);
@@ -123,7 +138,7 @@ StModel::Output StModel::Forward(const Tensor& x, const Tensor& time_features,
   const Tensor h_obs = phi1_.Forward(x);  // [B, T, N, C'].
   const Tensor h_time =
       Unsqueeze(phi2_.Forward(time_features), 2);  // [B, T, 1, C'].
-  Tensor h = Mul(h_obs, h_time);
+  Tensor h = input_dropout_.Forward(Mul(h_obs, h_time));
 
   for (const auto& block : blocks_) {
     h = block->Forward(h, adj_spatial, adj_temporal);
@@ -153,6 +168,13 @@ StModel::Output StModel::Forward(const Tensor& x, const Tensor& time_features,
   output.predictions = out;
   output.final_features = last;
   return output;
+}
+
+std::vector<Module*> StModel::Children() {
+  std::vector<Module*> children = {&phi1_, &phi2_, &input_dropout_, &head1_,
+                                   &head2_};
+  for (const auto& block : blocks_) children.push_back(block.get());
+  return children;
 }
 
 std::vector<Tensor> StModel::Parameters() const {

@@ -16,6 +16,7 @@
 #include "core/config.h"
 #include "nn/attention.h"
 #include "nn/conv.h"
+#include "nn/dropout.h"
 #include "nn/gcn.h"
 #include "nn/linear.h"
 #include "nn/module.h"
@@ -36,6 +37,7 @@ class StBlock : public Module {
                  const Tensor& adj_temporal) const;
 
   std::vector<Tensor> Parameters() const override;
+  std::vector<Module*> Children() override;
 
  private:
   Tensor TemporalBranch(const Tensor& x) const;
@@ -67,11 +69,13 @@ class StModel : public Module {
                  const Tensor& adj_spatial, const Tensor& adj_temporal) const;
 
   std::vector<Tensor> Parameters() const override;
+  std::vector<Module*> Children() override;
 
  private:
   StsmConfig config_;
   Linear phi1_;  // Observation projection (Eq. 4).
   Linear phi2_;  // Time-embedding projection (Eq. 4).
+  DropoutLayer input_dropout_;  // config.dropout on the fused embedding.
   std::vector<std::unique_ptr<StBlock>> blocks_;
   Linear head1_;  // phi3 of Eq. 13.
   Linear head2_;  // phi4 of Eq. 13 -> horizon outputs.
@@ -87,6 +91,7 @@ class ProjectionHead : public Module {
   Tensor Forward(const Tensor& final_features) const;
 
   std::vector<Tensor> Parameters() const override;
+  std::vector<Module*> Children() override { return {&inner_, &outer_}; }
 
  private:
   Linear inner_;

@@ -52,27 +52,43 @@ std::vector<Tensor> MultiHeadSelfAttention::Parameters() const {
                            value_.Parameters(), output_.Parameters()});
 }
 
+std::vector<Module*> MultiHeadSelfAttention::Children() {
+  return CollectChildren({&query_, &key_, &value_, &output_});
+}
+
 TransformerEncoderBlock::TransformerEncoderBlock(int64_t model_dim,
                                                  int num_heads,
-                                                 int64_t ffn_dim, Rng* rng)
+                                                 int64_t ffn_dim, Rng* rng,
+                                                 float dropout)
     : attention_(model_dim, num_heads, rng),
       norm1_(model_dim),
       norm2_(model_dim),
       ffn1_(model_dim, ffn_dim, rng),
-      ffn2_(ffn_dim, model_dim, rng) {}
+      ffn2_(ffn_dim, model_dim, rng),
+      // Fixed seed: drawing from `rng` here would shift the init stream of
+      // every module constructed after this block and change existing
+      // deterministic results.
+      dropout_(dropout, /*seed=*/0x9e3779b97f4a7c15ULL ^
+                            static_cast<uint64_t>(model_dim)) {}
 
 Tensor TransformerEncoderBlock::Forward(const Tensor& x) const {
   STSM_PROF_SCOPE("transformer.fwd");
-  const Tensor attended = Add(x, attention_.Forward(norm1_.Forward(x)));
+  const Tensor attended =
+      Add(x, dropout_.Forward(attention_.Forward(norm1_.Forward(x))));
   const Tensor ffn_out =
       ffn2_.Forward(Relu(ffn1_.Forward(norm2_.Forward(attended))));
-  return Add(attended, ffn_out);
+  return Add(attended, dropout_.Forward(ffn_out));
 }
 
 std::vector<Tensor> TransformerEncoderBlock::Parameters() const {
   return ConcatParameters({attention_.Parameters(), norm1_.Parameters(),
                            norm2_.Parameters(), ffn1_.Parameters(),
                            ffn2_.Parameters()});
+}
+
+std::vector<Module*> TransformerEncoderBlock::Children() {
+  return CollectChildren(
+      {&attention_, &norm1_, &norm2_, &ffn1_, &ffn2_, &dropout_});
 }
 
 }  // namespace stsm

@@ -5,6 +5,7 @@
 #define STSM_NN_ATTENTION_H_
 
 #include "common/rng.h"
+#include "nn/dropout.h"
 #include "nn/linear.h"
 #include "nn/module.h"
 #include "nn/norm.h"
@@ -22,6 +23,7 @@ class MultiHeadSelfAttention : public Module {
   Tensor Forward(const Tensor& x) const;
 
   std::vector<Tensor> Parameters() const override;
+  std::vector<Module*> Children() override;
 
  private:
   int64_t model_dim_;
@@ -30,15 +32,18 @@ class MultiHeadSelfAttention : public Module {
   Linear query_, key_, value_, output_;
 };
 
-// Pre-norm transformer encoder block: x + MHSA(LN(x)), then x + FFN(LN(x)).
+// Pre-norm transformer encoder block: x + MHSA(LN(x)), then x + FFN(LN(x)),
+// with (inverted) dropout on both residual branches when `dropout` > 0 and
+// the module is in training mode.
 class TransformerEncoderBlock : public Module {
  public:
   TransformerEncoderBlock(int64_t model_dim, int num_heads, int64_t ffn_dim,
-                          Rng* rng);
+                          Rng* rng, float dropout = 0.0f);
 
   Tensor Forward(const Tensor& x) const;
 
   std::vector<Tensor> Parameters() const override;
+  std::vector<Module*> Children() override;
 
  private:
   MultiHeadSelfAttention attention_;
@@ -46,6 +51,7 @@ class TransformerEncoderBlock : public Module {
   LayerNorm norm2_;
   Linear ffn1_;
   Linear ffn2_;
+  DropoutLayer dropout_;
 };
 
 }  // namespace stsm

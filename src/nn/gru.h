@@ -47,6 +47,7 @@ class Gru : public Module {
   Tensor ForwardSequence(const Tensor& sequence) const;
 
   std::vector<Tensor> Parameters() const override;
+  std::vector<Module*> Children() override { return {&cell_}; }
 
  private:
   GruCell cell_;

@@ -18,6 +18,22 @@ class Module {
   // requires_grad set). Order is stable across calls.
   virtual std::vector<Tensor> Parameters() const = 0;
 
+  // Direct child modules, used to propagate state flags (SetTraining) down
+  // composite modules. Leaves return the default empty list. Unlike
+  // Parameters(), the order carries no contract.
+  virtual std::vector<Module*> Children() { return {}; }
+
+  // Switches this module and every descendant between training and
+  // evaluation mode. Layers whose forward differs between the two (Dropout)
+  // consult is_training(); pure-function layers (Linear, LayerNorm — which
+  // normalises per sample, so it has no train-time statistics to freeze)
+  // ignore it. Modules default to training mode; serving loads flip to eval.
+  void SetTraining(bool training) {
+    training_ = training;
+    for (Module* child : Children()) child->SetTraining(training);
+  }
+  bool is_training() const { return training_; }
+
   // Total number of scalar parameters.
   int64_t NumParameters() const {
     int64_t total = 0;
@@ -29,7 +45,21 @@ class Module {
   void ZeroGrad() {
     for (Tensor p : Parameters()) p.ZeroGrad();
   }
+
+ private:
+  bool training_ = true;
 };
+
+// Collects non-null child pointers (helper for Children() overrides; accepts
+// raw pointers so callers can mix members and unique_ptr children).
+inline std::vector<Module*> CollectChildren(
+    std::initializer_list<Module*> children) {
+  std::vector<Module*> present;
+  for (Module* child : children) {
+    if (child != nullptr) present.push_back(child);
+  }
+  return present;
+}
 
 // Concatenates parameter lists (helper for composite modules).
 inline std::vector<Tensor> ConcatParameters(

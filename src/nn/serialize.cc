@@ -68,6 +68,10 @@ std::vector<Tensor> LoadTensors(const std::string& path) {
     if (!in) return {};
     tensors.push_back(Tensor::FromVector(shape, std::move(data)));
   }
+  // The declared tensor payload must account for the whole file: trailing
+  // bytes mean a corrupted or mis-declared checkpoint, and silently
+  // accepting one would let a truncated count load "successfully".
+  if (in.peek() != std::ifstream::traits_type::eof()) return {};
   return tensors;
 }
 

@@ -21,7 +21,8 @@ namespace stsm {
 bool SaveTensors(const std::vector<Tensor>& tensors, const std::string& path);
 
 // Reads tensors from `path`. Returns an empty vector on failure (missing
-// file, bad magic, truncated data).
+// file, bad magic, truncated data, or trailing bytes beyond the declared
+// tensor payload — the file must be exactly the container, nothing more).
 std::vector<Tensor> LoadTensors(const std::string& path);
 
 // Saves a module's parameters.

@@ -1,0 +1,95 @@
+// Bounded MPMC queue with batched, predicate-guided pops — the spine of the
+// serving layer's micro-batching.
+//
+// Producers TryPush and get an immediate `false` when the queue is full
+// (backpressure: the server converts that into a kRejected response instead
+// of letting latency grow without bound). Consumers block in PopBatch, which
+// takes the oldest item and then opportunistically extracts later queued
+// items that are batch-compatible with it (same model, in the server's
+// case), preserving FIFO order among the items it leaves behind.
+//
+// Header-only template: the element type is the server's move-only pending
+// request (it carries a std::promise).
+
+#ifndef STSM_SERVE_QUEUE_H_
+#define STSM_SERVE_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace stsm {
+namespace serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  // Non-blocking push. Returns false when the queue is full or closed.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed. Pops the
+  // oldest item into `out`, then scans the remaining items in FIFO order
+  // and also pops those for which compatible(out->front(), item) holds,
+  // stopping at `max_batch` items total. Returns false only when the queue
+  // is closed AND empty — a closed queue keeps draining, so no accepted
+  // item is ever stranded.
+  template <typename Compatible>
+  bool PopBatch(std::vector<T>* out, size_t max_batch, Compatible compatible) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out->push_back(std::move(items_.front()));
+    items_.pop_front();
+    for (auto it = items_.begin();
+         it != items_.end() && out->size() < max_batch;) {
+      if (compatible(out->front(), *it)) {
+        out->push_back(std::move(*it));
+        it = items_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return true;
+  }
+
+  // Wakes all blocked consumers; further pushes fail. Already-queued items
+  // remain poppable.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace stsm
+
+#endif  // STSM_SERVE_QUEUE_H_

@@ -1,0 +1,105 @@
+// Model registry for the serving layer.
+//
+// A ModelSpec bundles everything a checkpoint does NOT contain but inference
+// needs: the architecture config, the z-score normaliser fitted at training
+// time, and the pre-normalised full-graph adjacency matrices (spatial
+// Gaussian kernel + DTW temporal similarity). BuildModelSpec recomputes
+// these from the dataset/split exactly as StsmRunner's test path does, so a
+// served model sees the same inputs as the offline evaluation.
+//
+// A ServedModel owns one loaded StModel in eval mode; its Predict runs under
+// autograd::NoGradGuard, so serving builds no graph and allocates no grad
+// buffers. When the checkpoint cannot be loaded the ServedModel is still
+// registered but unhealthy: the server keeps answering its requests with
+// the historical-average fallback (tagged kDegraded) instead of failing.
+//
+// The registry hands out shared_ptr<const ServedModel>; the precomputed
+// state is immutable after load and therefore safely shared by all worker
+// threads without copying.
+
+#ifndef STSM_SERVE_REGISTRY_H_
+#define STSM_SERVE_REGISTRY_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.h"
+#include "core/st_model.h"
+#include "data/dataset.h"
+#include "data/normalizer.h"
+#include "data/splits.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+namespace serve {
+
+struct ModelSpec {
+  std::string name;
+  StsmConfig config;
+  int num_nodes = 0;
+  int steps_per_day = 288;
+  Normalizer normalizer;
+  Tensor adj_spatial;   // [N, N], symmetric-normalised Eq. 2 kernel.
+  Tensor adj_temporal;  // [N, N], row-normalised DTW similarity.
+  std::string checkpoint_path;
+};
+
+// Recomputes the serving-time state for a model trained on
+// (dataset, split, config): normaliser fitted on the observed training
+// columns, spatial adjacency over the full graph, and the temporal
+// adjacency built from pseudo-observation-filled series — the same
+// construction as StsmRunner::Evaluate. Euclidean distances (the default
+// distance mode) are used throughout.
+ModelSpec BuildModelSpec(const std::string& name,
+                         const SpatioTemporalDataset& dataset,
+                         const SpaceSplit& split, const StsmConfig& config,
+                         const std::string& checkpoint_path);
+
+class ServedModel {
+ public:
+  // Constructs the network, loads weights from spec.checkpoint_path, and
+  // switches it to eval mode. On checkpoint failure the model is marked
+  // unhealthy (healthy() == false) rather than rejected — the server then
+  // degrades its requests gracefully.
+  static std::shared_ptr<ServedModel> Load(const ModelSpec& spec);
+
+  const ModelSpec& spec() const { return spec_; }
+  bool healthy() const { return model_ != nullptr; }
+
+  // Batched no-grad forward. inputs: [B, T, N, 1] normalised windows;
+  // time_features: [B, T, 3]. Returns [B, T', N, 1] normalised forecasts.
+  // Requires healthy().
+  Tensor Predict(const Tensor& inputs, const Tensor& time_features) const;
+
+ private:
+  explicit ServedModel(ModelSpec spec);
+
+  ModelSpec spec_;
+  std::unique_ptr<StModel> model_;  // Null when the checkpoint failed.
+};
+
+// Thread-safe name -> ServedModel map.
+class ModelRegistry {
+ public:
+  // Loads and registers a model (replacing any same-named entry). Returns
+  // the loaded model's health: false means the checkpoint failed and the
+  // entry will only serve degraded responses.
+  bool Load(const ModelSpec& spec);
+
+  // Null when `name` is not registered.
+  std::shared_ptr<const ServedModel> Find(const std::string& name) const;
+
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const ServedModel>> models_;
+};
+
+}  // namespace serve
+}  // namespace stsm
+
+#endif  // STSM_SERVE_REGISTRY_H_

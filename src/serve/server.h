@@ -1,0 +1,124 @@
+// ForecastServer: the concurrent request path of stsm::serve.
+//
+//   Submit() ── validate ── cache lookup ──> bounded queue ──> workers
+//                  │             │                               │
+//               kError        kOk (hit)          micro-batch drain, one
+//              (immediate)   (immediate)         batched no-grad forward
+//                                                       │
+//                                  deadline missed / unhealthy model:
+//                                  historical-average fallback, kDegraded
+//
+// Backpressure: when the queue is full, Submit answers kRejected at once
+// instead of queueing unbounded latency. Each worker pops the oldest
+// request plus up to batch_max-1 later requests for the SAME model (their
+// windows stack into one [B, T, N, 1] forward; per-request time features
+// may differ, so start steps need not match). Requests whose deadline has
+// passed by pickup time — or whose model failed to load — are answered by
+// the per-node mean of their own observation window, tagged kDegraded.
+
+#ifndef STSM_SERVE_SERVER_H_
+#define STSM_SERVE_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/queue.h"
+#include "serve/registry.h"
+#include "serve/types.h"
+
+namespace stsm {
+namespace serve {
+
+struct ServerConfig {
+  int num_workers = 2;
+  int queue_capacity = 64;
+  // Upper bound on requests fused into one batched forward.
+  int batch_max = 8;
+  // LRU entries; 0 disables the forecast cache.
+  int cache_capacity = 128;
+  // Applied to requests that arrive without a deadline; zero = unlimited.
+  std::chrono::milliseconds default_deadline{0};
+};
+
+// Point-in-time counters (monotonic since construction).
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t ok = 0;          // Model-served responses (excludes cache hits).
+  uint64_t cache_hits = 0;
+  uint64_t degraded = 0;
+  uint64_t rejected = 0;
+  uint64_t errors = 0;
+  uint64_t batches = 0;     // Batched forwards executed.
+  // batch_size_counts[b] = number of batches of size b (index 0 unused).
+  std::vector<uint64_t> batch_size_counts;
+  CacheStats cache;
+};
+
+class ForecastServer {
+ public:
+  // `registry` must outlive the server.
+  ForecastServer(const ModelRegistry* registry, const ServerConfig& config);
+  ~ForecastServer();
+
+  ForecastServer(const ForecastServer&) = delete;
+  ForecastServer& operator=(const ForecastServer&) = delete;
+
+  // Asynchronous entry point. The future is always fulfilled — with
+  // kError/kRejected immediately, with a cache hit immediately, or by a
+  // worker thread otherwise.
+  std::future<ForecastResponse> Submit(ForecastRequest request);
+
+  // Blocking convenience wrapper.
+  ForecastResponse SubmitAndWait(ForecastRequest request);
+
+  // Drains the queue, then stops the workers. Idempotent; also run by the
+  // destructor. Accepted requests are answered before workers exit.
+  void Stop();
+
+  ServerStats stats() const;
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    ForecastRequest request;
+    Clock::time_point enqueue_time;
+    std::promise<ForecastResponse> promise;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Pending>* batch);
+  // Fulfills one pending request, stamping latency and recording stats.
+  void Respond(Pending* pending, ForecastResponse response);
+  // Historical-average fallback: per-region mean of the request's own raw
+  // window, repeated across the horizon.
+  static ForecastResponse Fallback(const ForecastRequest& request,
+                                   int num_nodes, int horizon,
+                                   const std::string& reason);
+
+  const ModelRegistry* registry_;
+  const ServerConfig config_;
+  ForecastCache cache_;
+  BoundedQueue<Pending> queue_;
+  std::vector<std::thread> workers_;
+  bool stopped_ = false;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> batch_size_counts_;
+};
+
+}  // namespace serve
+}  // namespace stsm
+
+#endif  // STSM_SERVE_SERVER_H_

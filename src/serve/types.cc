@@ -1,0 +1,17 @@
+#include "serve/types.h"
+
+namespace stsm {
+namespace serve {
+
+const char* StatusName(Status status) {
+  switch (status) {
+    case Status::kOk:       return "ok";
+    case Status::kDegraded: return "degraded";
+    case Status::kRejected: return "rejected";
+    case Status::kError:    return "error";
+  }
+  return "unknown";
+}
+
+}  // namespace serve
+}  // namespace stsm

@@ -1,10 +1,38 @@
 #include "tensor/autograd.h"
 
+#include <atomic>
+
 #include "common/check.h"
 #include "tensor/tensor.h"
 
 namespace stsm {
 namespace autograd {
+
+namespace {
+
+thread_local bool g_grad_mode_enabled = true;
+
+// Relaxed is enough: tests/benches read the counter only after quiescing the
+// threads whose node construction they are counting.
+std::atomic<uint64_t> g_nodes_created{0};
+
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode_enabled) {
+  g_grad_mode_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_mode_enabled = previous_; }
+
+uint64_t NodesCreated() {
+  return g_nodes_created.load(std::memory_order_relaxed);
+}
+
+void Node::CountNodeCreated() {
+  g_nodes_created.fetch_add(1, std::memory_order_relaxed);
+}
 
 void Node::Run(TensorImpl* output) {
   STSM_CHECK(!released_)

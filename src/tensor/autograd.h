@@ -19,6 +19,7 @@
 #ifndef STSM_TENSOR_AUTOGRAD_H_
 #define STSM_TENSOR_AUTOGRAD_H_
 
+#include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -29,10 +30,42 @@ struct TensorImpl;
 
 namespace autograd {
 
+// ---- Gradient mode -----------------------------------------------------------
+//
+// Thread-local switch consulted by every op in tensor/ops.cc (through
+// internal::ShouldRecord): with recording off, ops build no Node, mark no
+// output requires_grad, and therefore never trigger grad-buffer allocation.
+// Inference paths (stsm::serve workers, evaluation loops) hold a
+// NoGradGuard for the duration of the forward.
+
+// True when operations should record the autograd graph (thread-local,
+// defaults to true).
+bool GradModeEnabled();
+
+// RAII guard that disables gradient recording in the current thread and
+// restores the previous mode on destruction. Nestable.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// Process-wide count of autograd nodes constructed since start. Used by
+// tests and the serve bench to assert that a guarded forward built zero
+// graph nodes; monotone, relaxed ordering.
+uint64_t NodesCreated();
+
 class Node {
  public:
   explicit Node(std::vector<std::shared_ptr<TensorImpl>> inputs)
-      : inputs_(std::move(inputs)) {}
+      : inputs_(std::move(inputs)) {
+    CountNodeCreated();
+  }
   virtual ~Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
@@ -64,6 +97,8 @@ class Node {
   std::vector<std::shared_ptr<TensorImpl>> inputs_;
 
  private:
+  static void CountNodeCreated();
+
   bool released_ = false;
 };
 

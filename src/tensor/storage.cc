@@ -1,10 +1,21 @@
 #include "tensor/storage.h"
 
+#include <atomic>
 #include <utility>
 
 #include "tensor/pool.h"
 
 namespace stsm {
+
+namespace {
+
+std::atomic<uint64_t> g_grad_allocations{0};
+
+}  // namespace
+
+uint64_t Storage::GradAllocations() {
+  return g_grad_allocations.load(std::memory_order_relaxed);
+}
 
 Storage::Storage(Private, std::vector<float> data, bool adopted)
     : data_(std::move(data)) {
@@ -32,6 +43,7 @@ Storage::~Storage() {
 void Storage::EnsureGrad() {
   if (grad_.empty() && !data_.empty()) {
     grad_ = BufferPool::Instance().Acquire(size(), /*zero=*/true);
+    g_grad_allocations.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

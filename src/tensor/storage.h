@@ -43,6 +43,11 @@ class Storage {
   // (all views share it) and is zero-initialised on first allocation.
   bool has_grad() const { return !grad_.empty(); }
   void EnsureGrad();
+
+  // Process-wide count of grad-buffer allocations (EnsureGrad calls that
+  // actually acquired a buffer). Lets tests assert that a NoGradGuard-ed
+  // forward allocated zero gradient storage.
+  static uint64_t GradAllocations();
   float* grad() { return grad_.data(); }
   const float* grad() const { return grad_.data(); }
   // Returns the grad buffer to the pool (ZeroGrad keeps it; this drops it).

@@ -11,20 +11,6 @@
 
 namespace stsm {
 
-namespace {
-
-thread_local bool g_grad_mode_enabled = true;
-
-}  // namespace
-
-bool GradModeEnabled() { return g_grad_mode_enabled; }
-
-NoGradGuard::NoGradGuard() : previous_(g_grad_mode_enabled) {
-  g_grad_mode_enabled = false;
-}
-
-NoGradGuard::~NoGradGuard() { g_grad_mode_enabled = previous_; }
-
 // ---- Factories --------------------------------------------------------------
 
 Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {

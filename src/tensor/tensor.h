@@ -173,21 +173,11 @@ class Tensor {
   std::shared_ptr<TensorImpl> impl_;
 };
 
-// RAII guard that disables gradient recording in the current thread. Used in
-// evaluation loops to avoid building graphs.
-class NoGradGuard {
- public:
-  NoGradGuard();
-  ~NoGradGuard();
-  NoGradGuard(const NoGradGuard&) = delete;
-  NoGradGuard& operator=(const NoGradGuard&) = delete;
-
- private:
-  bool previous_;
-};
-
-// True when operations should record the autograd tape (thread-local).
-bool GradModeEnabled();
+// The grad-mode switch and its RAII guard live in tensor/autograd.h
+// (autograd::NoGradGuard / autograd::GradModeEnabled); these aliases keep
+// the shorter spelling every call site already uses.
+using autograd::NoGradGuard;
+using autograd::GradModeEnabled;
 
 namespace internal {
 

@@ -63,6 +63,30 @@ TEST_F(SerializeTest, TruncatedFileRejected) {
   EXPECT_TRUE(LoadTensors(path_).empty());
 }
 
+TEST_F(SerializeTest, TrailingBytesRejected) {
+  // Regression: a checkpoint with extra bytes after the declared tensor
+  // payload (concatenated files, partial overwrite) must not load silently.
+  Rng rng(4);
+  ASSERT_TRUE(
+      SaveTensors({Tensor::Uniform(Shape({3, 3}), -1, 1, &rng)}, path_));
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    out << "junk";
+  }
+  EXPECT_TRUE(LoadTensors(path_).empty());
+
+  Linear module(3, 3, &rng);
+  ASSERT_TRUE(SaveModule(module, path_));
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    const char zero = '\0';  // Even a single trailing byte is rejected.
+    out.write(&zero, 1);
+  }
+  const float before = module.Parameters()[0].data()[0];
+  EXPECT_FALSE(LoadModule(&module, path_));
+  EXPECT_FLOAT_EQ(module.Parameters()[0].data()[0], before);
+}
+
 TEST_F(SerializeTest, ModuleRoundTripRestoresBehaviour) {
   Rng rng_a(3);
   Linear original(4, 3, &rng_a);

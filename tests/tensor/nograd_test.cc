@@ -1,0 +1,64 @@
+// NoGradGuard observability: under the guard, ops build no autograd nodes
+// and backward-free code allocates no gradient buffers; with grad mode on,
+// the same ops record nodes and Backward() allocates grads.
+
+#include "tensor/autograd.h"
+
+#include "gtest/gtest.h"
+#include "tensor/ops.h"
+#include "tensor/storage.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+namespace {
+
+TEST(NoGradTest, GuardBuildsNoGraphAndAllocatesNoGrads) {
+  Rng rng(11);
+  const Tensor a =
+      Tensor::Normal(Shape({8, 8}), 0.0f, 1.0f, &rng, /*requires_grad=*/true);
+  const Tensor b =
+      Tensor::Normal(Shape({8, 8}), 0.0f, 1.0f, &rng, /*requires_grad=*/true);
+  const uint64_t nodes = autograd::NodesCreated();
+  const uint64_t grads = Storage::GradAllocations();
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(GradModeEnabled());
+    const Tensor loss = Sum(Relu(Add(MatMul(a, b), b)));
+    EXPECT_FALSE(loss.requires_grad());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+  EXPECT_EQ(autograd::NodesCreated(), nodes);
+  EXPECT_EQ(Storage::GradAllocations(), grads);
+}
+
+TEST(NoGradTest, GradModeRecordsNodesAndBackwardAllocatesGrads) {
+  Rng rng(12);
+  const Tensor a =
+      Tensor::Normal(Shape({4, 4}), 0.0f, 1.0f, &rng, /*requires_grad=*/true);
+  const Tensor b =
+      Tensor::Normal(Shape({4, 4}), 0.0f, 1.0f, &rng, /*requires_grad=*/true);
+  const uint64_t nodes = autograd::NodesCreated();
+  const uint64_t grads = Storage::GradAllocations();
+  Tensor loss = Sum(Mul(a, b));
+  EXPECT_TRUE(loss.requires_grad());
+  EXPECT_GT(autograd::NodesCreated(), nodes);
+  loss.Backward();
+  EXPECT_GT(Storage::GradAllocations(), grads);
+}
+
+TEST(NoGradTest, GuardNestsAndRestores) {
+  EXPECT_TRUE(GradModeEnabled());
+  {
+    NoGradGuard outer;
+    EXPECT_FALSE(GradModeEnabled());
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+}  // namespace
+}  // namespace stsm

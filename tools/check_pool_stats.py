@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
 """Validates BufferPool counters in a profile JSON emitted by the bench harness.
 
-Usage: check_pool_stats.py <profile.json>
+Usage: check_pool_stats.py <profile.json> [serve_load.json]
 
 Asserts that the pool counters are present (the tensor core actually routed
 its allocations through the BufferPool) and that no buffer leaked: every
 buffer that entered circulation (acquired from the pool or adopted via
 Tensor::FromVector) was released back by the time the profile was written.
+
+When a serve_load.json (emitted by bench_serve_load) is given as the second
+argument, additionally asserts the serving layer behaved: a nonzero forecast
+cache hit rate, at least one degraded response from the injected deadline
+misses, and positive throughput.
 
 Exit status 0 on success; 1 with a diagnostic on failure. Stdlib only.
 """
@@ -18,11 +23,7 @@ REQUIRED = ["pool.acquire", "pool.hit", "pool.miss", "pool.adopt",
             "pool.release", "pool.bytes_requested", "pool.bytes_reused"]
 
 
-def main(argv):
-    if len(argv) != 2:
-        print(f"usage: {argv[0]} <profile.json>", file=sys.stderr)
-        return 1
-    path = argv[1]
+def check_pool(path):
     with open(path, "r", encoding="utf-8") as f:
         profile = json.load(f)
 
@@ -63,6 +64,44 @@ def main(argv):
     print(f"OK: {path}: {acquires} acquires ({hits} hits, {reuse:.1%} reuse), "
           f"{adopts} adopts, {releases} releases, 0 leaked")
     return 0
+
+
+def check_serve(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+
+    hit_rate = report.get("cache_hit_rate", 0.0)
+    if hit_rate <= 0.0:
+        print(f"FAIL: {path}: cache_hit_rate is {hit_rate} — the forecast "
+              "cache never hit (replayed queries must be served from cache)",
+              file=sys.stderr)
+        return 1
+    degraded = report.get("degraded", 0)
+    if degraded < 1:
+        print(f"FAIL: {path}: no degraded responses — injected deadline "
+              "misses must trigger the historical-average fallback",
+              file=sys.stderr)
+        return 1
+    qps = report.get("qps", 0.0)
+    if qps <= 0.0:
+        print(f"FAIL: {path}: qps is {qps}", file=sys.stderr)
+        return 1
+
+    print(f"OK: {path}: {qps:.1f} QPS, cache hit rate {hit_rate:.1%}, "
+          f"{degraded} degraded, p99 {report.get('latency_p99_ns', 0) / 1e6:.2f} ms, "
+          f"no-grad speedup {report.get('nograd_speedup', 0):.2f}x")
+    return 0
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(f"usage: {argv[0]} <profile.json> [serve_load.json]",
+              file=sys.stderr)
+        return 1
+    status = check_pool(argv[1])
+    if status == 0 and len(argv) == 3:
+        status = check_serve(argv[2])
+    return status
 
 
 if __name__ == "__main__":
