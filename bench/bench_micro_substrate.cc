@@ -9,6 +9,7 @@
 #include "graph/geo.h"
 #include "nn/gcn.h"
 #include "nn/loss.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "timeseries/dtw.h"
 #include "timeseries/pseudo_observations.h"
@@ -63,15 +64,85 @@ void BM_SliceLeadingDimView(benchmark::State& state) {
 }
 BENCHMARK(BM_SliceLeadingDimView);
 
-void BM_SliceInnerDimCopy(benchmark::State& state) {
-  // Non-contiguous slice: the copying path, for contrast with the view.
+void BM_SliceInnerDimView(benchmark::State& state) {
+  // Non-contiguous slice: also zero-copy now — just a strided view.
   Rng rng(7);
   const Tensor x = Tensor::Uniform(Shape({64, 100, 16}), -1, 1, &rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(Slice(x, /*dim=*/1, 25, 75).data());
   }
 }
-BENCHMARK(BM_SliceInnerDimCopy);
+BENCHMARK(BM_SliceInnerDimView);
+
+void BM_TransposeView(benchmark::State& state) {
+  // Transpose is a pure metadata swap; must not scale with tensor size.
+  Rng rng(7);
+  const Tensor x = Tensor::Uniform(Shape({64, 100, 16}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Transpose(x, 1, 2).data());
+  }
+}
+BENCHMARK(BM_TransposeView);
+
+void BM_TransposeThenContiguous(benchmark::State& state) {
+  // The materializing path, for contrast with the view: gathers through the
+  // swapped strides into a fresh row-major buffer.
+  Rng rng(7);
+  const Tensor x = Tensor::Uniform(Shape({64, 100, 16}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Contiguous(Transpose(x, 1, 2)).data());
+  }
+}
+BENCHMARK(BM_TransposeThenContiguous);
+
+void BM_PackedGemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(9);
+  std::vector<float> a(static_cast<size_t>(n * n));
+  std::vector<float> b(static_cast<size_t>(n * n));
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto _ : state) {
+    PackedGemm(n, n, n, a.data(), n, 1, b.data(), n, 1, c.data(), n, 1,
+               /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_PackedGemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_NaiveGemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(9);
+  std::vector<float> a(static_cast<size_t>(n * n));
+  std::vector<float> b(static_cast<size_t>(n * n));
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto _ : state) {
+    NaiveGemm(n, n, n, a.data(), n, 1, b.data(), n, 1, c.data(), n, 1,
+              /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_NaiveGemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransposedOperand(benchmark::State& state) {
+  // A^T @ B without materializing A^T: the GEMM packing absorbs the swapped
+  // strides, so this should track BM_PackedGemm rather than paying an extra
+  // transpose copy.
+  const int64_t n = state.range(0);
+  Rng rng(10);
+  const Tensor a = Tensor::Uniform(Shape({n, n}), -1, 1, &rng);
+  const Tensor b = Tensor::Uniform(Shape({n, n}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(Transpose(a, 0, 1), b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulTransposedOperand)->Arg(64)->Arg(128);
 
 void BM_TrainStepPoolReuse(benchmark::State& state) {
   // Steady-state step: after the first iteration every intermediate buffer

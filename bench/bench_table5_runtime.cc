@@ -63,6 +63,26 @@ void Run() {
                  ModelName(ModelKind::kStsmTrans).c_str());
     RunAveraged(ModelKind::kStsmTrans, dataset, splits, config);
   }
+
+  // Per-op summary of the linear-algebra substrate before the profile is
+  // written: matmul / transpose / contiguous totals are the numbers the
+  // stride-aware tensor core is meant to move, so surface them on stdout in
+  // addition to table5_profile.json.
+  {
+    const prof::Snapshot snapshot = prof::TakeSnapshot();
+    std::printf("\n=== Table 5 per-op substrate totals ===\n");
+    for (const auto& timer : snapshot.timers) {
+      const bool substrate = timer.name.rfind("matmul", 0) == 0 ||
+                             timer.name.rfind("transpose", 0) == 0 ||
+                             timer.name.rfind("contiguous", 0) == 0 ||
+                             timer.name.rfind("slice", 0) == 0;
+      if (!substrate) continue;
+      std::printf("%-16s %10llu calls %12.3f ms\n", timer.name.c_str(),
+                  static_cast<unsigned long long>(timer.count),
+                  static_cast<double>(timer.total_ns) / 1e6);
+    }
+    std::fflush(stdout);
+  }
   EmitProfile("table5");
 }
 

@@ -97,7 +97,8 @@ ExperimentResult RunIgnnk(const SpatioTemporalDataset& dataset,
           rng.SampleWithoutReplacement(num_observed, mask_count);
 
       // Clone (not Detach): the mask zeroing below mutates in place and must
-      // not write through to the batch's underlying storage.
+      // not write through to the batch's underlying storage. Clone also
+      // compacts strided views, so the flat row arithmetic below is valid.
       Tensor inputs = ToNodeFeatures(batch.inputs).Clone();  // [B, N, T].
       float* data = inputs.data();
       const int64_t b_count = inputs.shape()[0];

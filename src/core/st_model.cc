@@ -30,7 +30,14 @@ Tensor StBlock::TemporalBranch(const Tensor& x) const {
   if (temporal_module_ == TemporalModule::kTcn) {
     Tensor h = x;
     for (const auto& conv : tcn_stack_) {
-      h = Relu(conv->Forward(h));
+      h = conv->Forward(h);
+      if (GradModeEnabled()) {
+        h = Relu(h);
+      } else {
+        // Inference: the conv output is graph-free and exclusively ours, so
+        // clamp it in place instead of allocating a new activation.
+        ReluInPlace(h);
+      }
     }
     return h;
   }

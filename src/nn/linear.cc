@@ -25,7 +25,17 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
 Tensor Linear::Forward(const Tensor& x) const {
   STSM_PROF_SCOPE("linear.fwd");
   STSM_CHECK_EQ(x.shape()[-1], in_features_);
-  // Flatten all leading dims into the matmul row dimension.
+  if (!x.is_contiguous() && x.ndim() >= 2) {
+    // Strided input (a transpose/slice view): batched matmul reads it
+    // through its strides directly — the GEMM packing absorbs the layout —
+    // so skip the flatten, which would force a Contiguous copy. Per output
+    // element the flop order matches the flattened path exactly.
+    Tensor y = MatMul(x, weight_);
+    if (bias_.defined()) y = Add(y, bias_);
+    return y;
+  }
+  // Contiguous input: flatten all leading dims into the matmul row
+  // dimension (zero-copy) so the whole batch runs as one large GEMM.
   const Shape original = x.shape();
   std::vector<int64_t> flat_dims = {x.numel() / in_features_, in_features_};
   Tensor y = MatMul(Reshape(x, Shape(flat_dims)), weight_);

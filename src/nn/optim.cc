@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/prof.h"
+#include "tensor/ops.h"
 
 namespace stsm {
 
@@ -39,24 +40,24 @@ Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate, float momentum)
     : Optimizer(std::move(parameters)),
       learning_rate_(learning_rate),
       momentum_(momentum) {
-  velocity_.resize(parameters_.size());
-  for (size_t i = 0; i < parameters_.size(); ++i) {
-    velocity_[i].assign(parameters_[i].numel(), 0.0f);
+  velocity_.reserve(parameters_.size());
+  for (const Tensor& p : parameters_) {
+    velocity_.push_back(Tensor::Zeros(p.shape()));
   }
 }
 
 void Sgd::Step() {
   STSM_PROF_SCOPE("optim.step");
+  // vel = momentum * vel + grad; p -= lr * vel — expressed through the
+  // in-place tensor ops, with the gradient wrapped as a zero-copy GradView.
+  // Bitwise identical to the old fused loop (same per-element operations in
+  // the same order).
   for (size_t i = 0; i < parameters_.size(); ++i) {
     Tensor& p = parameters_[i];
-    float* data = p.data();
-    const float* grad = GradOrNull(p);
-    float* vel = velocity_[i].data();
-    const int64_t n = p.numel();
-    for (int64_t j = 0; j < n; ++j) {
-      vel[j] = momentum_ * vel[j] + (grad != nullptr ? grad[j] : 0.0f);
-      data[j] -= learning_rate_ * vel[j];
-    }
+    Tensor& vel = velocity_[i];
+    MulScalarInPlace(vel, momentum_);
+    if (p.has_grad()) AddInPlace(vel, p.GradView());
+    AddScaledInPlace(p, vel, -learning_rate_);
   }
 }
 
@@ -115,9 +116,7 @@ float ClipGradNorm(std::vector<Tensor>& parameters, float max_norm) {
     const float scale = max_norm / (norm + 1e-12f);
     for (Tensor& p : parameters) {
       if (!p.has_grad()) continue;
-      float* grad = p.grad_data();
-      const int64_t n = p.numel();
-      for (int64_t j = 0; j < n; ++j) grad[j] *= scale;
+      MulScalarInPlace(p.GradView(), scale);
     }
   }
   return norm;

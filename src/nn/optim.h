@@ -42,7 +42,9 @@ class Sgd : public Optimizer {
  private:
   float learning_rate_;
   float momentum_;
-  std::vector<std::vector<float>> velocity_;
+  // One velocity tensor per parameter, updated with the in-place tensor ops
+  // (MulScalarInPlace / AddInPlace) against the parameter's GradView.
+  std::vector<Tensor> velocity_;
 };
 
 // Adam (Kingma & Ba, 2015) — the optimiser used to train STSM

@@ -31,8 +31,11 @@ bool SaveTensors(const std::vector<Tensor>& tensors, const std::string& path) {
   out.write(kMagic, sizeof(kMagic));
   WritePod(out, kVersion);
   WritePod(out, static_cast<uint32_t>(tensors.size()));
-  for (const Tensor& tensor : tensors) {
-    STSM_CHECK(tensor.defined());
+  for (const Tensor& t : tensors) {
+    STSM_CHECK(t.defined());
+    // The on-disk layout is flat row-major; compact strided views first
+    // (Clone gathers through the view's strides into a contiguous buffer).
+    const Tensor tensor = t.is_contiguous() ? t : t.Clone();
     const auto& dims = tensor.shape().dims();
     WritePod(out, static_cast<uint32_t>(dims.size()));
     for (int64_t d : dims) WritePod(out, d);

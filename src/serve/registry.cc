@@ -9,6 +9,7 @@
 #include "graph/geo.h"
 #include "nn/serialize.h"
 #include "tensor/autograd.h"
+#include "tensor/ops.h"
 #include "timeseries/pseudo_observations.h"
 #include "timeseries/temporal_adjacency.h"
 
@@ -82,9 +83,14 @@ Tensor ServedModel::Predict(const Tensor& inputs,
                             const Tensor& time_features) const {
   STSM_CHECK(healthy()) << "Predict on unhealthy model " << spec_.name;
   NoGradGuard no_grad;  // No autograd graph, no grad-buffer allocations.
-  return model_
-      ->Forward(inputs, time_features, spec_.adj_spatial, spec_.adj_temporal)
-      .predictions;
+  // The model's prediction head ends in zero-copy view ops (transpose /
+  // unsqueeze), so compact here: the serving layer reads predictions.data()
+  // as a flat row-major buffer.
+  return Contiguous(
+      model_
+          ->Forward(inputs, time_features, spec_.adj_spatial,
+                    spec_.adj_temporal)
+          .predictions);
 }
 
 bool ModelRegistry::Load(const ModelSpec& spec) {

@@ -102,11 +102,12 @@ class Node {
   bool released_ = false;
 };
 
-// Gradient router for zero-copy views (Reshape / Squeeze / Unsqueeze /
-// contiguous Slice). The view shares its base's Storage — including the
-// grad buffer — so gradient contributions written at the view's offset are
-// already accumulated in the base. Apply is a no-op; the node exists only
-// to keep the base reachable in the topological walk.
+// Gradient router for zero-copy views (Reshape / Transpose / Slice /
+// Narrow / Select / Squeeze / Unsqueeze). The view shares its base's
+// Storage — including the grad buffer — so gradient contributions written
+// through the view's strides at its offset are already accumulated in the
+// base. Apply is a no-op; the node exists only to keep the base reachable
+// in the topological walk.
 class ViewNode : public Node {
  public:
   explicit ViewNode(std::shared_ptr<TensorImpl> base);

@@ -1,0 +1,131 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace stsm {
+
+namespace {
+
+// Pack buffers are thread_local so concurrent PackedGemm calls from the
+// thread pool never share them; they grow to the high-water mark once per
+// thread and are reused across calls.
+thread_local std::vector<float> tl_a_pack;
+thread_local std::vector<float> tl_b_pack;
+
+// MR x NR register tile: acc[i][j] accumulates over one packed k-block.
+// `a_panel` is k-major (kb x MR), `b_panel` is k-major (kb x NR); both are
+// zero-padded to full tile width, so the tile loop has no edge branches.
+void MicroKernel(int64_t kb, const float* a_panel, const float* b_panel,
+                 float* acc) {
+  static_assert(kGemmMr == 4, "zero-column skip below is written for MR == 4");
+  for (int64_t kk = 0; kk < kb; ++kk) {
+    const float* av = a_panel + kk * kGemmMr;
+    // Adjacency-style operands are mostly zeros; a whole-column skip keeps
+    // the sparse win of the old per-element kernel at dense-case branch cost
+    // of one predictable test per k step.
+    if (av[0] == 0.0f && av[1] == 0.0f && av[2] == 0.0f && av[3] == 0.0f) {
+      continue;
+    }
+    const float* bv = b_panel + kk * kGemmNr;
+    for (int64_t i = 0; i < kGemmMr; ++i) {
+      const float a_val = av[i];
+      float* row = acc + i * kGemmNr;
+      for (int64_t j = 0; j < kGemmNr; ++j) row[j] += a_val * bv[j];
+    }
+  }
+}
+
+}  // namespace
+
+void PackedGemm(int64_t m, int64_t n, int64_t k,            //
+                const float* a, int64_t rs_a, int64_t cs_a,  //
+                const float* b, int64_t rs_b, int64_t cs_b,  //
+                float* c, int64_t rs_c, int64_t cs_c,        //
+                bool accumulate) {
+  if (m <= 0 || n <= 0) return;
+  if (k <= 0) {
+    if (!accumulate) {
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < n; ++j) c[i * rs_c + j * cs_c] = 0.0f;
+      }
+    }
+    return;
+  }
+
+  const int64_t n_panels = (n + kGemmNr - 1) / kGemmNr;
+  tl_a_pack.resize(static_cast<size_t>(kGemmMr * kGemmKc));
+  tl_b_pack.resize(static_cast<size_t>(n_panels * kGemmNr * kGemmKc));
+
+  for (int64_t kc = 0; kc < k; kc += kGemmKc) {
+    const int64_t kb = std::min(kGemmKc, k - kc);
+    // On the first k-block a non-accumulating call overwrites C; every later
+    // block adds on top.
+    const bool overwrite = (kc == 0) && !accumulate;
+
+    // Pack B into NR-wide, k-major panels (zero-padded past column n).
+    float* b_pack = tl_b_pack.data();
+    for (int64_t jp = 0; jp < n_panels; ++jp) {
+      const int64_t j0 = jp * kGemmNr;
+      const int64_t jw = std::min(kGemmNr, n - j0);
+      float* panel = b_pack + jp * kb * kGemmNr;
+      for (int64_t kk = 0; kk < kb; ++kk) {
+        const float* src = b + (kc + kk) * rs_b + j0 * cs_b;
+        float* dst = panel + kk * kGemmNr;
+        for (int64_t j = 0; j < jw; ++j) dst[j] = src[j * cs_b];
+        for (int64_t j = jw; j < kGemmNr; ++j) dst[j] = 0.0f;
+      }
+    }
+
+    for (int64_t i0 = 0; i0 < m; i0 += kGemmMr) {
+      const int64_t iw = std::min(kGemmMr, m - i0);
+      // Pack the A row panel k-major (zero-padded past row m).
+      float* a_pack = tl_a_pack.data();
+      for (int64_t kk = 0; kk < kb; ++kk) {
+        const float* src = a + i0 * rs_a + (kc + kk) * cs_a;
+        float* dst = a_pack + kk * kGemmMr;
+        for (int64_t i = 0; i < iw; ++i) dst[i] = src[i * rs_a];
+        for (int64_t i = iw; i < kGemmMr; ++i) dst[i] = 0.0f;
+      }
+
+      for (int64_t jp = 0; jp < n_panels; ++jp) {
+        const int64_t j0 = jp * kGemmNr;
+        const int64_t jw = std::min(kGemmNr, n - j0);
+        float acc[kGemmMr * kGemmNr] = {};
+        MicroKernel(kb, a_pack, b_pack + jp * kb * kGemmNr, acc);
+        for (int64_t i = 0; i < iw; ++i) {
+          float* dst = c + (i0 + i) * rs_c + j0 * cs_c;
+          const float* src = acc + i * kGemmNr;
+          if (overwrite) {
+            for (int64_t j = 0; j < jw; ++j) dst[j * cs_c] = src[j];
+          } else {
+            for (int64_t j = 0; j < jw; ++j) dst[j * cs_c] += src[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+void NaiveGemm(int64_t m, int64_t n, int64_t k,             //
+               const float* a, int64_t rs_a, int64_t cs_a,   //
+               const float* b, int64_t rs_b, int64_t cs_b,   //
+               float* c, int64_t rs_c, int64_t cs_c,         //
+               bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += a[i * rs_a + kk * cs_a] * b[kk * rs_b + j * cs_b];
+      }
+      float* dst = c + i * rs_c + j * cs_c;
+      if (accumulate) {
+        *dst += acc;
+      } else {
+        *dst = acc;
+      }
+    }
+  }
+}
+
+}  // namespace stsm

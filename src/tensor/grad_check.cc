@@ -26,24 +26,27 @@ GradCheckResult CheckGradients(
     Tensor& input = inputs[t];
     const int64_t n = input.numel();
     for (int64_t i = 0; i < n; ++i) {
-      const float original = input.data()[i];
+      // Perturb logical element i at its physical location, so strided views
+      // (transposes, slices) grad-check exactly like contiguous tensors.
+      const int64_t p = input.impl()->PhysicalIndex(i);
+      const float original = input.data()[p];
 
-      input.data()[i] = original + static_cast<float>(epsilon);
+      input.data()[p] = original + static_cast<float>(epsilon);
       double plus;
       {
         NoGradGuard no_grad;
         plus = fn(inputs).item();
       }
-      input.data()[i] = original - static_cast<float>(epsilon);
+      input.data()[p] = original - static_cast<float>(epsilon);
       double minus;
       {
         NoGradGuard no_grad;
         minus = fn(inputs).item();
       }
-      input.data()[i] = original;
+      input.data()[p] = original;
 
       const double numeric = (plus - minus) / (2.0 * epsilon);
-      const double analytic = input.grad_data()[i];
+      const double analytic = input.grad_data()[p];
       const double abs_err = std::fabs(numeric - analytic);
       const double denom =
           std::max(1.0, std::max(std::fabs(numeric), std::fabs(analytic)));

@@ -9,6 +9,7 @@
 #include "common/prof.h"
 #include "common/thread_pool.h"
 #include "tensor/autograd.h"
+#include "tensor/gemm.h"
 
 namespace stsm {
 namespace {
@@ -18,68 +19,78 @@ using autograd::Node;
 
 constexpr float kLogEpsilon = 1e-12f;
 
+// ---- Strided-layout machinery ----------------------------------------------
+//
+// Kernels address inputs through physical element offsets (relative to
+// data(), which is already offset into the Storage). For contiguous tensors
+// the physical offset IS the logical index and the kernels take flat-loop
+// fast paths; for strided views the offsets come from odometer-built tables
+// shared between an op's forward and its autograd node.
+
+// Fills `out` with the physical offset of every logical index over the
+// dimension range [d_begin, d_end) of (dims, strides), in logical order.
+// One odometer walk — no per-element division.
+void FillOffsets(const std::vector<int64_t>& dims,
+                 const std::vector<int64_t>& strides, int d_begin, int d_end,
+                 std::vector<int64_t>* out) {
+  int64_t count = 1;
+  for (int d = d_begin; d < d_end; ++d) count *= dims[d];
+  out->resize(count);
+  std::vector<int64_t> coord(d_end - d_begin, 0);
+  int64_t off = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    (*out)[i] = off;
+    for (int d = d_end - 1; d >= d_begin; --d) {
+      const int c = d - d_begin;
+      if (++coord[c] < dims[d]) {
+        off += strides[d];
+        break;
+      }
+      coord[c] = 0;
+      off -= strides[d] * (dims[d] - 1);
+    }
+  }
+}
+
+// Logical-to-physical index table of a whole impl. Null means identity (the
+// impl is contiguous); kernels branch to their flat fast path on null.
+using IndexTable = std::shared_ptr<const std::vector<int64_t>>;
+
+IndexTable BuildPhysTable(const TensorImpl& impl) {
+  if (impl.is_contiguous()) return nullptr;
+  auto table = std::make_shared<std::vector<int64_t>>();
+  FillOffsets(impl.shape.dims(), impl.strides, 0, impl.shape.ndim(),
+              table.get());
+  return table;
+}
+
+int64_t PhysAt(const IndexTable& t, int64_t i) { return t ? (*t)[i] : i; }
+
 // Strides of `in` aligned to the dimensions of `out`, with 0 where `in` is
-// broadcast (size 1 or missing dimension).
-std::vector<int64_t> BroadcastStrides(const Shape& in, const Shape& out) {
-  const std::vector<int64_t> in_strides = in.Strides();
+// broadcast (size 1 or missing dimension). Uses the impl's actual strides,
+// so strided views broadcast without materialization.
+std::vector<int64_t> BroadcastStrides(const TensorImpl& in, const Shape& out) {
   std::vector<int64_t> result(out.ndim(), 0);
-  for (int i = 0; i < in.ndim(); ++i) {
+  for (int i = 0; i < in.shape.ndim(); ++i) {
     const int out_d = out.ndim() - 1 - i;
-    const int in_d = in.ndim() - 1 - i;
-    result[out_d] = (in.dims()[in_d] == 1) ? 0 : in_strides[in_d];
+    const int in_d = in.shape.ndim() - 1 - i;
+    result[out_d] = (in.shape.dims()[in_d] == 1) ? 0 : in.strides[in_d];
   }
   return result;
 }
 
-// Maps a linear index in `out` to a linear index in a broadcast input.
-class BroadcastIndexMapper {
- public:
-  BroadcastIndexMapper(const Shape& in, const Shape& out)
-      : out_dims_(out.dims()), in_strides_(BroadcastStrides(in, out)) {}
-
-  int64_t operator()(int64_t out_index) const {
-    int64_t in_index = 0;
-    for (int d = static_cast<int>(out_dims_.size()) - 1; d >= 0; --d) {
-      const int64_t coord = out_index % out_dims_[d];
-      out_index /= out_dims_[d];
-      in_index += coord * in_strides_[d];
-    }
-    return in_index;
-  }
-
- private:
-  std::vector<int64_t> out_dims_;
-  std::vector<int64_t> in_strides_;
-};
-
 // Precomputed element-index maps for a broadcast binary op: for every output
 // element, the source element in each input. Built once with an odometer
-// walk (no per-element division) and shared between forward and backward.
+// walk and shared between forward and backward.
 struct BroadcastIndexTable {
   // Empty when the corresponding input needs no mapping (same shape as out).
   std::vector<int64_t> index_a;
   std::vector<int64_t> index_b;
 };
 
-std::vector<int64_t> BuildIndexTable(const Shape& in, const Shape& out) {
-  const int64_t n = out.numel();
-  std::vector<int64_t> table(n);
-  const std::vector<int64_t> strides = BroadcastStrides(in, out);
-  const std::vector<int64_t>& dims = out.dims();
-  const int nd = out.ndim();
-  std::vector<int64_t> coord(nd, 0);
-  int64_t in_index = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    table[i] = in_index;
-    for (int d = nd - 1; d >= 0; --d) {
-      if (++coord[d] < dims[d]) {
-        in_index += strides[d];
-        break;
-      }
-      coord[d] = 0;
-      in_index -= strides[d] * (dims[d] - 1);
-    }
-  }
+std::vector<int64_t> BuildIndexTable(const TensorImpl& in, const Shape& out) {
+  std::vector<int64_t> table;
+  FillOffsets(out.dims(), BroadcastStrides(in, out), 0, out.ndim(), &table);
   return table;
 }
 
@@ -99,6 +110,8 @@ bool IsSuffixBroadcast(const Shape& in, const Shape& out) {
 }
 
 // Index bookkeeping shared by a broadcast binary op's forward and backward.
+// The a_same / a_suffix fast paths index the input linearly, so they also
+// require the input to be contiguous; strided views go through the table.
 struct BinaryLayout {
   int64_t n = 0, an = 0, bn = 0;
   bool a_same = false, b_same = false;
@@ -183,8 +196,11 @@ class BinaryNode : public Node {
 template <typename Dfx>
 class UnaryNode : public Node {
  public:
-  UnaryNode(const char* bwd_name, ImplPtr x, Dfx dfx)
-      : Node({std::move(x)}), bwd_name_(bwd_name), dfx_(dfx) {}
+  UnaryNode(const char* bwd_name, ImplPtr x, IndexTable table, Dfx dfx)
+      : Node({std::move(x)}),
+        bwd_name_(bwd_name),
+        table_(std::move(table)),
+        dfx_(dfx) {}
 
   const char* name() const override { return bwd_name_; }
 
@@ -199,11 +215,21 @@ class UnaryNode : public Node {
     const float* xv = xi->data();
     const float* yv = output->data();
     float* gx = xi->grad();
-    for (int64_t i = 0; i < n; ++i) gx[i] += gout[i] * dfx_(xv[i], yv[i]);
+    if (table_ == nullptr) {
+      for (int64_t i = 0; i < n; ++i) gx[i] += gout[i] * dfx_(xv[i], yv[i]);
+    } else {
+      for (int64_t i = 0; i < n; ++i) {
+        const int64_t p = (*table_)[i];
+        gx[p] += gout[i] * dfx_(xv[p], yv[i]);
+      }
+    }
   }
+
+  void ReleaseSaved() override { table_.reset(); }
 
  private:
   const char* bwd_name_;
+  IndexTable table_;
   Dfx dfx_;
 };
 
@@ -235,16 +261,20 @@ Tensor BinaryOp(const char* fwd_name, const char* bwd_name, const Tensor& a,
   layout.n = out_shape.numel();
   layout.an = a.numel();
   layout.bn = b.numel();
-  layout.a_same = a.shape() == out_shape;
-  layout.b_same = b.shape() == out_shape;
-  layout.a_suffix = layout.a_same || IsSuffixBroadcast(a.shape(), out_shape);
-  layout.b_suffix = layout.b_same || IsSuffixBroadcast(b.shape(), out_shape);
+  const bool a_contig = a.impl()->is_contiguous();
+  const bool b_contig = b.impl()->is_contiguous();
+  layout.a_same = a_contig && a.shape() == out_shape;
+  layout.b_same = b_contig && b.shape() == out_shape;
+  layout.a_suffix =
+      layout.a_same || (a_contig && IsSuffixBroadcast(a.shape(), out_shape));
+  layout.b_suffix =
+      layout.b_same || (b_contig && IsSuffixBroadcast(b.shape(), out_shape));
   layout.table = std::make_shared<BroadcastIndexTable>();
   if (!layout.a_suffix) {
-    layout.table->index_a = BuildIndexTable(a.shape(), out_shape);
+    layout.table->index_a = BuildIndexTable(*a.impl(), out_shape);
   }
   if (!layout.b_suffix) {
-    layout.table->index_b = BuildIndexTable(b.shape(), out_shape);
+    layout.table->index_b = BuildIndexTable(*b.impl(), out_shape);
   }
 
   const float* ad = a.data();
@@ -277,11 +307,16 @@ Tensor UnaryOp(const char* fwd_name, const char* bwd_name, const Tensor& x,
   const int64_t n = x.numel();
   const float* xd = x.data();
   float* out = result->data();
-  for (int64_t i = 0; i < n; ++i) out[i] = fwd(xd[i]);
+  IndexTable table = BuildPhysTable(*x.impl());
+  if (table == nullptr) {
+    for (int64_t i = 0; i < n; ++i) out[i] = fwd(xd[i]);
+  } else {
+    for (int64_t i = 0; i < n; ++i) out[i] = fwd(xd[(*table)[i]]);
+  }
 
   if (result->requires_grad) {
-    result->grad_fn =
-        std::make_shared<UnaryNode<Dfx>>(bwd_name, x.impl(), dfx);
+    result->grad_fn = std::make_shared<UnaryNode<Dfx>>(
+        bwd_name, x.impl(), std::move(table), dfx);
   }
   return Tensor(std::move(result));
 }
@@ -418,74 +453,68 @@ Tensor Pow(const Tensor& x, float exponent) {
 
 // ---- Shape manipulation ----------------------------------------------------------
 
-Tensor Reshape(const Tensor& x, const Shape& shape) {
-  STSM_CHECK(x.defined());
-  STSM_CHECK_EQ(x.numel(), shape.numel())
-      << "reshape" << x.shape().ToString() << "->" << shape.ToString();
-  // Same elements, new metadata: a zero-copy view of the same storage.
-  return Tensor(internal::MakeView(x.impl(), shape, x.impl()->offset));
-}
-
 namespace {
 
-class TransposeNode : public Node {
+// Gradient for Contiguous(): scatter-adds the compacted gradient back to the
+// strided positions of the input (through the shared fwd/bwd index table).
+class ContiguousNode : public Node {
  public:
-  TransposeNode(ImplPtr x, std::vector<int64_t> out_dims,
-                std::vector<int64_t> mapped_strides)
-      : Node({std::move(x)}),
-        out_dims_(std::move(out_dims)),
-        mapped_strides_(std::move(mapped_strides)) {}
+  ContiguousNode(ImplPtr x, IndexTable table)
+      : Node({std::move(x)}), table_(std::move(table)) {}
 
-  const char* name() const override { return "transpose"; }
-
-  // Walks the output in order, computing the matching input offset from the
-  // permuted strides. Shared by forward and backward.
-  template <typename Fn>
-  static void ForEach(const std::vector<int64_t>& od,
-                      const std::vector<int64_t>& mapped_strides, Fn fn) {
-    const int nd = static_cast<int>(od.size());
-    int64_t total = 1;
-    for (int64_t d : od) total *= d;
-    std::vector<int64_t> coord(nd, 0);
-    int64_t in_idx = 0;
-    for (int64_t out_idx = 0; out_idx < total; ++out_idx) {
-      fn(out_idx, in_idx);
-      for (int d = nd - 1; d >= 0; --d) {
-        if (++coord[d] < od[d]) {
-          in_idx += mapped_strides[d];
-          break;
-        }
-        coord[d] = 0;
-        in_idx -= mapped_strides[d] * (od[d] - 1);
-      }
-    }
-  }
+  const char* name() const override { return "contiguous"; }
 
  protected:
   void Apply(TensorImpl* output) override {
     TensorImpl* xi = inputs_[0].get();
     if (!xi->requires_grad) return;
-    STSM_PROF_SCOPE("transpose.bwd");
+    STSM_PROF_SCOPE("contiguous.bwd");
     xi->EnsureGrad();
+    const int64_t n = output->shape.numel();
     const float* gout = output->grad();
     float* gx = xi->grad();
-    ForEach(out_dims_, mapped_strides_,
-            [&](int64_t oi, int64_t ii) { gx[ii] += gout[oi]; });
+    for (int64_t i = 0; i < n; ++i) gx[(*table_)[i]] += gout[i];
   }
 
-  void ReleaseSaved() override {
-    out_dims_.clear();
-    out_dims_.shrink_to_fit();
-    mapped_strides_.clear();
-    mapped_strides_.shrink_to_fit();
-  }
+  void ReleaseSaved() override { table_.reset(); }
 
  private:
-  std::vector<int64_t> out_dims_;
-  std::vector<int64_t> mapped_strides_;
+  IndexTable table_;
 };
 
 }  // namespace
+
+Tensor Contiguous(const Tensor& x) {
+  STSM_CHECK(x.defined());
+  // Already compact: same handle, no allocation, no graph node.
+  if (x.impl()->is_contiguous()) return x;
+  STSM_PROF_SCOPE("contiguous.fwd");
+  IndexTable table = BuildPhysTable(*x.impl());
+  ImplPtr result = internal::MakeResult(x.shape(), {x.impl()}, /*zero=*/false);
+  const int64_t n = x.numel();
+  const float* xd = x.data();
+  float* out = result->data();
+  for (int64_t i = 0; i < n; ++i) out[i] = xd[(*table)[i]];
+
+  if (result->requires_grad) {
+    result->grad_fn =
+        std::make_shared<ContiguousNode>(x.impl(), std::move(table));
+  }
+  return Tensor(std::move(result));
+}
+
+Tensor Reshape(const Tensor& x, const Shape& shape) {
+  STSM_CHECK(x.defined());
+  STSM_CHECK_EQ(x.numel(), shape.numel())
+      << "reshape" << x.shape().ToString() << "->" << shape.ToString();
+  // Same elements, new metadata: a zero-copy view whenever the source is
+  // row-major; a strided view must compact first (differentiably). The
+  // counter tracks how often callers pay that copy (see table5 profile).
+  if (!x.impl()->is_contiguous()) STSM_PROF_COUNT("contiguous.via_reshape", 1);
+  const Tensor src = x.impl()->is_contiguous() ? x : Contiguous(x);
+  return Tensor(internal::MakeView(src.impl(), shape, shape.Strides(),
+                                   src.impl()->offset));
+}
 
 Tensor Transpose(const Tensor& x, int dim0, int dim1) {
   STSM_PROF_SCOPE("transpose.fwd");
@@ -494,65 +523,16 @@ Tensor Transpose(const Tensor& x, int dim0, int dim1) {
   if (dim0 < 0) dim0 += ndim;
   if (dim1 < 0) dim1 += ndim;
   STSM_CHECK(dim0 >= 0 && dim0 < ndim && dim1 >= 0 && dim1 < ndim);
+  // Pure metadata: swap the two dimensions' sizes and strides. No element
+  // moves; gradients land through the shared grad buffer.
   std::vector<int64_t> out_dims = x.shape().dims();
+  std::vector<int64_t> out_strides = x.impl()->strides;
   std::swap(out_dims[dim0], out_dims[dim1]);
-  const Shape out_shape(out_dims);
-  ImplPtr result =
-      internal::MakeResult(out_shape, {x.impl()}, /*zero=*/false);
-
-  const std::vector<int64_t> in_strides = x.shape().Strides();
-  std::vector<int64_t> mapped_strides = in_strides;
-  std::swap(mapped_strides[dim0], mapped_strides[dim1]);
-  const std::vector<int64_t>& od = out_shape.dims();
-
-  const float* xd = x.data();
-  float* out = result->data();
-  TransposeNode::ForEach(od, mapped_strides,
-                         [&](int64_t oi, int64_t ii) { out[oi] = xd[ii]; });
-
-  if (result->requires_grad) {
-    result->grad_fn = std::make_shared<TransposeNode>(
-        x.impl(), od, std::move(mapped_strides));
-  }
-  return Tensor(std::move(result));
+  std::swap(out_strides[dim0], out_strides[dim1]);
+  return Tensor(internal::MakeView(x.impl(), Shape(out_dims),
+                                   std::move(out_strides),
+                                   x.impl()->offset));
 }
-
-namespace {
-
-// Gradient for the copying (non-contiguous) Slice path: scatter-adds the
-// output gradient back into the sliced window of the input.
-class SliceCopyNode : public Node {
- public:
-  SliceCopyNode(ImplPtr x, int64_t outer, int64_t inner, int64_t in_dim,
-                int64_t out_dim, int64_t start)
-      : Node({std::move(x)}),
-        outer_(outer),
-        inner_(inner),
-        in_dim_(in_dim),
-        out_dim_(out_dim),
-        start_(start) {}
-
-  const char* name() const override { return "slice"; }
-
- protected:
-  void Apply(TensorImpl* output) override {
-    TensorImpl* xi = inputs_[0].get();
-    if (!xi->requires_grad) return;
-    xi->EnsureGrad();
-    const float* gout = output->grad();
-    float* gx = xi->grad();
-    for (int64_t o = 0; o < outer_; ++o) {
-      const float* src = gout + o * out_dim_ * inner_;
-      float* dst = gx + (o * in_dim_ + start_) * inner_;
-      for (int64_t i = 0; i < out_dim_ * inner_; ++i) dst[i] += src[i];
-    }
-  }
-
- private:
-  int64_t outer_, inner_, in_dim_, out_dim_, start_;
-};
-
-}  // namespace
 
 Tensor Slice(const Tensor& x, int dim, int64_t start, int64_t end) {
   STSM_PROF_SCOPE("slice.fwd");
@@ -563,39 +543,33 @@ Tensor Slice(const Tensor& x, int dim, int64_t start, int64_t end) {
   STSM_CHECK(start >= 0 && start <= end && end <= x.shape()[dim])
       << "slice [" << start << "," << end << ") of" << x.shape().ToString();
 
+  // A slice along ANY dimension is a zero-copy view: bump the offset to the
+  // window start and shrink the dimension, keeping the strides.
   std::vector<int64_t> out_dims = x.shape().dims();
   out_dims[dim] = end - start;
-  const Shape out_shape(out_dims);
+  return Tensor(internal::MakeView(
+      x.impl(), Shape(out_dims), x.impl()->strides,
+      x.impl()->offset + start * x.impl()->strides[dim]));
+}
 
-  // The tensor is a [outer, dim, inner] block structure.
-  int64_t outer = 1, inner = 1;
-  for (int d = 0; d < dim; ++d) outer *= x.shape()[d];
-  for (int d = dim + 1; d < ndim; ++d) inner *= x.shape()[d];
-  const int64_t in_dim = x.shape()[dim];
-  const int64_t out_dim = end - start;
+Tensor Narrow(const Tensor& x, int dim, int64_t start, int64_t length) {
+  return Slice(x, dim, start, start + length);
+}
 
-  if (outer == 1) {
-    // Slicing the leading (or only non-trivial) dimension keeps the data
-    // contiguous: alias the storage at the window's offset instead of
-    // copying. Gradients land in the shared grad buffer at the same offset.
-    return Tensor(internal::MakeView(x.impl(), out_shape,
-                                     x.impl()->offset + start * inner));
-  }
-
-  ImplPtr result = internal::MakeResult(out_shape, {x.impl()}, /*zero=*/false);
-  const float* xd = x.data();
-  float* out = result->data();
-  for (int64_t o = 0; o < outer; ++o) {
-    const float* src = xd + (o * in_dim + start) * inner;
-    float* dst = out + o * out_dim * inner;
-    std::memcpy(dst, src, sizeof(float) * out_dim * inner);
-  }
-
-  if (result->requires_grad) {
-    result->grad_fn = std::make_shared<SliceCopyNode>(
-        x.impl(), outer, inner, in_dim, out_dim, start);
-  }
-  return Tensor(std::move(result));
+Tensor Select(const Tensor& x, int dim, int64_t index) {
+  STSM_CHECK(x.defined());
+  const int ndim = x.ndim();
+  if (dim < 0) dim += ndim;
+  STSM_CHECK(dim >= 0 && dim < ndim);
+  STSM_CHECK(index >= 0 && index < x.shape()[dim])
+      << "select index" << index << "of" << x.shape().ToString();
+  std::vector<int64_t> out_dims = x.shape().dims();
+  std::vector<int64_t> out_strides = x.impl()->strides;
+  const int64_t offset = x.impl()->offset + index * out_strides[dim];
+  out_dims.erase(out_dims.begin() + dim);
+  out_strides.erase(out_strides.begin() + dim);
+  return Tensor(internal::MakeView(x.impl(), Shape(out_dims),
+                                   std::move(out_strides), offset));
 }
 
 namespace {
@@ -664,9 +638,18 @@ Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
   out_dims[dim] = concat_size;
   const Shape out_shape(out_dims);
 
+  // The block-copy kernel below needs linear layouts; compact any strided
+  // views first (differentiable, and a no-op for contiguous inputs).
+  std::vector<Tensor> parts;
+  parts.reserve(tensors.size());
+  for (const Tensor& t : tensors) {
+    if (!t.impl()->is_contiguous()) STSM_PROF_COUNT("contiguous.via_concat", 1);
+    parts.push_back(Contiguous(t));
+  }
+
   std::vector<ImplPtr> inputs;
-  inputs.reserve(tensors.size());
-  for (const Tensor& t : tensors) inputs.push_back(t.impl());
+  inputs.reserve(parts.size());
+  for (const Tensor& t : parts) inputs.push_back(t.impl());
   ImplPtr result = internal::MakeResult(out_shape, inputs, /*zero=*/false);
 
   int64_t outer = 1, inner = 1;
@@ -675,13 +658,13 @@ Tensor Concat(const std::vector<Tensor>& tensors, int dim) {
 
   float* out = result->data();
   int64_t offset = 0;  // Offset along the concat dimension.
-  std::vector<int64_t> offsets(tensors.size());
-  std::vector<int64_t> dim_sizes(tensors.size());
-  for (size_t t = 0; t < tensors.size(); ++t) {
+  std::vector<int64_t> offsets(parts.size());
+  std::vector<int64_t> dim_sizes(parts.size());
+  for (size_t t = 0; t < parts.size(); ++t) {
     offsets[t] = offset;
-    const int64_t this_dim = tensors[t].shape()[dim];
+    const int64_t this_dim = parts[t].shape()[dim];
     dim_sizes[t] = this_dim;
-    const float* src = tensors[t].data();
+    const float* src = parts[t].data();
     for (int64_t o = 0; o < outer; ++o) {
       std::memcpy(out + (o * concat_size + offset) * inner,
                   src + o * this_dim * inner,
@@ -741,9 +724,14 @@ class IndexSelectNode : public Node {
 
 }  // namespace
 
-Tensor IndexSelect(const Tensor& x, int dim, const std::vector<int>& indices) {
+Tensor IndexSelect(const Tensor& xin, int dim, const std::vector<int>& indices) {
   STSM_PROF_SCOPE("index_select.fwd");
-  STSM_CHECK(x.defined());
+  STSM_CHECK(xin.defined());
+  // The memcpy gather below assumes a linear layout.
+  if (!xin.impl()->is_contiguous()) {
+    STSM_PROF_COUNT("contiguous.via_index_select", 1);
+  }
+  const Tensor x = Contiguous(xin);
   const int ndim = x.ndim();
   if (dim < 0) dim += ndim;
   STSM_CHECK(dim >= 0 && dim < ndim);
@@ -784,9 +772,16 @@ Tensor Unsqueeze(const Tensor& x, int dim) {
   const int ndim = x.ndim();
   if (dim < 0) dim += ndim + 1;
   STSM_CHECK(dim >= 0 && dim <= ndim);
+  // Direct stride manipulation (not Reshape): works on strided views without
+  // compaction. The size-1 dimension is never stepped, so its stride only
+  // has to keep a contiguous layout canonical.
   std::vector<int64_t> dims = x.shape().dims();
+  std::vector<int64_t> strides = x.impl()->strides;
+  const int64_t new_stride = (dim < ndim) ? dims[dim] * strides[dim] : 1;
   dims.insert(dims.begin() + dim, 1);
-  return Reshape(x, Shape(dims));
+  strides.insert(strides.begin() + dim, new_stride);
+  return Tensor(internal::MakeView(x.impl(), Shape(dims), std::move(strides),
+                                   x.impl()->offset));
 }
 
 Tensor Squeeze(const Tensor& x, int dim) {
@@ -795,8 +790,11 @@ Tensor Squeeze(const Tensor& x, int dim) {
   STSM_CHECK(dim >= 0 && dim < ndim);
   STSM_CHECK_EQ(x.shape()[dim], 1);
   std::vector<int64_t> dims = x.shape().dims();
+  std::vector<int64_t> strides = x.impl()->strides;
   dims.erase(dims.begin() + dim);
-  return Reshape(x, Shape(dims));
+  strides.erase(strides.begin() + dim);
+  return Tensor(internal::MakeView(x.impl(), Shape(dims), std::move(strides),
+                                   x.impl()->offset));
 }
 
 Tensor BroadcastTo(const Tensor& x, const Shape& shape) {
@@ -812,7 +810,8 @@ namespace {
 
 class SumNode : public Node {
  public:
-  explicit SumNode(ImplPtr x) : Node({std::move(x)}) {}
+  SumNode(ImplPtr x, IndexTable table)
+      : Node({std::move(x)}), table_(std::move(table)) {}
   const char* name() const override { return "sum"; }
 
  protected:
@@ -824,8 +823,17 @@ class SumNode : public Node {
     const int64_t n = xi->shape.numel();
     const float g = output->grad()[0];
     float* gx = xi->grad();
-    for (int64_t i = 0; i < n; ++i) gx[i] += g;
+    if (table_ == nullptr) {
+      for (int64_t i = 0; i < n; ++i) gx[i] += g;
+    } else {
+      for (int64_t i = 0; i < n; ++i) gx[(*table_)[i]] += g;
+    }
   }
+
+  void ReleaseSaved() override { table_.reset(); }
+
+ private:
+  IndexTable table_;
 };
 
 }  // namespace
@@ -836,12 +844,17 @@ Tensor Sum(const Tensor& x) {
   ImplPtr result = internal::MakeResult(Shape({}), {x.impl()}, /*zero=*/false);
   const float* xd = x.data();
   const int64_t n = x.numel();
+  IndexTable table = BuildPhysTable(*x.impl());
   double acc = 0.0;
-  for (int64_t i = 0; i < n; ++i) acc += xd[i];
+  if (table == nullptr) {
+    for (int64_t i = 0; i < n; ++i) acc += xd[i];
+  } else {
+    for (int64_t i = 0; i < n; ++i) acc += xd[(*table)[i]];
+  }
   result->data()[0] = static_cast<float>(acc);
 
   if (result->requires_grad) {
-    result->grad_fn = std::make_shared<SumNode>(x.impl());
+    result->grad_fn = std::make_shared<SumNode>(x.impl(), std::move(table));
   }
   return Tensor(std::move(result));
 }
@@ -880,9 +893,34 @@ Shape ReducedShape(const Shape& shape, int dim, bool keepdim) {
   return Shape(dims);
 }
 
+// Physical addressing for a [outer, reduce, inner] split of a (possibly
+// strided) impl: element (o, r, i) lives at
+//   outer_off[o] + r * reduce_stride + inner_off[i]
+// relative to data(). For a contiguous impl this reproduces the flat
+// (o * reduce + r) * inner + i arithmetic exactly (same values, same
+// iteration order), so one code path serves both layouts. Shared between an
+// op's forward and its node.
+struct DimMap {
+  std::vector<int64_t> outer_off;
+  std::vector<int64_t> inner_off;
+  int64_t reduce_stride = 0;
+};
+
+std::shared_ptr<const DimMap> BuildDimMap(const TensorImpl& impl,
+                                          const DimSplit& s) {
+  auto map = std::make_shared<DimMap>();
+  const std::vector<int64_t>& dims = impl.shape.dims();
+  FillOffsets(dims, impl.strides, 0, s.dim, &map->outer_off);
+  FillOffsets(dims, impl.strides, s.dim + 1, impl.shape.ndim(),
+              &map->inner_off);
+  map->reduce_stride = impl.strides[s.dim];
+  return map;
+}
+
 class SumDimNode : public Node {
  public:
-  SumDimNode(ImplPtr x, DimSplit split) : Node({std::move(x)}), s_(split) {}
+  SumDimNode(ImplPtr x, DimSplit split, std::shared_ptr<const DimMap> map)
+      : Node({std::move(x)}), s_(split), map_(std::move(map)) {}
   const char* name() const override { return "sum_dim"; }
 
  protected:
@@ -891,19 +929,24 @@ class SumDimNode : public Node {
     if (!xi->requires_grad) return;
     STSM_PROF_SCOPE("sum_dim.bwd");
     xi->EnsureGrad();
+    const DimMap& m = *map_;
     const float* gout = output->grad();
     float* gx = xi->grad();
     for (int64_t o = 0; o < s_.outer; ++o) {
       for (int64_t r = 0; r < s_.reduce; ++r) {
         for (int64_t i = 0; i < s_.inner; ++i) {
-          gx[(o * s_.reduce + r) * s_.inner + i] += gout[o * s_.inner + i];
+          gx[m.outer_off[o] + r * m.reduce_stride + m.inner_off[i]] +=
+              gout[o * s_.inner + i];
         }
       }
     }
   }
 
+  void ReleaseSaved() override { map_.reset(); }
+
  private:
   DimSplit s_;
+  std::shared_ptr<const DimMap> map_;
 };
 
 }  // namespace
@@ -915,20 +958,23 @@ Tensor Sum(const Tensor& x, int dim, bool keepdim) {
   const Shape out_shape = ReducedShape(x.shape(), dim, keepdim);
   ImplPtr result = internal::MakeResult(out_shape, {x.impl()}, /*zero=*/false);
 
+  auto map = BuildDimMap(*x.impl(), s);
+  const DimMap& m = *map;
   const float* xd = x.data();
   float* out = result->data();
   for (int64_t o = 0; o < s.outer; ++o) {
     for (int64_t i = 0; i < s.inner; ++i) {
+      const int64_t base = m.outer_off[o] + m.inner_off[i];
       double acc = 0.0;
       for (int64_t r = 0; r < s.reduce; ++r) {
-        acc += xd[(o * s.reduce + r) * s.inner + i];
+        acc += xd[base + r * m.reduce_stride];
       }
       out[o * s.inner + i] = static_cast<float>(acc);
     }
   }
 
   if (result->requires_grad) {
-    result->grad_fn = std::make_shared<SumDimNode>(x.impl(), s);
+    result->grad_fn = std::make_shared<SumDimNode>(x.impl(), s, std::move(map));
   }
   return Tensor(std::move(result));
 }
@@ -946,9 +992,11 @@ namespace {
 
 class ExtremumNode : public Node {
  public:
-  ExtremumNode(ImplPtr x, DimSplit split, std::vector<int64_t> arg_indices)
+  ExtremumNode(ImplPtr x, DimSplit split, std::shared_ptr<const DimMap> map,
+               std::vector<int64_t> arg_indices)
       : Node({std::move(x)}),
         s_(split),
+        map_(std::move(map)),
         arg_indices_(std::move(arg_indices)) {}
 
   const char* name() const override { return "extremum_dim"; }
@@ -958,23 +1006,27 @@ class ExtremumNode : public Node {
     TensorImpl* xi = inputs_[0].get();
     if (!xi->requires_grad) return;
     xi->EnsureGrad();
+    const DimMap& m = *map_;
     const float* gout = output->grad();
     float* gx = xi->grad();
     for (int64_t o = 0; o < s_.outer; ++o) {
       for (int64_t i = 0; i < s_.inner; ++i) {
         const int64_t r = arg_indices_[o * s_.inner + i];
-        gx[(o * s_.reduce + r) * s_.inner + i] += gout[o * s_.inner + i];
+        gx[m.outer_off[o] + r * m.reduce_stride + m.inner_off[i]] +=
+            gout[o * s_.inner + i];
       }
     }
   }
 
   void ReleaseSaved() override {
+    map_.reset();
     arg_indices_.clear();
     arg_indices_.shrink_to_fit();
   }
 
  private:
   DimSplit s_;
+  std::shared_ptr<const DimMap> map_;
   std::vector<int64_t> arg_indices_;
 };
 
@@ -987,15 +1039,18 @@ Tensor ExtremumAlongDim(const Tensor& x, int dim, bool keepdim, bool is_max) {
   const Shape out_shape = ReducedShape(x.shape(), dim, keepdim);
   ImplPtr result = internal::MakeResult(out_shape, {x.impl()}, /*zero=*/false);
 
+  auto map = BuildDimMap(*x.impl(), s);
+  const DimMap& m = *map;
   const float* xd = x.data();
   float* out = result->data();
   std::vector<int64_t> arg_indices(static_cast<size_t>(s.outer * s.inner));
   for (int64_t o = 0; o < s.outer; ++o) {
     for (int64_t i = 0; i < s.inner; ++i) {
+      const int64_t base = m.outer_off[o] + m.inner_off[i];
       int64_t best_r = 0;
-      float best = xd[o * s.reduce * s.inner + i];
+      float best = xd[base];
       for (int64_t r = 1; r < s.reduce; ++r) {
-        const float v = xd[(o * s.reduce + r) * s.inner + i];
+        const float v = xd[base + r * m.reduce_stride];
         if (is_max ? (v > best) : (v < best)) {
           best = v;
           best_r = r;
@@ -1008,7 +1063,7 @@ Tensor ExtremumAlongDim(const Tensor& x, int dim, bool keepdim, bool is_max) {
 
   if (result->requires_grad) {
     result->grad_fn = std::make_shared<ExtremumNode>(
-        x.impl(), s, std::move(arg_indices));
+        x.impl(), s, std::move(map), std::move(arg_indices));
   }
   return Tensor(std::move(result));
 }
@@ -1027,12 +1082,22 @@ Tensor Min(const Tensor& x, int dim, bool keepdim) {
 
 namespace {
 
-// Batch bookkeeping for broadcasting matmul.
+// Batch and stride bookkeeping for broadcasting matmul. Matrix strides come
+// from the impls' actual layouts, so transposed or sliced operand views feed
+// the packed GEMM directly — MatMul(Transpose(X, -1, -2), W) never
+// materializes the transpose; the packing loops absorb it.
 struct MatMulPlan {
   int64_t m, k, n;
+  int64_t rs_a, cs_a;      // Row/column element strides of a's matrices.
+  int64_t rs_b, cs_b;
   Shape batch_shape;       // Broadcast batch dims of the output.
   int64_t batch_count;
-  // For each output batch index: offset (in matrices) into a and b.
+  // True when the operand's batches are broadcast-shared across output
+  // batches (its gradient then races across batches unless the backward
+  // serializes the batch loop).
+  bool a_shared = false, b_shared = false;
+  // For each output batch index: element offset (relative to data()) of the
+  // operand's matrix.
   std::vector<int64_t> a_batch_offset;
   std::vector<int64_t> b_batch_offset;
 };
@@ -1043,29 +1108,46 @@ Shape BatchShapeOf(const Shape& s) {
   return Shape(dims);
 }
 
-MatMulPlan PlanMatMul(const Shape& a, const Shape& b) {
-  STSM_CHECK_GE(a.ndim(), 2) << "MatMul lhs must be >= 2-D";
-  STSM_CHECK_GE(b.ndim(), 2) << "MatMul rhs must be >= 2-D";
-  MatMulPlan plan;
-  plan.m = a[-2];
-  plan.k = a[-1];
-  STSM_CHECK_EQ(b[-2], plan.k)
-      << "MatMul inner-dim mismatch:" << a.ToString() << "@" << b.ToString();
-  plan.n = b[-1];
+// Element offset of operand t's matrix for every output batch index, built
+// from t's actual batch-dimension strides (0 where t broadcasts).
+std::vector<int64_t> BatchOffsets(const TensorImpl& t,
+                                  const Shape& batch_shape) {
+  const int nb = batch_shape.ndim();
+  std::vector<int64_t> strides(nb, 0);
+  const int nbt = t.shape.ndim() - 2;
+  for (int i = 0; i < nbt; ++i) {
+    const int out_d = nb - 1 - i;
+    const int in_d = nbt - 1 - i;
+    strides[out_d] = (t.shape.dims()[in_d] == 1) ? 0 : t.strides[in_d];
+  }
+  std::vector<int64_t> offsets;
+  FillOffsets(batch_shape.dims(), strides, 0, nb, &offsets);
+  return offsets;
+}
 
-  const Shape batch_a = BatchShapeOf(a);
-  const Shape batch_b = BatchShapeOf(b);
+MatMulPlan PlanMatMul(const TensorImpl& a, const TensorImpl& b) {
+  STSM_CHECK_GE(a.shape.ndim(), 2) << "MatMul lhs must be >= 2-D";
+  STSM_CHECK_GE(b.shape.ndim(), 2) << "MatMul rhs must be >= 2-D";
+  MatMulPlan plan;
+  plan.m = a.shape[-2];
+  plan.k = a.shape[-1];
+  STSM_CHECK_EQ(b.shape[-2], plan.k)
+      << "MatMul inner-dim mismatch:" << a.shape.ToString() << "@"
+      << b.shape.ToString();
+  plan.n = b.shape[-1];
+  plan.rs_a = a.strides[a.shape.ndim() - 2];
+  plan.cs_a = a.strides[a.shape.ndim() - 1];
+  plan.rs_b = b.strides[b.shape.ndim() - 2];
+  plan.cs_b = b.strides[b.shape.ndim() - 1];
+
+  const Shape batch_a = BatchShapeOf(a.shape);
+  const Shape batch_b = BatchShapeOf(b.shape);
   plan.batch_shape = Shape::Broadcast(batch_a, batch_b);
   plan.batch_count = plan.batch_shape.numel();
-
-  const BroadcastIndexMapper map_a(batch_a, plan.batch_shape);
-  const BroadcastIndexMapper map_b(batch_b, plan.batch_shape);
-  plan.a_batch_offset.resize(plan.batch_count);
-  plan.b_batch_offset.resize(plan.batch_count);
-  for (int64_t i = 0; i < plan.batch_count; ++i) {
-    plan.a_batch_offset[i] = map_a(i) * plan.m * plan.k;
-    plan.b_batch_offset[i] = map_b(i) * plan.k * plan.n;
-  }
+  plan.a_batch_offset = BatchOffsets(a, plan.batch_shape);
+  plan.b_batch_offset = BatchOffsets(b, plan.batch_shape);
+  plan.a_shared = batch_a.numel() != plan.batch_count;
+  plan.b_shared = batch_b.numel() != plan.batch_count;
   return plan;
 }
 
@@ -1091,44 +1173,67 @@ class MatMulNode : public Node {
       STSM_PROF_SCOPE("matmul.bwd_a");
       ai->EnsureGrad();
       float* ga = ai->grad();
-      // dA = dC @ B^T. Parallel over row i: a given thread owns row i of
-      // every (possibly shared) A batch, so accumulation never races.
-      ParallelFor(0, m, [&](int64_t begin, int64_t end) {
-        for (int64_t i = begin; i < end; ++i) {
-          for (int64_t batch = 0; batch < batches; ++batch) {
-            const float* g_row = gout + (batch * m + i) * n;
-            const float* b_mat = bv + plan.b_batch_offset[batch];
-            float* ga_row = ga + plan.a_batch_offset[batch] + i * k;
-            for (int64_t kk = 0; kk < k; ++kk) {
-              const float* b_row = b_mat + kk * n;
-              float acc = 0.0f;
-              for (int64_t j = 0; j < n; ++j) acc += g_row[j] * b_row[j];
-              ga_row[kk] += acc;
+      // dA = dC @ B^T, accumulated at A's strides (the grad buffer mirrors
+      // the data layout, so a transposed-view operand scatters correctly).
+      const int64_t blocks = (m + kGemmRowBlock - 1) / kGemmRowBlock;
+      auto block = [&](int64_t batch, int64_t blk) {
+        const int64_t i0 = blk * kGemmRowBlock;
+        const int64_t rows = std::min(kGemmRowBlock, m - i0);
+        PackedGemm(rows, k, n,                                     //
+                   gout + (batch * m + i0) * n, n, 1,              //
+                   bv + plan.b_batch_offset[batch], plan.cs_b,
+                   plan.rs_b,                                      // B^T
+                   ga + plan.a_batch_offset[batch] + i0 * plan.rs_a,
+                   plan.rs_a, plan.cs_a,
+                   /*accumulate=*/true);
+      };
+      if (plan.a_shared) {
+        // A's batches are broadcast-shared: a thread owns a row block of
+        // EVERY batch (serial inner loop) so accumulation never races.
+        ParallelFor(0, blocks, [&](int64_t begin, int64_t end) {
+          for (int64_t blk = begin; blk < end; ++blk) {
+            for (int64_t batch = 0; batch < batches; ++batch) {
+              block(batch, blk);
             }
           }
-        }
-      });
+        });
+      } else {
+        ParallelFor(0, batches * blocks, [&](int64_t begin, int64_t end) {
+          for (int64_t t = begin; t < end; ++t) block(t / blocks, t % blocks);
+        });
+      }
     }
     if (bi->requires_grad) {
       STSM_PROF_SCOPE("matmul.bwd_b");
       bi->EnsureGrad();
       float* gb = bi->grad();
-      // dB = A^T @ dC. Parallel over kk: a thread owns row kk of every B
-      // batch gradient.
-      ParallelFor(0, k, [&](int64_t begin, int64_t end) {
-        for (int64_t kk = begin; kk < end; ++kk) {
-          for (int64_t batch = 0; batch < batches; ++batch) {
-            const float* a_mat = av + plan.a_batch_offset[batch];
-            float* gb_row = gb + plan.b_batch_offset[batch] + kk * n;
-            for (int64_t i = 0; i < m; ++i) {
-              const float a_val = a_mat[i * k + kk];
-              if (a_val == 0.0f) continue;
-              const float* g_row = gout + (batch * m + i) * n;
-              for (int64_t j = 0; j < n; ++j) gb_row[j] += a_val * g_row[j];
+      // dB = A^T @ dC, accumulated at B's strides. Row blocks run over k
+      // (the rows of dB).
+      const int64_t blocks = (k + kGemmRowBlock - 1) / kGemmRowBlock;
+      auto block = [&](int64_t batch, int64_t blk) {
+        const int64_t k0 = blk * kGemmRowBlock;
+        const int64_t rows = std::min(kGemmRowBlock, k - k0);
+        PackedGemm(rows, n, m,                                     //
+                   av + plan.a_batch_offset[batch] + k0 * plan.cs_a,
+                   plan.cs_a, plan.rs_a,                           // A^T
+                   gout + batch * m * n, n, 1,                     //
+                   gb + plan.b_batch_offset[batch] + k0 * plan.rs_b,
+                   plan.rs_b, plan.cs_b,
+                   /*accumulate=*/true);
+      };
+      if (plan.b_shared) {
+        ParallelFor(0, blocks, [&](int64_t begin, int64_t end) {
+          for (int64_t blk = begin; blk < end; ++blk) {
+            for (int64_t batch = 0; batch < batches; ++batch) {
+              block(batch, blk);
             }
           }
-        }
-      });
+        });
+      } else {
+        ParallelFor(0, batches * blocks, [&](int64_t begin, int64_t end) {
+          for (int64_t t = begin; t < end; ++t) block(t / blocks, t % blocks);
+        });
+      }
     }
   }
 
@@ -1143,34 +1248,35 @@ class MatMulNode : public Node {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   STSM_PROF_SCOPE("matmul.fwd");
   STSM_CHECK(a.defined() && b.defined());
-  auto plan = std::make_shared<MatMulPlan>(PlanMatMul(a.shape(), b.shape()));
+  auto plan = std::make_shared<MatMulPlan>(PlanMatMul(*a.impl(), *b.impl()));
 
   std::vector<int64_t> out_dims = plan->batch_shape.dims();
   out_dims.push_back(plan->m);
   out_dims.push_back(plan->n);
   const Shape out_shape(out_dims);
-  // The kernel accumulates into the output, so it must start zeroed.
-  ImplPtr result = internal::MakeResult(out_shape, {a.impl(), b.impl()});
+  // PackedGemm overwrites its C block, so the output needs no zero-fill.
+  ImplPtr result =
+      internal::MakeResult(out_shape, {a.impl(), b.impl()}, /*zero=*/false);
 
   const float* ad = a.data();
   const float* bd = b.data();
   float* out = result->data();
   const int64_t m = plan->m, k = plan->k, n = plan->n;
 
-  // Forward: parallel over (batch, row) pairs; each owns one output row.
-  ParallelFor(0, plan->batch_count * m, [&](int64_t begin, int64_t end) {
-    for (int64_t row = begin; row < end; ++row) {
-      const int64_t batch = row / m;
-      const int64_t i = row % m;
-      const float* a_mat = ad + plan->a_batch_offset[batch] + i * k;
-      const float* b_mat = bd + plan->b_batch_offset[batch];
-      float* c_row = out + (batch * m + i) * n;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        const float av = a_mat[kk];
-        if (av == 0.0f) continue;
-        const float* b_row = b_mat + kk * n;
-        for (int64_t j = 0; j < n; ++j) c_row[j] += av * b_row[j];
-      }
+  // Forward: parallel over (batch, row-block) pairs; each task owns a
+  // disjoint block of C rows and runs one packed GEMM over it.
+  const int64_t blocks = (m + kGemmRowBlock - 1) / kGemmRowBlock;
+  ParallelFor(0, plan->batch_count * blocks, [&](int64_t begin, int64_t end) {
+    for (int64_t t = begin; t < end; ++t) {
+      const int64_t batch = t / blocks;
+      const int64_t i0 = (t % blocks) * kGemmRowBlock;
+      const int64_t rows = std::min(kGemmRowBlock, m - i0);
+      PackedGemm(rows, n, k,                                         //
+                 ad + plan->a_batch_offset[batch] + i0 * plan->rs_a,
+                 plan->rs_a, plan->cs_a,                             //
+                 bd + plan->b_batch_offset[batch], plan->rs_b, plan->cs_b,
+                 out + (batch * m + i0) * n, n, 1,
+                 /*accumulate=*/false);
     }
   });
 
@@ -1187,7 +1293,8 @@ namespace {
 
 class SoftmaxNode : public Node {
  public:
-  SoftmaxNode(ImplPtr x, DimSplit split) : Node({std::move(x)}), s_(split) {}
+  SoftmaxNode(ImplPtr x, DimSplit split, std::shared_ptr<const DimMap> map)
+      : Node({std::move(x)}), s_(split), map_(std::move(map)) {}
   const char* name() const override { return "softmax"; }
 
  protected:
@@ -1196,11 +1303,15 @@ class SoftmaxNode : public Node {
     if (!xi->requires_grad) return;
     STSM_PROF_SCOPE("softmax.bwd");
     xi->EnsureGrad();
+    const DimMap& m = *map_;
+    // The output is always freshly allocated and contiguous; only the input
+    // gradient needs the strided map.
     const float* y = output->data();
     const float* gout = output->grad();
     float* gx = xi->grad();
     for (int64_t o = 0; o < s_.outer; ++o) {
       for (int64_t i = 0; i < s_.inner; ++i) {
+        const int64_t gbase = m.outer_off[o] + m.inner_off[i];
         double dot = 0.0;
         for (int64_t r = 0; r < s_.reduce; ++r) {
           const int64_t idx = (o * s_.reduce + r) * s_.inner + i;
@@ -1208,14 +1319,18 @@ class SoftmaxNode : public Node {
         }
         for (int64_t r = 0; r < s_.reduce; ++r) {
           const int64_t idx = (o * s_.reduce + r) * s_.inner + i;
-          gx[idx] += (gout[idx] - static_cast<float>(dot)) * y[idx];
+          gx[gbase + r * m.reduce_stride] +=
+              (gout[idx] - static_cast<float>(dot)) * y[idx];
         }
       }
     }
   }
 
+  void ReleaseSaved() override { map_.reset(); }
+
  private:
   DimSplit s_;
+  std::shared_ptr<const DimMap> map_;
 };
 
 }  // namespace
@@ -1226,17 +1341,20 @@ Tensor Softmax(const Tensor& x, int dim) {
   const DimSplit s = SplitAtDim(x.shape(), dim);
   ImplPtr result = internal::MakeResult(x.shape(), {x.impl()}, /*zero=*/false);
 
+  auto map = BuildDimMap(*x.impl(), s);
+  const DimMap& m = *map;
   const float* xd = x.data();
   float* out = result->data();
   for (int64_t o = 0; o < s.outer; ++o) {
     for (int64_t i = 0; i < s.inner; ++i) {
+      const int64_t xbase = m.outer_off[o] + m.inner_off[i];
       float max_v = -std::numeric_limits<float>::infinity();
       for (int64_t r = 0; r < s.reduce; ++r) {
-        max_v = std::max(max_v, xd[(o * s.reduce + r) * s.inner + i]);
+        max_v = std::max(max_v, xd[xbase + r * m.reduce_stride]);
       }
       double denom = 0.0;
       for (int64_t r = 0; r < s.reduce; ++r) {
-        const float e = std::exp(xd[(o * s.reduce + r) * s.inner + i] - max_v);
+        const float e = std::exp(xd[xbase + r * m.reduce_stride] - max_v);
         out[(o * s.reduce + r) * s.inner + i] = e;
         denom += e;
       }
@@ -1248,7 +1366,7 @@ Tensor Softmax(const Tensor& x, int dim) {
   }
 
   if (result->requires_grad) {
-    result->grad_fn = std::make_shared<SoftmaxNode>(x.impl(), s);
+    result->grad_fn = std::make_shared<SoftmaxNode>(x.impl(), s, std::move(map));
   }
   return Tensor(std::move(result));
 }
@@ -1360,10 +1478,15 @@ class Conv1dNode : public Node {
 
 }  // namespace
 
-Tensor Conv1dTime(const Tensor& x, const Tensor& weight, const Tensor& bias,
+Tensor Conv1dTime(const Tensor& xin, const Tensor& win, const Tensor& bin,
                   int dilation) {
   STSM_PROF_SCOPE("conv1d.fwd");
-  STSM_CHECK(x.defined() && weight.defined());
+  STSM_CHECK(xin.defined() && win.defined());
+  // The window kernel below addresses all three operands linearly.
+  if (!xin.impl()->is_contiguous()) STSM_PROF_COUNT("contiguous.via_conv", 1);
+  const Tensor x = Contiguous(xin);
+  const Tensor weight = Contiguous(win);
+  const Tensor bias = bin.defined() ? Contiguous(bin) : bin;
   STSM_CHECK_EQ(x.ndim(), 4) << "Conv1dTime expects [B, T, N, C_in]";
   STSM_CHECK_EQ(weight.ndim(), 3) << "weight must be [C_out, C_in, K]";
   STSM_CHECK_GE(dilation, 1);
@@ -1443,6 +1566,77 @@ Tensor Dropout(const Tensor& x, float p, Rng* rng) {
     mask[i] = rng->Bernoulli(p) ? 0.0f : scale;
   }
   return Mul(x, Tensor::FromVector(x.shape(), std::move(mask)));
+}
+
+// ---- In-place ops -----------------------------------------------------------
+//
+// These mutate the target's buffer directly and never record autograd state,
+// so the target must be graph-free (no grad_fn). That covers the intended
+// call sites: optimizer parameter/velocity updates and gradient scaling
+// through Tensor::GradView(), both of which operate on leaves.
+
+namespace {
+
+void CheckInPlaceTarget(const Tensor& x, const char* op) {
+  STSM_CHECK(x.defined());
+  STSM_CHECK(x.impl()->grad_fn == nullptr)
+      << op << "requires a graph-free tensor; this one has a grad_fn";
+}
+
+}  // namespace
+
+void AddScaledInPlace(Tensor x, const Tensor& y, float alpha) {
+  STSM_PROF_SCOPE("add_scaled_inplace");
+  CheckInPlaceTarget(x, "AddScaledInPlace");
+  STSM_CHECK(y.defined());
+  STSM_CHECK(x.shape() == y.shape())
+      << "AddScaledInPlace shape mismatch:" << x.shape().ToString() << "vs"
+      << y.shape().ToString();
+  const int64_t n = x.numel();
+  float* xd = x.data();
+  const float* yd = y.data();
+  if (x.impl()->is_contiguous() && y.impl()->is_contiguous()) {
+    for (int64_t i = 0; i < n; ++i) xd[i] += alpha * yd[i];
+    return;
+  }
+  const IndexTable tx = BuildPhysTable(*x.impl());
+  const IndexTable ty = BuildPhysTable(*y.impl());
+  for (int64_t i = 0; i < n; ++i) {
+    xd[PhysAt(tx, i)] += alpha * yd[PhysAt(ty, i)];
+  }
+}
+
+void AddInPlace(Tensor x, const Tensor& y) {
+  AddScaledInPlace(std::move(x), y, 1.0f);
+}
+
+void MulScalarInPlace(Tensor x, float value) {
+  STSM_PROF_SCOPE("mul_scalar_inplace");
+  CheckInPlaceTarget(x, "MulScalarInPlace");
+  const int64_t n = x.numel();
+  float* xd = x.data();
+  if (x.impl()->is_contiguous()) {
+    for (int64_t i = 0; i < n; ++i) xd[i] *= value;
+    return;
+  }
+  const IndexTable tx = BuildPhysTable(*x.impl());
+  for (int64_t i = 0; i < n; ++i) xd[(*tx)[i]] *= value;
+}
+
+void ReluInPlace(Tensor x) {
+  STSM_PROF_SCOPE("relu_inplace");
+  CheckInPlaceTarget(x, "ReluInPlace");
+  const int64_t n = x.numel();
+  float* xd = x.data();
+  if (x.impl()->is_contiguous()) {
+    for (int64_t i = 0; i < n; ++i) xd[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
+    return;
+  }
+  const IndexTable tx = BuildPhysTable(*x.impl());
+  for (int64_t i = 0; i < n; ++i) {
+    float& v = xd[(*tx)[i]];
+    v = v > 0.0f ? v : 0.0f;
+  }
 }
 
 }  // namespace stsm

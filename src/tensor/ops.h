@@ -66,13 +66,29 @@ Tensor Abs(const Tensor& x);
 Tensor Pow(const Tensor& x, float exponent);
 
 // ---- Shape manipulation ------------------------------------------------------
+//
+// All of these are zero-copy views (no data movement, no allocation) except
+// Reshape of a non-contiguous tensor, which compacts first. Views alias the
+// input's storage: in-place writes through either handle are visible to
+// both, and gradients route through the shared grad buffer.
 
 // Returns a tensor with the same elements and a new shape (same numel).
+// Zero-copy when x is contiguous; otherwise compacts (differentiably).
 Tensor Reshape(const Tensor& x, const Shape& shape);
-// Swaps dimensions `dim0` and `dim1` (copying; negative dims allowed).
+// Swaps dimensions `dim0` and `dim1` (zero-copy view; negative dims
+// allowed). The result is typically non-contiguous.
 Tensor Transpose(const Tensor& x, int dim0, int dim1);
-// Contiguous slice [start, end) along `dim`.
+// Window [start, end) along `dim` (zero-copy view, any dimension).
 Tensor Slice(const Tensor& x, int dim, int64_t start, int64_t end);
+// Window of `length` elements starting at `start` along `dim` (zero-copy
+// view); Narrow(x, d, s, l) == Slice(x, d, s, s + l).
+Tensor Narrow(const Tensor& x, int dim, int64_t start, int64_t length);
+// Removes `dim` by fixing it at `index` (zero-copy view with one fewer
+// dimension).
+Tensor Select(const Tensor& x, int dim, int64_t index);
+// Compacts a strided view into a fresh row-major tensor (differentiable).
+// Returns x itself — same handle, no copy — when already contiguous.
+Tensor Contiguous(const Tensor& x);
 // Concatenates tensors along `dim`; all other dims must match.
 Tensor Concat(const std::vector<Tensor>& tensors, int dim);
 // Gathers indices along `dim`: out has x.shape with dim replaced by
@@ -120,6 +136,22 @@ Tensor Conv1dTime(const Tensor& x, const Tensor& weight, const Tensor& bias,
 // Inverted dropout: at training time zeroes entries with probability `p` and
 // scales survivors by 1/(1-p); at p <= 0 returns x unchanged.
 Tensor Dropout(const Tensor& x, float p, Rng* rng);
+
+// ---- In-place ops -------------------------------------------------------------
+//
+// Mutate the target's buffer directly without recording autograd state. The
+// target must be graph-free (grad_fn == nullptr): parameters, optimizer
+// state, detached tensors, or gradient views (Tensor::GradView()). Strided
+// views are handled; shapes must match exactly (no broadcasting).
+
+// x += y.
+void AddInPlace(Tensor x, const Tensor& y);
+// x += alpha * y (axpy; the optimizer's fused scale-and-accumulate).
+void AddScaledInPlace(Tensor x, const Tensor& y, float alpha);
+// x *= value.
+void MulScalarInPlace(Tensor x, float value);
+// x = max(x, 0) elementwise.
+void ReluInPlace(Tensor x);
 
 }  // namespace stsm
 

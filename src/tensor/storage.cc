@@ -35,21 +35,17 @@ std::shared_ptr<Storage> Storage::Adopt(std::vector<float> values) {
 }
 
 Storage::~Storage() {
-  BufferPool& pool = BufferPool::Instance();
-  pool.Release(std::move(data_));
-  if (!grad_.empty()) pool.Release(std::move(grad_));
+  BufferPool::Instance().Release(std::move(data_));
+  // grad_ (if any) is its own Storage and releases itself.
 }
 
 void Storage::EnsureGrad() {
-  if (grad_.empty() && !data_.empty()) {
-    grad_ = BufferPool::Instance().Acquire(size(), /*zero=*/true);
+  if (grad_ == nullptr && !data_.empty()) {
+    grad_ = Storage::New(size(), /*zero=*/true);
     g_grad_allocations.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
-void Storage::FreeGrad() {
-  if (!grad_.empty()) BufferPool::Instance().Release(std::move(grad_));
-  grad_.clear();
-}
+void Storage::FreeGrad() { grad_.reset(); }
 
 }  // namespace stsm

@@ -40,16 +40,20 @@ class Storage {
   const float* data() const { return data_.data(); }
 
   // Gradient buffer management. The grad buffer covers the whole storage
-  // (all views share it) and is zero-initialised on first allocation.
-  bool has_grad() const { return !grad_.empty(); }
+  // (all views share it) and is zero-initialised on first allocation. It is
+  // itself a Storage so that a parameter's gradient can be wrapped in a
+  // Tensor (Tensor::GradView) and fed to the in-place ops.
+  bool has_grad() const { return grad_ != nullptr; }
   void EnsureGrad();
 
   // Process-wide count of grad-buffer allocations (EnsureGrad calls that
   // actually acquired a buffer). Lets tests assert that a NoGradGuard-ed
   // forward allocated zero gradient storage.
   static uint64_t GradAllocations();
-  float* grad() { return grad_.data(); }
-  const float* grad() const { return grad_.data(); }
+  float* grad() { return grad_->data(); }
+  const float* grad() const { return grad_->data(); }
+  // The grad buffer as a Storage (null until EnsureGrad).
+  const std::shared_ptr<Storage>& grad_storage() const { return grad_; }
   // Returns the grad buffer to the pool (ZeroGrad keeps it; this drops it).
   void FreeGrad();
 
@@ -61,7 +65,7 @@ class Storage {
 
  private:
   std::vector<float> data_;
-  std::vector<float> grad_;
+  std::shared_ptr<Storage> grad_;
 };
 
 }  // namespace stsm

@@ -16,6 +16,7 @@ namespace stsm {
 Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
+  impl->strides = shape.Strides();
   impl->storage = Storage::New(shape.numel(), /*zero=*/true);
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
@@ -29,6 +30,7 @@ Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
   if (value == 0.0f) return Zeros(shape, requires_grad);
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
+  impl->strides = shape.Strides();
   impl->storage = Storage::New(shape.numel(), /*zero=*/false);
   std::fill(impl->storage->data(), impl->storage->data() + shape.numel(),
             value);
@@ -41,6 +43,7 @@ Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
   STSM_CHECK_EQ(static_cast<int64_t>(values.size()), shape.numel());
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
+  impl->strides = shape.Strides();
   impl->storage = Storage::Adopt(std::move(values));
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
@@ -90,6 +93,16 @@ const float* Tensor::data() const {
   return impl_->data();
 }
 
+bool Tensor::is_contiguous() const {
+  STSM_CHECK(defined());
+  return impl_->is_contiguous();
+}
+
+const std::vector<int64_t>& Tensor::strides() const {
+  STSM_CHECK(defined());
+  return impl_->strides;
+}
+
 float Tensor::item() const {
   STSM_CHECK_EQ(numel(), 1);
   return impl_->data()[0];
@@ -97,28 +110,30 @@ float Tensor::item() const {
 
 namespace {
 
-int64_t FlattenIndex(const Shape& shape, std::initializer_list<int64_t> index) {
-  STSM_CHECK_EQ(static_cast<int>(index.size()), shape.ndim());
-  const std::vector<int64_t> strides = shape.Strides();
-  int64_t flat = 0;
+// Physical element offset (relative to data()) of a bounds-checked
+// multi-index under the impl's own strides.
+int64_t StridedIndex(const TensorImpl& impl,
+                     std::initializer_list<int64_t> index) {
+  STSM_CHECK_EQ(static_cast<int>(index.size()), impl.shape.ndim());
+  int64_t physical = 0;
   int d = 0;
   for (int64_t i : index) {
     STSM_CHECK_GE(i, 0);
-    STSM_CHECK_LT(i, shape[d]);
-    flat += i * strides[d];
+    STSM_CHECK_LT(i, impl.shape[d]);
+    physical += i * impl.strides[d];
     ++d;
   }
-  return flat;
+  return physical;
 }
 
 }  // namespace
 
 float Tensor::at(std::initializer_list<int64_t> index) const {
-  return data()[FlattenIndex(shape(), index)];
+  return data()[StridedIndex(*impl_, index)];
 }
 
 void Tensor::set(std::initializer_list<int64_t> index, float value) {
-  data()[FlattenIndex(shape(), index)] = value;
+  data()[StridedIndex(*impl_, index)] = value;
 }
 
 // ---- Autograd ---------------------------------------------------------------
@@ -150,8 +165,11 @@ float* Tensor::grad_data() {
 const float* Tensor::grad_data() const {
   STSM_CHECK(defined());
   // A const read must not allocate: before any gradient exists the caller
-  // gets nullptr (see has_grad() / GradTensor()).
-  return impl_->grad();
+  // gets nullptr (see has_grad() / GradTensor()). Go through a const
+  // reference so the null-safe const overload of TensorImpl::grad() is
+  // picked (shared_ptr does not propagate constness to the pointee).
+  const TensorImpl& impl = *impl_;
+  return impl.grad();
 }
 
 Tensor Tensor::GradTensor() const {
@@ -160,9 +178,25 @@ Tensor Tensor::GradTensor() const {
   std::vector<float> grad_copy(static_cast<size_t>(n), 0.0f);
   if (impl_->has_grad()) {
     const float* g = impl_->grad();
-    std::copy(g, g + n, grad_copy.begin());
+    if (impl_->is_contiguous()) {
+      std::copy(g, g + n, grad_copy.begin());
+    } else {
+      for (int64_t i = 0; i < n; ++i) grad_copy[i] = g[impl_->PhysicalIndex(i)];
+    }
   }
   return FromVector(impl_->shape, std::move(grad_copy));
+}
+
+Tensor Tensor::GradView() {
+  STSM_CHECK(defined());
+  impl_->EnsureGrad();
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->strides = impl_->strides;
+  impl->storage = impl_->storage->grad_storage();
+  impl->offset = impl_->offset;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
 }
 
 void Tensor::ZeroGrad() {
@@ -170,7 +204,12 @@ void Tensor::ZeroGrad() {
   if (!impl_->has_grad()) return;
   // Only this tensor's window: views must not clobber siblings' gradients.
   float* g = impl_->grad();
-  std::fill(g, g + numel(), 0.0f);
+  if (impl_->is_contiguous()) {
+    std::fill(g, g + numel(), 0.0f);
+  } else {
+    const int64_t n = numel();
+    for (int64_t i = 0; i < n; ++i) g[impl_->PhysicalIndex(i)] = 0.0f;
+  }
 }
 
 void Tensor::Backward() {
@@ -228,6 +267,7 @@ Tensor Tensor::Detach() const {
   STSM_CHECK(defined());
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = impl_->shape;
+  impl->strides = impl_->strides;
   impl->storage = impl_->storage;  // Zero-copy alias of the same buffer.
   impl->offset = impl_->offset;
   impl->requires_grad = false;
@@ -239,16 +279,25 @@ Tensor Tensor::Clone() const {
   const int64_t n = numel();
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = impl_->shape;
+  impl->strides = impl_->shape.Strides();  // A clone is always compact.
   impl->storage = Storage::New(n, /*zero=*/false);
-  std::memcpy(impl->storage->data(), impl_->data(),
-              sizeof(float) * static_cast<size_t>(n));
+  if (impl_->is_contiguous()) {
+    std::memcpy(impl->storage->data(), impl_->data(),
+                sizeof(float) * static_cast<size_t>(n));
+  } else {
+    // Gather the logical contents of a strided view into row-major order.
+    float* dst = impl->storage->data();
+    const float* src = impl_->data();
+    for (int64_t i = 0; i < n; ++i) dst[i] = src[impl_->PhysicalIndex(i)];
+  }
   impl->requires_grad = false;
   return Tensor(std::move(impl));
 }
 
 bool Tensor::is_view() const {
   STSM_CHECK(defined());
-  return impl_->offset != 0 || impl_->storage->size() != numel();
+  return impl_->offset != 0 || impl_->storage->size() != numel() ||
+         !impl_->is_contiguous();
 }
 
 std::string Tensor::ToString() const {
@@ -257,9 +306,10 @@ std::string Tensor::ToString() const {
   out << "Tensor" << shape().ToString() << " [";
   const int64_t preview = std::min<int64_t>(numel(), 8);
   const float* d = impl_->data();
+  const bool contig = impl_->is_contiguous();
   for (int64_t i = 0; i < preview; ++i) {
     if (i > 0) out << ", ";
-    out << d[i];
+    out << d[contig ? i : impl_->PhysicalIndex(i)];
   }
   if (numel() > preview) out << ", ...";
   out << "]";
@@ -281,18 +331,28 @@ std::shared_ptr<TensorImpl> MakeResult(
     bool zero) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
+  impl->strides = shape.Strides();
   impl->storage = Storage::New(shape.numel(), zero);
   if (ShouldRecord(inputs)) impl->requires_grad = true;
   return impl;
 }
 
 std::shared_ptr<TensorImpl> MakeView(const std::shared_ptr<TensorImpl>& base,
-                                     const Shape& shape, int64_t offset) {
+                                     const Shape& shape,
+                                     std::vector<int64_t> strides,
+                                     int64_t offset) {
   STSM_CHECK(base != nullptr);
   STSM_CHECK_GE(offset, 0);
-  STSM_CHECK_LE(offset + shape.numel(), base->storage->size());
+  STSM_CHECK_EQ(static_cast<int>(strides.size()), shape.ndim());
+  // The furthest element the view can reach must stay inside the storage.
+  int64_t max_reach = offset;
+  for (int d = 0; d < shape.ndim(); ++d) {
+    if (shape[d] > 0) max_reach += (shape[d] - 1) * strides[d];
+  }
+  STSM_CHECK_LT(max_reach, base->storage->size());
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = shape;
+  impl->strides = std::move(strides);
   impl->storage = base->storage;
   impl->offset = offset;
   if (ShouldRecord({base})) {

@@ -2,12 +2,15 @@
 // differentiation over an explicit graph of autograd nodes.
 //
 // A `Tensor` is a cheap value-semantic handle onto a shared `TensorImpl`,
-// which in turn is {Storage, shape, offset}: the ref-counted `Storage` owns
-// the contiguous data buffer (and the gradient buffer, once one is needed)
-// while the impl carries the metadata. Shape ops that preserve contiguity —
-// `Reshape`, `Unsqueeze`, `Squeeze`, `Detach`, and `Slice` along the leading
-// dimension — return zero-copy views: new impls aliasing the same Storage at
-// an element offset. `Clone()` is the deep copy.
+// which in turn is {Storage, shape, strides, offset}: the ref-counted
+// `Storage` owns the contiguous data buffer (and the gradient buffer, once
+// one is needed) while the impl carries the metadata. Because element
+// strides are explicit, every pure-layout op — `Reshape`, `Unsqueeze`,
+// `Squeeze`, `Detach`, `Transpose`, `Slice` (any dimension), `Narrow`, and
+// `Select` — returns a zero-copy view: a new impl aliasing the same Storage
+// at an element offset with its own strides. `Contiguous()` compacts a
+// strided view into row-major order (a no-op handle copy when the tensor is
+// already contiguous); `Clone()` is the deep copy.
 //
 // Operations on tensors (declared in tensor/ops.h) record the computation
 // graph when gradient mode is enabled and any input requires gradients;
@@ -46,9 +49,13 @@ namespace stsm {
 // through the Tensor interface.
 struct TensorImpl {
   Shape shape;
+  // Element strides, one per dimension. Row-major (`shape.Strides()`) for
+  // freshly created tensors; views carry whatever layout they alias.
+  // Strides of size-1 dimensions are never stepped and carry no meaning.
+  std::vector<int64_t> strides;
   std::shared_ptr<Storage> storage;
   // Element offset of this tensor's first element inside `storage`. Always 0
-  // for non-view tensors; views cover [offset, offset + shape.numel()).
+  // for non-view tensors.
   int64_t offset = 0;
   bool requires_grad = false;
 
@@ -58,6 +65,30 @@ struct TensorImpl {
 
   float* data() { return storage->data() + offset; }
   const float* data() const { return storage->data() + offset; }
+
+  // True when the logical element order coincides with the physical layout:
+  // stride[d] == product(shape[d+1:]) for every dimension with size > 1.
+  // Every kernel in tensor/ops.cc takes a flat-loop fast path when this
+  // holds and a generic strided path otherwise.
+  bool is_contiguous() const {
+    int64_t expected = 1;
+    for (int d = shape.ndim() - 1; d >= 0; --d) {
+      if (shape.dims()[d] != 1 && strides[d] != expected) return false;
+      expected *= shape.dims()[d];
+    }
+    return true;
+  }
+
+  // Physical element offset (relative to data()) of logical linear index
+  // `logical`. Intended for glue code and tests, not inner loops.
+  int64_t PhysicalIndex(int64_t logical) const {
+    int64_t physical = 0;
+    for (int d = shape.ndim() - 1; d >= 0; --d) {
+      physical += (logical % shape.dims()[d]) * strides[d];
+      logical /= shape.dims()[d];
+    }
+    return physical;
+  }
 
   // Gradient buffer access. The grad buffer belongs to the Storage and is
   // shared by all views of it; these accessors are pre-offset like data().
@@ -106,8 +137,16 @@ class Tensor {
   int64_t numel() const { return shape().numel(); }
   int64_t size(int dim) const { return shape()[dim]; }
 
+  // Pointer to the first element. For non-contiguous views the elements are
+  // NOT laid out linearly behind this pointer — use at()/Contiguous()/Clone()
+  // (or the stride-aware ops) unless is_contiguous() holds.
   float* data();
   const float* data() const;
+
+  // True when the logical element order matches the physical layout; raw
+  // linear iteration over data() is only valid when this holds.
+  bool is_contiguous() const;
+  const std::vector<int64_t>& strides() const;
 
   // Value of a single-element tensor.
   float item() const;
@@ -138,6 +177,11 @@ class Tensor {
   // Returns a copy of the gradient as a tensor of the same shape (zeros if
   // no gradient has been accumulated).
   Tensor GradTensor() const;
+  // Zero-copy alias of this tensor's gradient window as a Tensor (same
+  // shape/strides/offset, over the grad buffer). Allocates the grad buffer
+  // if not yet present. Writes through the view mutate the gradient — this
+  // is how the optimizer and ClipGradNorm apply the in-place ops to grads.
+  Tensor GradView();
   // Zeroes this tensor's gradient range only. For a view, that is the
   // [offset, offset + numel()) window of the shared grad buffer — sibling
   // views' accumulated gradients outside the range are untouched.
@@ -190,11 +234,13 @@ std::shared_ptr<TensorImpl> MakeResult(
     const Shape& shape, const std::vector<std::shared_ptr<TensorImpl>>& inputs,
     bool zero = true);
 
-// Creates a zero-copy view of `base` with the given shape and absolute
-// storage offset. Attaches a ViewNode when recording is active and the base
-// requires grad.
+// Creates a zero-copy view of `base` with the given shape, strides and
+// absolute storage offset. Attaches a ViewNode when recording is active and
+// the base requires grad.
 std::shared_ptr<TensorImpl> MakeView(const std::shared_ptr<TensorImpl>& base,
-                                     const Shape& shape, int64_t offset);
+                                     const Shape& shape,
+                                     std::vector<int64_t> strides,
+                                     int64_t offset);
 
 // True if autograd should record for this set of inputs.
 bool ShouldRecord(const std::vector<std::shared_ptr<TensorImpl>>& inputs);

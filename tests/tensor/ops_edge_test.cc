@@ -25,10 +25,11 @@ TEST(OpsEdgeTest, SingleElementDims) {
   EXPECT_EQ(Transpose(x, 0, 2).shape(), Shape({1, 1, 1}));
 }
 
-TEST(OpsEdgeTest, SliceFullRangeIsCopy) {
+TEST(OpsEdgeTest, SliceFullRangeIsView) {
   const Tensor x = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
   const Tensor s = Slice(x, 0, 0, 2);
   EXPECT_EQ(s.shape(), x.shape());
+  EXPECT_EQ(s.data(), x.data());  // Zero-copy: aliases the base storage.
   for (int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(s.data()[i], x.data()[i]);
 }
 

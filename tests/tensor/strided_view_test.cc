@@ -1,0 +1,403 @@
+// Tests for the stride-aware tensor core: zero-copy Transpose / Slice /
+// Narrow / Select views, gradient flow through strided leaves, bitwise
+// equivalence of the contiguous fast paths and the generic strided paths,
+// the packed GEMM microkernel, and the graph-free in-place ops.
+
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tensor/gemm.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+#include "tensor/pool.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+namespace {
+
+using OpFn = std::function<Tensor(const std::vector<Tensor>&)>;
+
+Tensor RandomInput(const Shape& shape, uint64_t seed, float lo = -1.0f,
+                   float hi = 1.0f) {
+  Rng rng(seed);
+  return Tensor::Uniform(shape, lo, hi, &rng, /*requires_grad=*/true);
+}
+
+void ExpectGradOk(const OpFn& fn, std::vector<Tensor> inputs,
+                  double tolerance = 2e-2) {
+  const GradCheckResult result =
+      CheckGradients(fn, std::move(inputs), 1e-2, tolerance);
+  EXPECT_TRUE(result.ok) << "max_abs_error=" << result.max_abs_error
+                         << " max_rel_error=" << result.max_rel_error
+                         << " worst_input=" << result.worst_input
+                         << " worst_element=" << result.worst_element;
+}
+
+// Bit pattern of a float, for exact-equality assertions that also treat
+// identical NaNs as equal.
+uint32_t Bits(float v) {
+  uint32_t out;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(Bits(a.impl()->data()[a.impl()->PhysicalIndex(i)]),
+              Bits(b.impl()->data()[b.impl()->PhysicalIndex(i)]))
+        << "element " << i;
+  }
+}
+
+// ---- Zero-copy structure ----------------------------------------------------
+
+TEST(StridedViewTest, TransposeIsZeroCopy) {
+  Tensor x = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  const BufferPoolStats before = BufferPool::Instance().Stats();
+  Tensor t = Transpose(x, 0, 1);
+  const BufferPoolStats after = BufferPool::Instance().Stats();
+  EXPECT_EQ(after.acquires, before.acquires);  // No buffer allocated.
+  EXPECT_EQ(t.data(), x.data());
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_FALSE(t.is_contiguous());
+  EXPECT_EQ(t.at({2, 1}), 6.0f);
+  EXPECT_EQ(t.at({1, 0}), 2.0f);
+}
+
+TEST(StridedViewTest, InnerSliceNarrowSelectAreZeroCopy) {
+  Tensor x = Tensor::FromVector(Shape({2, 4}), {1, 2, 3, 4, 5, 6, 7, 8});
+  const BufferPoolStats before = BufferPool::Instance().Stats();
+  Tensor s = Slice(x, /*dim=*/1, 1, 3);
+  Tensor n = Narrow(x, /*dim=*/1, 1, 2);
+  Tensor c = Select(x, /*dim=*/1, 2);
+  const BufferPoolStats after = BufferPool::Instance().Stats();
+  EXPECT_EQ(after.acquires, before.acquires);
+  EXPECT_EQ(s.shape(), Shape({2, 2}));
+  EXPECT_EQ(s.at({0, 0}), 2.0f);
+  EXPECT_EQ(s.at({1, 1}), 7.0f);
+  // Narrow(x, d, s, l) == Slice(x, d, s, s + l), element for element.
+  ExpectBitwiseEqual(s, n);
+  EXPECT_EQ(c.shape(), Shape({2}));
+  EXPECT_EQ(c.at({0}), 3.0f);
+  EXPECT_EQ(c.at({1}), 7.0f);
+}
+
+TEST(StridedViewTest, ViewWritesAliasTheBase) {
+  Tensor x = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(x, 0, 1);
+  t.set({2, 0}, 42.0f);  // t[2, 0] is x[0, 2].
+  EXPECT_EQ(x.at({0, 2}), 42.0f);
+  Tensor row = Select(x, 0, 1);
+  row.set({1}, -7.0f);  // row[1] is x[1, 1].
+  EXPECT_EQ(x.at({1, 1}), -7.0f);
+}
+
+TEST(StridedViewTest, ContiguousIsNoOpOnContiguousTensor) {
+  Tensor x = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor same = Contiguous(x);
+  EXPECT_EQ(same.impl(), x.impl());  // Same handle, not just same storage.
+}
+
+TEST(StridedViewTest, ContiguousCompactsAView) {
+  Tensor x = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor t = Contiguous(Transpose(x, 0, 1));
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_NE(t.data(), x.data());
+  const float expected[] = {1, 4, 2, 5, 3, 6};
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], expected[i]);
+}
+
+TEST(StridedViewTest, CloneOfViewCompacts) {
+  Tensor x = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(x, 0, 1).Clone();
+  EXPECT_TRUE(t.is_contiguous());
+  EXPECT_NE(t.data(), x.data());
+  const float expected[] = {1, 4, 2, 5, 3, 6};
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(t.data()[i], expected[i]);
+  // The clone is detached storage: writes do not leak back.
+  t.set({0, 0}, 99.0f);
+  EXPECT_EQ(x.at({0, 0}), 1.0f);
+}
+
+TEST(StridedViewTest, DetachOfViewPreservesLogicalContents) {
+  Tensor x = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6},
+                                /*requires_grad=*/true);
+  Tensor view = Slice(x, /*dim=*/1, 1, 3);  // [[2, 3], [5, 6]].
+  Tensor detached = view.Detach();
+  EXPECT_FALSE(detached.requires_grad());
+  ASSERT_EQ(detached.shape(), Shape({2, 2}));
+  EXPECT_EQ(detached.at({0, 0}), 2.0f);
+  EXPECT_EQ(detached.at({0, 1}), 3.0f);
+  EXPECT_EQ(detached.at({1, 0}), 5.0f);
+  EXPECT_EQ(detached.at({1, 1}), 6.0f);
+}
+
+TEST(StridedViewTest, ReshapeOfNonContiguousCompactsFirst) {
+  Tensor x = Tensor::FromVector(Shape({2, 3}), {1, 2, 3, 4, 5, 6});
+  Tensor r = Reshape(Transpose(x, 0, 1), Shape({6}));
+  EXPECT_TRUE(r.is_contiguous());
+  const float expected[] = {1, 4, 2, 5, 3, 6};
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(r.data()[i], expected[i]);
+}
+
+// ---- Strided forward == contiguous forward (bitwise) ------------------------
+
+// Applies `op` to a strided (transposed) operand and to its compacted copy
+// and checks the results agree bit for bit: the generic strided path must
+// reproduce the contiguous fast path exactly.
+template <typename Op>
+void ExpectStridedMatchesContiguous(const Op& op, const Shape& shape,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  Tensor base = Tensor::Uniform(shape, -2.0f, 2.0f, &rng);
+  Tensor strided = Transpose(base, 0, base.shape().ndim() - 1);
+  Tensor compact = strided.Clone();
+  ASSERT_FALSE(strided.is_contiguous());
+  ASSERT_TRUE(compact.is_contiguous());
+  ExpectBitwiseEqual(op(strided), op(compact));
+}
+
+TEST(StridedForwardTest, UnaryOpsBitwiseMatch) {
+  const Shape shape({3, 5});
+  ExpectStridedMatchesContiguous([](const Tensor& t) { return Relu(t); },
+                                 shape, 11);
+  ExpectStridedMatchesContiguous([](const Tensor& t) { return Sigmoid(t); },
+                                 shape, 12);
+  ExpectStridedMatchesContiguous([](const Tensor& t) { return Exp(t); },
+                                 shape, 13);
+  ExpectStridedMatchesContiguous([](const Tensor& t) { return Sqrt(Abs(t)); },
+                                 shape, 14);
+}
+
+TEST(StridedForwardTest, BinaryOpsBitwiseMatch) {
+  Rng rng(21);
+  Tensor other = Tensor::Uniform(Shape({5, 3}), 0.5f, 2.0f, &rng);
+  ExpectStridedMatchesContiguous(
+      [&](const Tensor& t) { return Add(t, other); }, Shape({3, 5}), 22);
+  ExpectStridedMatchesContiguous(
+      [&](const Tensor& t) { return Mul(t, other); }, Shape({3, 5}), 23);
+  ExpectStridedMatchesContiguous(
+      [&](const Tensor& t) { return Div(t, other); }, Shape({3, 5}), 24);
+  // Broadcast against a row vector.
+  Tensor row = Tensor::Uniform(Shape({3}), -1.0f, 1.0f, &rng);
+  ExpectStridedMatchesContiguous(
+      [&](const Tensor& t) { return Add(t, row); }, Shape({3, 5}), 25);
+}
+
+TEST(StridedForwardTest, ReductionsBitwiseMatch) {
+  const Shape shape({4, 3, 2});
+  ExpectStridedMatchesContiguous([](const Tensor& t) { return Sum(t); },
+                                 shape, 31);
+  ExpectStridedMatchesContiguous(
+      [](const Tensor& t) { return Sum(t, /*dim=*/1); }, shape, 32);
+  ExpectStridedMatchesContiguous(
+      [](const Tensor& t) { return Max(t, /*dim=*/0); }, shape, 33);
+  ExpectStridedMatchesContiguous(
+      [](const Tensor& t) { return Min(t, /*dim=*/2); }, shape, 34);
+  ExpectStridedMatchesContiguous(
+      [](const Tensor& t) { return Softmax(t, /*dim=*/1); }, shape, 35);
+}
+
+TEST(StridedForwardTest, MatMulOfTransposedViewMatchesCompacted) {
+  Rng rng(41);
+  Tensor a = Tensor::Uniform(Shape({7, 5}), -1.0f, 1.0f, &rng);
+  Tensor b = Tensor::Uniform(Shape({7, 6}), -1.0f, 1.0f, &rng);
+  // (A^T @ B): the packed GEMM absorbs A's swapped strides while packing.
+  Tensor via_view = MatMul(Transpose(a, 0, 1), b);
+  Tensor via_copy = MatMul(Transpose(a, 0, 1).Clone(), b);
+  ExpectBitwiseEqual(via_view, via_copy);
+  // Transposed right-hand side too.
+  Tensor c = Tensor::Uniform(Shape({6, 5}), -1.0f, 1.0f, &rng);
+  ExpectBitwiseEqual(MatMul(a, Transpose(c, 0, 1)),
+                     MatMul(a, Transpose(c, 0, 1).Clone()));
+}
+
+// ---- Gradients through strided views ----------------------------------------
+
+TEST(StridedGradTest, ThroughTranspose) {
+  ExpectGradOk(
+      [](const auto& in) {
+        return Sum(Square(MatMul(Transpose(in[0], 0, 1), in[1])));
+      },
+      {RandomInput({4, 3}, 51), RandomInput({4, 2}, 52)});
+}
+
+TEST(StridedGradTest, ThroughInnerSlice) {
+  ExpectGradOk(
+      [](const auto& in) {
+        return Sum(Square(Slice(in[0], /*dim=*/1, 1, 3)));
+      },
+      {RandomInput({3, 4}, 53)});
+}
+
+TEST(StridedGradTest, ThroughNarrowAndSelect) {
+  ExpectGradOk(
+      [](const auto& in) {
+        Tensor mid = Narrow(in[0], /*dim=*/1, 1, 2);  // [2, 2, 3].
+        Tensor sel = Select(in[0], /*dim=*/2, 0);     // [2, 4].
+        return Add(Sum(Square(mid)), Sum(Mul(sel, sel)));
+      },
+      {RandomInput({2, 4, 3}, 54)});
+}
+
+TEST(StridedGradTest, ElementwiseOnTransposedView) {
+  ExpectGradOk(
+      [](const auto& in) {
+        Tensor t = Transpose(in[0], 0, 1);
+        return Sum(Mul(Sigmoid(t), in[1]));
+      },
+      {RandomInput({3, 5}, 55), RandomInput({5, 3}, 56)});
+}
+
+TEST(StridedGradTest, SoftmaxOnTransposedView) {
+  ExpectGradOk(
+      [](const auto& in) {
+        return Sum(Square(Softmax(Transpose(in[0], 0, 1), /*dim=*/1)));
+      },
+      {RandomInput({3, 4}, 57)});
+}
+
+TEST(StridedGradTest, ReductionOnSlicedView) {
+  ExpectGradOk(
+      [](const auto& in) {
+        Tensor window = Slice(in[0], /*dim=*/2, 1, 3);
+        return Sum(Square(Sum(window, /*dim=*/1)));
+      },
+      {RandomInput({2, 3, 4}, 58)});
+}
+
+TEST(StridedGradTest, StridedLeafInput) {
+  // The leaf itself is a non-contiguous view: grad-check perturbs physical
+  // locations, and the analytic gradient must land at the same offsets.
+  Tensor base = RandomInput({4, 3}, 59);
+  Tensor leaf = Transpose(base, 0, 1);  // [3, 4] view, non-contiguous.
+  ExpectGradOk([](const auto& in) { return Sum(Square(in[0])); }, {leaf});
+}
+
+TEST(StridedGradTest, DisjointSlicesAccumulateIntoSharedBase) {
+  Tensor x = Tensor::FromVector(Shape({4}), {1, 2, 3, 4},
+                                /*requires_grad=*/true);
+  // Two overlapping windows: d/dx sum(a) + 2*sum(b) with a = x[0:3],
+  // b = x[1:4] gives grads {1, 3, 3, 2}.
+  Tensor a = Slice(x, 0, 0, 3);
+  Tensor b = Slice(x, 0, 1, 4);
+  Tensor loss = Add(Sum(a), Mul(Sum(b), Tensor::Scalar(2.0f)));
+  loss.Backward();
+  const float* g = x.grad_data();
+  EXPECT_FLOAT_EQ(g[0], 1.0f);
+  EXPECT_FLOAT_EQ(g[1], 3.0f);
+  EXPECT_FLOAT_EQ(g[2], 3.0f);
+  EXPECT_FLOAT_EQ(g[3], 2.0f);
+}
+
+// ---- Packed GEMM microkernel ------------------------------------------------
+
+void ExpectGemmMatchesNaive(int64_t m, int64_t n, int64_t k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  std::vector<float> c_packed(static_cast<size_t>(m * n), 0.5f);
+  std::vector<float> c_naive(static_cast<size_t>(m * n), 0.5f);
+  for (const bool accumulate : {false, true}) {
+    PackedGemm(m, n, k, a.data(), k, 1, b.data(), n, 1, c_packed.data(), n, 1,
+               accumulate);
+    NaiveGemm(m, n, k, a.data(), k, 1, b.data(), n, 1, c_naive.data(), n, 1,
+              accumulate);
+    for (int64_t i = 0; i < m * n; ++i) {
+      EXPECT_NEAR(c_packed[i], c_naive[i], 1e-4f)
+          << "m=" << m << " n=" << n << " k=" << k
+          << " accumulate=" << accumulate << " element=" << i;
+    }
+  }
+}
+
+TEST(PackedGemmTest, MatchesNaiveAcrossEdgeShapes) {
+  // Exercise m % MR, n % NR, tiny sizes, and k spanning multiple KC blocks.
+  ExpectGemmMatchesNaive(1, 1, 1, 61);
+  ExpectGemmMatchesNaive(kGemmMr, kGemmNr, 3, 62);
+  ExpectGemmMatchesNaive(kGemmMr + 1, kGemmNr + 3, 17, 63);
+  ExpectGemmMatchesNaive(13, 7, kGemmKc + 5, 64);
+  ExpectGemmMatchesNaive(3, 2, 1, 65);
+}
+
+TEST(PackedGemmTest, TransposedOperandsViaStrides) {
+  const int64_t m = 6, n = 5, k = 7;
+  Rng rng(66);
+  // A stored k-major (i.e. A^T row-major), B stored n-major transposed.
+  std::vector<float> a_t(static_cast<size_t>(k * m));
+  std::vector<float> b_t(static_cast<size_t>(n * k));
+  for (auto& v : a_t) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto& v : b_t) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  std::vector<float> c_packed(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> c_naive(static_cast<size_t>(m * n), 0.0f);
+  // A[i, k] = a_t[k * m + i] -> rs_a = 1, cs_a = m; likewise for B.
+  PackedGemm(m, n, k, a_t.data(), 1, m, b_t.data(), 1, k, c_packed.data(), n,
+             1, false);
+  NaiveGemm(m, n, k, a_t.data(), 1, m, b_t.data(), 1, k, c_naive.data(), n, 1,
+            false);
+  for (int64_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c_packed[i], c_naive[i], 1e-4f) << "element " << i;
+  }
+}
+
+TEST(PackedGemmTest, ZeroKZeroesOrKeepsC) {
+  std::vector<float> c = {1, 2, 3, 4};
+  PackedGemm(2, 2, 0, nullptr, 0, 0, nullptr, 0, 0, c.data(), 2, 1,
+             /*accumulate=*/true);
+  EXPECT_EQ(c[0], 1.0f);  // Accumulating nothing leaves C alone.
+  PackedGemm(2, 2, 0, nullptr, 0, 0, nullptr, 0, 0, c.data(), 2, 1,
+             /*accumulate=*/false);
+  for (float v : c) EXPECT_EQ(v, 0.0f);  // Overwriting with nothing zeroes.
+}
+
+// ---- In-place ops -----------------------------------------------------------
+
+TEST(InPlaceOpsTest, AddAndScaleContiguous) {
+  Tensor x = Tensor::FromVector(Shape({3}), {1, 2, 3});
+  Tensor y = Tensor::FromVector(Shape({3}), {10, 20, 30});
+  AddInPlace(x, y);
+  EXPECT_FLOAT_EQ(x.at({0}), 11.0f);
+  AddScaledInPlace(x, y, -1.0f);
+  EXPECT_FLOAT_EQ(x.at({1}), 2.0f);
+  MulScalarInPlace(x, 2.0f);
+  EXPECT_FLOAT_EQ(x.at({2}), 6.0f);
+}
+
+TEST(InPlaceOpsTest, ReluInPlaceClampsNegatives) {
+  Tensor x = Tensor::FromVector(Shape({4}), {-1, 2, -3, 4});
+  ReluInPlace(x);
+  EXPECT_FLOAT_EQ(x.at({0}), 0.0f);
+  EXPECT_FLOAT_EQ(x.at({1}), 2.0f);
+  EXPECT_FLOAT_EQ(x.at({2}), 0.0f);
+  EXPECT_FLOAT_EQ(x.at({3}), 4.0f);
+}
+
+TEST(InPlaceOpsTest, StridedTargetsWriteThroughToBase) {
+  Tensor x = Tensor::FromVector(Shape({2, 2}), {1, -2, 3, -4});
+  Tensor col = Slice(x, /*dim=*/1, 1, 2);  // Column {-2, -4}, strided.
+  ReluInPlace(col);
+  EXPECT_FLOAT_EQ(x.at({0, 1}), 0.0f);
+  EXPECT_FLOAT_EQ(x.at({1, 1}), 0.0f);
+  EXPECT_FLOAT_EQ(x.at({0, 0}), 1.0f);  // Untouched outside the view.
+  Tensor row = Select(x, /*dim=*/0, 0);
+  AddScaledInPlace(row, Tensor::FromVector(Shape({2}), {1, 1}), 5.0f);
+  EXPECT_FLOAT_EQ(x.at({0, 0}), 6.0f);
+  EXPECT_FLOAT_EQ(x.at({0, 1}), 5.0f);
+}
+
+TEST(InPlaceOpsTest, GradViewTargetsMutateTheGradBuffer) {
+  Tensor x = Tensor::FromVector(Shape({2}), {3, 4}, /*requires_grad=*/true);
+  Tensor loss = Sum(Mul(x, x));
+  loss.Backward();  // grad = {6, 8}.
+  MulScalarInPlace(x.GradView(), 0.5f);
+  EXPECT_FLOAT_EQ(x.grad_data()[0], 3.0f);
+  EXPECT_FLOAT_EQ(x.grad_data()[1], 4.0f);
+}
+
+}  // namespace
+}  // namespace stsm

@@ -1,7 +1,11 @@
 #!/usr/bin/env python3
 """Validates BufferPool counters in a profile JSON emitted by the bench harness.
 
-Usage: check_pool_stats.py <profile.json> [serve_load.json]
+Usage: check_pool_stats.py [--smoke-baseline] <profile.json> [serve_load.json]
+
+With --smoke-baseline, additionally asserts that pool.acquire dropped below
+the pre-view-refactor smoke-bench baseline (zero-copy views must allocate
+strictly less than the copying tensor core did).
 
 Asserts that the pool counters are present (the tensor core actually routed
 its allocations through the BufferPool) and that no buffer leaked: every
@@ -22,8 +26,14 @@ import sys
 REQUIRED = ["pool.acquire", "pool.hit", "pool.miss", "pool.adopt",
             "pool.release", "pool.bytes_requested", "pool.bytes_reused"]
 
+# pool.acquire measured on the smoke-scale table5 bench before the
+# stride-aware tensor core landed (zero-copy Transpose/Slice views).
+# The view refactor removes whole classes of materializing copies, so the
+# same workload must now acquire strictly fewer buffers.
+SMOKE_ACQUIRE_BASELINE = 91467
 
-def check_pool(path):
+
+def check_pool(path, baseline=None):
     with open(path, "r", encoding="utf-8") as f:
         profile = json.load(f)
 
@@ -60,9 +70,18 @@ def check_pool(path):
               f"({releases})", file=sys.stderr)
         return 1
 
+    if baseline is not None and acquires >= baseline:
+        print(f"FAIL: pool.acquire ({acquires}) did not drop below the "
+              f"pre-view-refactor baseline ({baseline}) — zero-copy "
+              "Transpose/Slice views should have removed materializing "
+              "copies", file=sys.stderr)
+        return 1
+
     reuse = hits / acquires
+    against = (f", {baseline - acquires} below baseline {baseline}"
+               if baseline is not None else "")
     print(f"OK: {path}: {acquires} acquires ({hits} hits, {reuse:.1%} reuse), "
-          f"{adopts} adopts, {releases} releases, 0 leaked")
+          f"{adopts} adopts, {releases} releases, 0 leaked{against}")
     return 0
 
 
@@ -94,13 +113,18 @@ def check_serve(path):
 
 
 def main(argv):
-    if len(argv) not in (2, 3):
-        print(f"usage: {argv[0]} <profile.json> [serve_load.json]",
-              file=sys.stderr)
+    args = list(argv[1:])
+    baseline = None
+    if "--smoke-baseline" in args:
+        args.remove("--smoke-baseline")
+        baseline = SMOKE_ACQUIRE_BASELINE
+    if len(args) not in (1, 2):
+        print(f"usage: {argv[0]} [--smoke-baseline] <profile.json> "
+              "[serve_load.json]", file=sys.stderr)
         return 1
-    status = check_pool(argv[1])
-    if status == 0 and len(argv) == 3:
-        status = check_serve(argv[2])
+    status = check_pool(args[0], baseline=baseline)
+    if status == 0 and len(args) == 2:
+        status = check_serve(args[1])
     return status
 
 
