@@ -4,7 +4,7 @@
 
 #include "common/env.h"
 #include "common/prof.h"
-#include "tensor/pool.h"
+#include "tensor/storage.h"
 
 namespace stsm {
 namespace bench {
@@ -112,7 +112,7 @@ void EmitTable(const std::string& name, const std::string& heading,
 void EmitProfile(const std::string& name) {
   // Flush the allocator counters so the snapshot carries final pool totals
   // (net leaked buffers = pool.acquire + pool.adopt - pool.release).
-  BufferPool::Instance().RecordProfCounters();
+  RecordPoolProfCounters();
   const prof::Snapshot snapshot = prof::TakeSnapshot();
   if (snapshot.timers.empty() && snapshot.counters.empty()) return;
   const std::string json_path = name + "_profile.json";

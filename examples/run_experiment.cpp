@@ -40,7 +40,8 @@ const std::map<std::string, ModelKind>& ModelsByName() {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [dataset] [model] [split] [epochs]\n"
-               "  datasets:");
+               "  datasets:",
+               argv0);
   for (const auto& name : RegisteredDatasets()) {
     std::fprintf(stderr, " %s", name.c_str());
   }

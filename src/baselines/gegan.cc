@@ -167,7 +167,7 @@ ExperimentResult RunGeGan(const SpatioTemporalDataset& dataset,
   };
 
   for (int epoch = 0; epoch < total_epochs; ++epoch) {
-    STSM_PROF_SCOPE("train.epoch");
+    STSM_PROF_SCOPE("gegan.train.epoch");
     double epoch_loss = 0.0;
     for (int batch = 0; batch < config.batches_per_epoch; ++batch) {
       std::vector<int> node_ids;

@@ -80,7 +80,7 @@ ExperimentResult RunIgnnk(const SpatioTemporalDataset& dataset,
   ExperimentResult result;
   const auto train_start = std::chrono::steady_clock::now();
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    STSM_PROF_SCOPE("train.epoch");
+    STSM_PROF_SCOPE("ignnk.train.epoch");
     double epoch_loss = 0.0;
     for (int batch_index = 0; batch_index < config.batches_per_epoch;
          ++batch_index) {

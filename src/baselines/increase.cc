@@ -189,7 +189,7 @@ ExperimentResult RunIncrease(const SpatioTemporalDataset& dataset,
   const auto train_start = std::chrono::steady_clock::now();
   const int nodes_per_batch = std::min(num_observed, 16);
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    STSM_PROF_SCOPE("train.epoch");
+    STSM_PROF_SCOPE("increase.train.epoch");
     double epoch_loss = 0.0;
     for (int batch_index = 0; batch_index < config.batches_per_epoch;
          ++batch_index) {

@@ -10,10 +10,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace stsm {
 namespace prof {
@@ -135,11 +136,11 @@ class ThreadCollector {
   ThreadCollector();
   ~ThreadCollector();
 
-  StatCells* Cell(const char* name, bool is_timer) {
+  StatCells* Cell(const char* name, bool is_timer) STSM_EXCLUDES(mutex_) {
     auto& cache = is_timer ? timer_cache_ : counter_cache_;
     const auto it = cache.find(name);
     if (it != cache.end()) return it->second;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto& map = is_timer ? timers_ : counters_;
     auto& slot = map[name];
     if (slot == nullptr) slot = std::make_unique<StatCells>();
@@ -150,9 +151,9 @@ class ThreadCollector {
  private:
   friend class Registry;
 
-  std::mutex mutex_;
-  StatMap timers_;
-  StatMap counters_;
+  Mutex mutex_;
+  StatMap timers_ STSM_GUARDED_BY(mutex_);
+  StatMap counters_ STSM_GUARDED_BY(mutex_);
   // Owner-thread-only lookup caches keyed by the literal's address.
   std::unordered_map<const char*, StatCells*> timer_cache_;
   std::unordered_map<const char*, StatCells*> counter_cache_;
@@ -168,37 +169,40 @@ class Registry {
     return *registry;
   }
 
-  void Register(ThreadCollector* collector) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  // Lock ordering: Registry::mutex_ strictly before any
+  // ThreadCollector::mutex_ (the only place two locks nest; see DESIGN.md
+  // "Concurrency invariants").
+  void Register(ThreadCollector* collector) STSM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     live_.push_back(collector);
   }
 
-  void Unregister(ThreadCollector* collector) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::lock_guard<std::mutex> collector_lock(collector->mutex_);
+  void Unregister(ThreadCollector* collector) STSM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    MutexLock collector_lock(collector->mutex_);
     MergeInto(collector->timers_, &retired_timers_);
     MergeInto(collector->counters_, &retired_counters_);
     live_.erase(std::remove(live_.begin(), live_.end(), collector),
                 live_.end());
   }
 
-  void Collect(PlainMap* timers, PlainMap* counters) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Collect(PlainMap* timers, PlainMap* counters) STSM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     *timers = retired_timers_;
     *counters = retired_counters_;
     for (ThreadCollector* collector : live_) {
-      std::lock_guard<std::mutex> collector_lock(collector->mutex_);
+      MutexLock collector_lock(collector->mutex_);
       MergeInto(collector->timers_, timers);
       MergeInto(collector->counters_, counters);
     }
   }
 
-  void Reset() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Reset() STSM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     retired_timers_.clear();
     retired_counters_.clear();
     for (ThreadCollector* collector : live_) {
-      std::lock_guard<std::mutex> collector_lock(collector->mutex_);
+      MutexLock collector_lock(collector->mutex_);
       for (auto& [name, cells] : collector->timers_) cells->Zero();
       for (auto& [name, cells] : collector->counters_) cells->Zero();
     }
@@ -211,10 +215,10 @@ class Registry {
     }
   }
 
-  std::mutex mutex_;
-  std::vector<ThreadCollector*> live_;
-  PlainMap retired_timers_;
-  PlainMap retired_counters_;
+  Mutex mutex_;
+  std::vector<ThreadCollector*> live_ STSM_GUARDED_BY(mutex_);
+  PlainMap retired_timers_ STSM_GUARDED_BY(mutex_);
+  PlainMap retired_counters_ STSM_GUARDED_BY(mutex_);
 };
 
 ThreadCollector::ThreadCollector() { Registry::Get().Register(this); }

@@ -1,0 +1,129 @@
+// Clang thread-safety annotations and the capability-annotated mutex
+// vocabulary used by every concurrent class in the tree.
+//
+// The STSM_* macros expand to clang's thread-safety attributes when the
+// compiler supports them and to nothing otherwise (gcc builds compile the
+// same sources unchanged). Under clang the whole tree is compiled with
+// -Wthread-safety -Werror=thread-safety, so a member declared
+// STSM_GUARDED_BY(mutex_) that is touched without the mutex held is a build
+// error, not a convention.
+//
+// std::mutex itself carries no capability attributes, so locking discipline
+// on it is invisible to the analysis. Concurrent classes therefore use the
+// stsm::Mutex wrapper below (a std::mutex with acquire/release annotations)
+// together with stsm::MutexLock (an annotated lock_guard) and stsm::CondVar.
+// Condition waits are written as explicit loops so that every access to
+// guarded state stays inside the annotated critical section:
+//
+//   MutexLock lock(mutex_);
+//   while (!closed_ && items_.empty()) ready_.Wait(mutex_);
+//
+// CondVar::Wait requires the capability, releases the underlying mutex while
+// blocked, and re-holds it on return — exactly the condition_variable
+// contract, now machine-checked.
+
+#ifndef STSM_COMMON_THREAD_ANNOTATIONS_H_
+#define STSM_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define STSM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define STSM_THREAD_ANNOTATION(x)
+#endif
+
+// Type attribute: the class is a capability ("mutex" in diagnostics).
+#define STSM_CAPABILITY(x) STSM_THREAD_ANNOTATION(capability(x))
+// Type attribute: RAII object that acquires on construction, releases on
+// destruction (lock_guard-style).
+#define STSM_SCOPED_CAPABILITY STSM_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: may only be read or written while holding the capability.
+#define STSM_GUARDED_BY(x) STSM_THREAD_ANNOTATION(guarded_by(x))
+// Pointer members: the pointee (not the pointer) is guarded.
+#define STSM_PT_GUARDED_BY(x) STSM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: caller must hold the capability / must not hold it.
+#define STSM_REQUIRES(...) \
+  STSM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define STSM_EXCLUDES(...) STSM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Functions: acquire or release the capability as a side effect.
+#define STSM_ACQUIRE(...) \
+  STSM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define STSM_RELEASE(...) \
+  STSM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define STSM_TRY_ACQUIRE(...) \
+  STSM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Escape hatch for functions the analysis cannot model; use sparingly and
+// say why at the call site.
+#define STSM_NO_THREAD_SAFETY_ANALYSIS \
+  STSM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace stsm {
+
+// A std::mutex the thread-safety analysis can see. Same cost, same
+// semantics; Lock/Unlock naming matches the annotation vocabulary.
+class STSM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() STSM_ACQUIRE() { mutex_.lock(); }
+  void Unlock() STSM_RELEASE() { mutex_.unlock(); }
+  bool TryLock() STSM_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+// Annotated scoped lock (std::lock_guard equivalent).
+class STSM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) STSM_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.Lock();
+  }
+  ~MutexLock() STSM_RELEASE() { mutex_.Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+// Condition variable paired with stsm::Mutex. Wait() takes the capability
+// requirement explicitly, so predicates live in the caller's annotated
+// critical section (see the header comment for the canonical loop).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Blocks until notified. `mutex` must be held; it is released while
+  // waiting and re-held on return. Spurious wakeups happen — always wait in
+  // a predicate loop.
+  void Wait(Mutex& mutex) STSM_REQUIRES(mutex) {
+    // The caller's MutexLock keeps ownership: adopt the held mutex for the
+    // duration of the wait, then release it from the unique_lock so it is
+    // not unlocked twice.
+    std::unique_lock<std::mutex> lock(mutex.mutex_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace stsm
+
+#endif  // STSM_COMMON_THREAD_ANNOTATIONS_H_

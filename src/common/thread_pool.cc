@@ -1,7 +1,6 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdlib>
 
 #include "common/check.h"
@@ -18,27 +17,27 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void ThreadPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.Wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -62,23 +61,26 @@ void ThreadPool::ParallelFor(
       std::min<int64_t>(threads, total));
   const int64_t chunk_size = (total + num_chunks - 1) / num_chunks;
 
-  std::atomic<int> remaining{num_chunks};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  // `remaining` is guarded by done_mutex, NOT an atomic: the waiter owns
+  // the stack frame these live in, so it must not be able to observe zero
+  // (and destroy the mutex/condvar) until the last worker has finished its
+  // notify-under-lock. An atomic decrement outside the lock reopens that
+  // destruction race against a spurious wakeup.
+  int remaining = num_chunks;
+  Mutex done_mutex;
+  CondVar done_cv;
 
   for (int c = 0; c < num_chunks; ++c) {
     const int64_t chunk_begin = begin + c * chunk_size;
     const int64_t chunk_end = std::min(end, chunk_begin + chunk_size);
     Enqueue([&, chunk_begin, chunk_end] {
       chunk_fn(chunk_begin, chunk_end);
-      if (remaining.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_one();
-      }
+      MutexLock lock(done_mutex);
+      if (--remaining == 0) done_cv.NotifyOne();
     });
   }
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+  MutexLock lock(done_mutex);
+  while (remaining != 0) done_cv.Wait(done_mutex);
 }
 
 int ThreadPool::ConfiguredThreadCount() {

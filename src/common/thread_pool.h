@@ -6,12 +6,13 @@
 #ifndef STSM_COMMON_THREAD_POOL_H_
 #define STSM_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace stsm {
 
@@ -44,14 +45,14 @@ class ThreadPool {
   static int ConfiguredThreadCount();
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> task) STSM_EXCLUDES(mutex_);
+  void WorkerLoop() STSM_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ STSM_GUARDED_BY(mutex_);
+  bool stop_ STSM_GUARDED_BY(mutex_) = false;
 };
 
 // Convenience wrapper over ThreadPool::Global().ParallelFor that hands each

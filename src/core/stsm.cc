@@ -14,7 +14,7 @@
 #include "nn/loss.h"
 #include "nn/optim.h"
 #include "tensor/ops.h"
-#include "tensor/pool.h"
+#include "tensor/storage.h"
 #include "timeseries/pseudo_observations.h"
 #include "timeseries/temporal_adjacency.h"
 
@@ -335,7 +335,7 @@ void StsmRunner::Train(ExperimentResult* result) {
     }
     result->train_losses.push_back(epoch_loss / config_.batches_per_epoch);
     // Per-epoch allocator deltas land in the profile as pool.* counters.
-    BufferPool::Instance().RecordProfCounters();
+    RecordPoolProfCounters();
 
     if (config_.validation_selection) {
       const double loss = validation_loss();

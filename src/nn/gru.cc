@@ -37,7 +37,7 @@ Gru::Gru(int64_t input_size, int64_t hidden_size, Rng* rng)
     : cell_(input_size, hidden_size, rng) {}
 
 Tensor Gru::ForwardFinal(const Tensor& sequence) const {
-  STSM_PROF_SCOPE("gru.fwd");
+  STSM_PROF_SCOPE("gru.fwd_final");
   STSM_CHECK_EQ(sequence.ndim(), 3) << "Gru expects [B, T, C]";
   const int64_t batch = sequence.shape()[0];
   const int64_t time = sequence.shape()[1];
@@ -50,7 +50,7 @@ Tensor Gru::ForwardFinal(const Tensor& sequence) const {
 }
 
 Tensor Gru::ForwardSequence(const Tensor& sequence) const {
-  STSM_PROF_SCOPE("gru.fwd");
+  STSM_PROF_SCOPE("gru.fwd_seq");
   STSM_CHECK_EQ(sequence.ndim(), 3) << "Gru expects [B, T, C]";
   const int64_t batch = sequence.shape()[0];
   const int64_t time = sequence.shape()[1];

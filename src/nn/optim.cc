@@ -47,7 +47,7 @@ Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate, float momentum)
 }
 
 void Sgd::Step() {
-  STSM_PROF_SCOPE("optim.step");
+  STSM_PROF_SCOPE("optim.sgd.step");
   // vel = momentum * vel + grad; p -= lr * vel — expressed through the
   // in-place tensor ops, with the gradient wrapped as a zero-copy GradView.
   // Bitwise identical to the old fused loop (same per-element operations in
@@ -77,7 +77,7 @@ Adam::Adam(std::vector<Tensor> parameters, float learning_rate, float beta1,
 }
 
 void Adam::Step() {
-  STSM_PROF_SCOPE("optim.step");
+  STSM_PROF_SCOPE("optim.adam.step");
   ++step_count_;
   const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));

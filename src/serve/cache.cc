@@ -37,7 +37,7 @@ size_t CacheKeyHash::operator()(const CacheKey& key) const {
 ForecastCache::ForecastCache(size_t capacity) : capacity_(capacity) {}
 
 bool ForecastCache::Lookup(const CacheKey& key, std::vector<float>* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -53,7 +53,7 @@ bool ForecastCache::Lookup(const CacheKey& key, std::vector<float>* out) {
 
 void ForecastCache::Insert(const CacheKey& key, std::vector<float> forecast) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->forecast = std::move(forecast);
@@ -71,12 +71,12 @@ void ForecastCache::Insert(const CacheKey& key, std::vector<float> forecast) {
 }
 
 size_t ForecastCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return entries_.size();
 }
 
 CacheStats ForecastCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

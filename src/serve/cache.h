@@ -12,10 +12,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace stsm {
 namespace serve {
@@ -53,14 +54,16 @@ class ForecastCache {
 
   // Copies the cached forecast into `out` and promotes the entry to
   // most-recently-used. Counts a hit or a miss either way.
-  bool Lookup(const CacheKey& key, std::vector<float>* out);
+  bool Lookup(const CacheKey& key, std::vector<float>* out)
+      STSM_EXCLUDES(mutex_);
 
   // Inserts (or refreshes) an entry, evicting the least-recently-used one
   // when at capacity. A capacity of zero disables the cache.
-  void Insert(const CacheKey& key, std::vector<float> forecast);
+  void Insert(const CacheKey& key, std::vector<float> forecast)
+      STSM_EXCLUDES(mutex_);
 
-  size_t size() const;
-  CacheStats stats() const;
+  size_t size() const STSM_EXCLUDES(mutex_);
+  CacheStats stats() const STSM_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -69,10 +72,13 @@ class ForecastCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> entries_;  // Front = most recently used.
-  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> index_;
-  CacheStats stats_;
+  mutable Mutex mutex_;
+  // Front = most recently used. `index_` iterators stay valid across the
+  // LRU splices (std::list), so promote-then-read is safe under the lock.
+  std::list<Entry> entries_ STSM_GUARDED_BY(mutex_);
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_ STSM_GUARDED_BY(mutex_);
+  CacheStats stats_ STSM_GUARDED_BY(mutex_);
 };
 
 }  // namespace serve

@@ -9,17 +9,19 @@
 // case), preserving FIFO order among the items it leaves behind.
 //
 // Header-only template: the element type is the server's move-only pending
-// request (it carries a std::promise).
+// request (it carries a std::promise). All queue state is guarded by one
+// mutex; the thread-safety annotations make that machine-checked under
+// clang.
 
 #ifndef STSM_SERVE_QUEUE_H_
 #define STSM_SERVE_QUEUE_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace stsm {
 namespace serve {
@@ -30,13 +32,13 @@ class BoundedQueue {
   explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
 
   // Non-blocking push. Returns false when the queue is full or closed.
-  bool TryPush(T item) {
+  bool TryPush(T item) STSM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
-    ready_.notify_one();
+    ready_.NotifyOne();
     return true;
   }
 
@@ -47,10 +49,11 @@ class BoundedQueue {
   // is closed AND empty — a closed queue keeps draining, so no accepted
   // item is ever stranded.
   template <typename Compatible>
-  bool PopBatch(std::vector<T>* out, size_t max_batch, Compatible compatible) {
+  bool PopBatch(std::vector<T>* out, size_t max_batch, Compatible compatible)
+      STSM_EXCLUDES(mutex_) {
     out->clear();
-    std::unique_lock<std::mutex> lock(mutex_);
-    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) ready_.Wait(mutex_);
     if (items_.empty()) return false;
     out->push_back(std::move(items_.front()));
     items_.pop_front();
@@ -68,25 +71,25 @@ class BoundedQueue {
 
   // Wakes all blocked consumers; further pushes fail. Already-queued items
   // remain poppable.
-  void Close() {
+  void Close() STSM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
-    ready_.notify_all();
+    ready_.NotifyAll();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  size_t size() const STSM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar ready_;
+  std::deque<T> items_ STSM_GUARDED_BY(mutex_);
+  bool closed_ STSM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace serve

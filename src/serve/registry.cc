@@ -96,20 +96,20 @@ Tensor ServedModel::Predict(const Tensor& inputs,
 bool ModelRegistry::Load(const ModelSpec& spec) {
   std::shared_ptr<const ServedModel> served = ServedModel::Load(spec);
   const bool healthy = served->healthy();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   models_[spec.name] = std::move(served);
   return healthy;
 }
 
 std::shared_ptr<const ServedModel> ModelRegistry::Find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = models_.find(name);
   return it == models_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> ModelRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(models_.size());
   for (const auto& [name, model] : models_) names.push_back(name);

@@ -21,11 +21,11 @@
 #define STSM_SERVE_REGISTRY_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/config.h"
 #include "core/st_model.h"
 #include "data/dataset.h"
@@ -87,16 +87,18 @@ class ModelRegistry {
   // Loads and registers a model (replacing any same-named entry). Returns
   // the loaded model's health: false means the checkpoint failed and the
   // entry will only serve degraded responses.
-  bool Load(const ModelSpec& spec);
+  bool Load(const ModelSpec& spec) STSM_EXCLUDES(mutex_);
 
   // Null when `name` is not registered.
-  std::shared_ptr<const ServedModel> Find(const std::string& name) const;
+  std::shared_ptr<const ServedModel> Find(const std::string& name) const
+      STSM_EXCLUDES(mutex_);
 
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const STSM_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const ServedModel>> models_;
+  mutable Mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const ServedModel>>
+      models_ STSM_GUARDED_BY(mutex_);
 };
 
 }  // namespace serve

@@ -49,6 +49,7 @@ ForecastServer::ForecastServer(const ModelRegistry* registry,
 ForecastServer::~ForecastServer() { Stop(); }
 
 void ForecastServer::Stop() {
+  MutexLock lock(stop_mutex_);
   if (stopped_) return;
   stopped_ = true;
   queue_.Close();  // Workers drain remaining items, then exit.

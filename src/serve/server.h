@@ -19,6 +19,7 @@
 #ifndef STSM_SERVE_SERVER_H_
 #define STSM_SERVE_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <future>
@@ -27,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "serve/cache.h"
 #include "serve/queue.h"
 #include "serve/registry.h"
@@ -77,9 +79,11 @@ class ForecastServer {
   // Blocking convenience wrapper.
   ForecastResponse SubmitAndWait(ForecastRequest request);
 
-  // Drains the queue, then stops the workers. Idempotent; also run by the
-  // destructor. Accepted requests are answered before workers exit.
-  void Stop();
+  // Drains the queue, then stops the workers. Idempotent and safe to call
+  // from any thread (concurrent calls are serialised; the losers return
+  // after the workers have been joined); also run by the destructor.
+  // Accepted requests are answered before workers exit.
+  void Stop() STSM_EXCLUDES(stop_mutex_);
 
   ServerStats stats() const;
   const ServerConfig& config() const { return config_; }
@@ -105,8 +109,12 @@ class ForecastServer {
   const ServerConfig config_;
   ForecastCache cache_;
   BoundedQueue<Pending> queue_;
-  std::vector<std::thread> workers_;
-  bool stopped_ = false;
+  // Shutdown state: workers_ is populated once in the constructor and
+  // consumed exactly once by the first Stop(); the mutex makes concurrent
+  // Stop() calls (explicit + destructor) join each thread only once.
+  Mutex stop_mutex_;
+  std::vector<std::thread> workers_ STSM_GUARDED_BY(stop_mutex_);
+  bool stopped_ STSM_GUARDED_BY(stop_mutex_) = false;
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> ok_{0};

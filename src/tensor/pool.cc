@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/env.h"
 #include "common/prof.h"
+#include "tensor/storage.h"
 
 namespace stsm {
 
@@ -60,7 +61,7 @@ std::vector<float> BufferPool::Acquire(int64_t n, bool zero) {
   std::vector<float> buffer;
   bool hit = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.acquires++;
     stats_.bytes_requested += static_cast<uint64_t>(n) * sizeof(float);
     const int first = BucketForRequest(n);
@@ -99,7 +100,7 @@ void BufferPool::Release(std::vector<float>&& buffer) {
   if (buffer.capacity() == 0) return;
   std::vector<float> to_free;  // Freed outside the lock.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stats_.releases++;
     stats_.live_buffers--;
     const uint64_t bytes = buffer.capacity() * sizeof(float);
@@ -116,19 +117,19 @@ void BufferPool::Release(std::vector<float>&& buffer) {
 }
 
 void BufferPool::RecordAdopt() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.adopts++;
   stats_.live_buffers++;
 }
 
 BufferPoolStats BufferPool::Stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 void BufferPool::Clear() {
   std::vector<std::vector<float>> dropped;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& bucket : buckets_) {
     for (auto& buffer : bucket) dropped.push_back(std::move(buffer));
     bucket.clear();
@@ -138,7 +139,7 @@ void BufferPool::Clear() {
 }
 
 void BufferPool::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint64_t cached_buffers = stats_.cached_buffers;
   const uint64_t cached_bytes = stats_.cached_bytes;
   const uint64_t live = stats_.live_buffers;
@@ -150,14 +151,14 @@ void BufferPool::ResetStats() {
 }
 
 void BufferPool::set_recycling_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   recycling_enabled_ = !kSanitizerBuild && enabled;
 }
 
 void BufferPool::RecordProfCounters() {
   BufferPoolStats delta;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     delta.acquires = stats_.acquires - exported_.acquires;
     delta.hits = stats_.hits - exported_.hits;
     delta.misses = stats_.misses - exported_.misses;
@@ -176,5 +177,7 @@ void BufferPool::RecordProfCounters() {
   STSM_PROF_COUNT("pool.bytes_requested", delta.bytes_requested);
   STSM_PROF_COUNT("pool.bytes_reused", delta.bytes_reused);
 }
+
+void RecordPoolProfCounters() { BufferPool::Instance().RecordProfCounters(); }
 
 }  // namespace stsm

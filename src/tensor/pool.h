@@ -23,8 +23,9 @@
 #define STSM_TENSOR_POOL_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace stsm {
 
@@ -59,37 +60,42 @@ class BufferPool {
   // Returns a vector with size() == n. When `zero` is set the content is
   // all zeros; otherwise it is unspecified (fully-overwriting ops skip the
   // zero-fill). n == 0 returns an empty vector without touching the pool.
-  std::vector<float> Acquire(int64_t n, bool zero);
+  std::vector<float> Acquire(int64_t n, bool zero) STSM_EXCLUDES(mutex_);
 
   // Returns a buffer to the pool. Recycles it into a free list when
   // recycling is on and the cache cap is not exceeded; frees it otherwise.
-  void Release(std::vector<float>&& buffer);
+  void Release(std::vector<float>&& buffer) STSM_EXCLUDES(mutex_);
 
   // Records a buffer that was allocated outside the pool but will be
   // Released through it later (Storage adopting a caller's vector). Keeps
   // the live_buffers gauge balanced.
-  void RecordAdopt();
+  void RecordAdopt() STSM_EXCLUDES(mutex_);
 
-  BufferPoolStats Stats() const;
+  BufferPoolStats Stats() const STSM_EXCLUDES(mutex_);
 
   // Drops all cached buffers (free lists only; live buffers are untouched).
-  void Clear();
+  void Clear() STSM_EXCLUDES(mutex_);
 
   // Zeroes the cumulative counters; gauges are recomputed, not reset.
-  void ResetStats();
+  void ResetStats() STSM_EXCLUDES(mutex_);
 
   // True when freed buffers are kept for reuse (false under sanitizers or
   // STSM_POOL=0; Acquire/Release bookkeeping still runs).
-  bool recycling_enabled() const { return recycling_enabled_; }
-  void set_recycling_enabled(bool enabled);
+  bool recycling_enabled() const STSM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return recycling_enabled_;
+  }
+  void set_recycling_enabled(bool enabled) STSM_EXCLUDES(mutex_);
 
-  // Exports the counters through stsm::prof as monotonic counters
+  // Exports the counters through stsm::prof as monotonic counters. Prefer
+  // the RecordPoolProfCounters() free function outside src/tensor/ — client
+  // code must not include this header (enforced by tools/stsm_lint.py).
   // ("pool.acquire", "pool.hit", "pool.miss", "pool.adopt", "pool.release",
   // "pool.bytes_requested", "pool.bytes_reused"). Each call records only the
   // delta since the previous call, so repeated exports (e.g. once per epoch
   // plus once before a snapshot) sum to the true totals. Net leaked buffers
   // at export time = pool.acquire + pool.adopt - pool.release.
-  void RecordProfCounters();
+  void RecordProfCounters() STSM_EXCLUDES(mutex_);
 
  private:
   // One free list per power-of-two capacity class. Bucket b holds buffers
@@ -100,14 +106,15 @@ class BufferPool {
   static constexpr int kNumBuckets = 40;
   static constexpr int kMaxWasteClasses = 2;
 
-  mutable std::mutex mutex_;
-  std::vector<std::vector<float>> buckets_[kNumBuckets];
-  BufferPoolStats stats_;
-  uint64_t max_cached_bytes_;
-  bool recycling_enabled_;
+  mutable Mutex mutex_;
+  std::vector<std::vector<float>> buckets_[kNumBuckets] STSM_GUARDED_BY(
+      mutex_);
+  BufferPoolStats stats_ STSM_GUARDED_BY(mutex_);
+  uint64_t max_cached_bytes_ STSM_GUARDED_BY(mutex_);
+  bool recycling_enabled_ STSM_GUARDED_BY(mutex_);
 
-  // Deltas already exported to stsm::prof (guarded by mutex_).
-  BufferPoolStats exported_;
+  // Deltas already exported to stsm::prof.
+  BufferPoolStats exported_ STSM_GUARDED_BY(mutex_);
 };
 
 }  // namespace stsm

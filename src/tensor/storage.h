@@ -20,6 +20,12 @@
 
 namespace stsm {
 
+// Exports the BufferPool counters into stsm::prof (delta since the last
+// call; see BufferPool::RecordProfCounters). This is the public face of the
+// pool for code outside src/tensor/ — training loops call it once per epoch
+// without including the pool header.
+void RecordPoolProfCounters();
+
 class Storage {
  public:
   // Pool-backed buffer of `size` elements (zero-filled unless `zero` is

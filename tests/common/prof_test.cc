@@ -99,7 +99,8 @@ TEST_F(ProfTest, ResetClearsStatsButKeepsRecording) {
   // The same name must keep working after Reset (thread-local caches hold
   // pointers into the registry).
   RecordTimerNs("prof_test.reset", 20);
-  const StatSnapshot* stat = TakeSnapshot().FindTimer("prof_test.reset");
+  const Snapshot snapshot = TakeSnapshot();
+  const StatSnapshot* stat = snapshot.FindTimer("prof_test.reset");
   ASSERT_NE(stat, nullptr);
   EXPECT_EQ(stat->count, 1u);
   EXPECT_EQ(stat->total_ns, 20u);
@@ -134,7 +135,8 @@ TEST_F(ProfTest, StatsSurviveThreadExit) {
   });
   worker.join();
 
-  const StatSnapshot* stat = TakeSnapshot().FindTimer("prof_test.exited");
+  const Snapshot snapshot = TakeSnapshot();
+  const StatSnapshot* stat = snapshot.FindTimer("prof_test.exited");
   ASSERT_NE(stat, nullptr);
   EXPECT_EQ(stat->count, 50u);
   EXPECT_EQ(stat->total_ns, 550u);
@@ -146,7 +148,8 @@ TEST_F(ProfTest, HistogramPercentilesBracketTrueValues) {
   for (int i = 0; i < 100; ++i) RecordTimerNs("prof_test.hist", 1000);
   for (int i = 0; i < 5; ++i) RecordTimerNs("prof_test.hist", 1000000);
 
-  const StatSnapshot* stat = TakeSnapshot().FindTimer("prof_test.hist");
+  const Snapshot snapshot = TakeSnapshot();
+  const StatSnapshot* stat = snapshot.FindTimer("prof_test.hist");
   ASSERT_NE(stat, nullptr);
   const double p50 = stat->PercentileNs(0.50);
   const double p99 = stat->PercentileNs(0.99);

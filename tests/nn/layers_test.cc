@@ -55,7 +55,9 @@ TEST(LinearTest, GradientsFlowToParameters) {
       grad_norm += std::fabs(p.grad_data()[i]);
     }
     // Weight gradients must be non-zero for non-degenerate inputs.
-    if (p.numel() == 4) EXPECT_GT(grad_norm, 0.0);
+    if (p.numel() == 4) {
+      EXPECT_GT(grad_norm, 0.0);
+    }
   }
 }
 

@@ -195,7 +195,9 @@ TEST_P(PseudoObsProperty, WeightsFormConvexCombination) {
       }
     }
     EXPECT_NEAR(sum, 1.0, 1e-9);
-    if (max_neighbors > 0) EXPECT_LE(support, max_neighbors);
+    if (max_neighbors > 0) {
+      EXPECT_LE(support, max_neighbors);
+    }
   }
 }
 

@@ -1,0 +1,231 @@
+// Multi-producer / multi-consumer stress for BoundedQueue — the serving
+// layer's delivery guarantee, asserted under contention: every accepted
+// item is delivered exactly once (none lost, none double-delivered), pops
+// are batch-compatible, and per-producer FIFO order survives the
+// micro-batching scan. Runs in the TSan CI lane, so the queue's locking is
+// also checked for data races, not just logical delivery.
+
+#include "serve/queue.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace stsm {
+namespace serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct StressItem {
+  int producer = 0;
+  int seq = 0;
+  int model = 0;  // Batch-compatibility key (same-model micro-batching).
+  Clock::time_point deadline;
+};
+
+struct Delivered {
+  StressItem item;
+  bool expired = false;  // Past its deadline at pickup, like the server's
+                         // degraded path; still must be delivered exactly
+                         // once.
+};
+
+constexpr int kProducers = 4;
+constexpr int kConsumers = 3;
+constexpr int kItemsPerProducer = 2000;
+constexpr int kModels = 3;
+constexpr size_t kCapacity = 64;
+constexpr size_t kMaxBatch = 8;
+// Every kExpiredStride-th item is born past-deadline, so the expiry path is
+// exercised deterministically.
+constexpr int kExpiredStride = 7;
+
+// Drains `queue` until it is closed and empty, recording every popped item
+// and asserting every batch is model-homogeneous.
+void ConsumerLoop(BoundedQueue<StressItem>* queue,
+                  std::vector<Delivered>* sink) {
+  std::vector<StressItem> batch;
+  const auto compatible = [](const StressItem& first, const StressItem& it) {
+    return first.model == it.model;
+  };
+  while (queue->PopBatch(&batch, kMaxBatch, compatible)) {
+    ASSERT_FALSE(batch.empty());
+    ASSERT_LE(batch.size(), kMaxBatch);
+    const Clock::time_point now = Clock::now();
+    for (const StressItem& item : batch) {
+      EXPECT_EQ(item.model, batch.front().model);
+      sink->push_back(Delivered{item, now > item.deadline});
+    }
+  }
+}
+
+TEST(QueueStressTest, NoItemLostOrDoubleDeliveredUnderContention) {
+  BoundedQueue<StressItem> queue(kCapacity);
+
+  std::vector<std::vector<Delivered>> consumed(kConsumers);
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back(ConsumerLoop, &queue, &consumed[c]);
+  }
+
+  // Producers retry full-queue rejections (the server would answer
+  // kRejected instead; here we want every item accepted so the exactly-once
+  // ledger is exhaustive).
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int seq = 0; seq < kItemsPerProducer; ++seq) {
+        StressItem item;
+        item.producer = p;
+        item.seq = seq;
+        item.model = (p + seq) % kModels;
+        item.deadline = seq % kExpiredStride == 0
+                            ? Clock::now() - std::chrono::milliseconds(1)
+                            : Clock::now() + std::chrono::seconds(60);
+        while (!queue.TryPush(item)) std::this_thread::yield();
+      }
+    });
+  }
+
+  for (std::thread& producer : producers) producer.join();
+  queue.Close();  // Consumers drain the remainder, then exit.
+  for (std::thread& consumer : consumers) consumer.join();
+
+  // Exactly-once ledger: every (producer, seq) pair appears exactly once
+  // across all consumers.
+  std::set<std::pair<int, int>> seen;
+  int64_t total = 0;
+  int64_t expired = 0;
+  for (const auto& sink : consumed) {
+    for (const Delivered& delivery : sink) {
+      ++total;
+      expired += delivery.expired ? 1 : 0;
+      const auto key =
+          std::make_pair(delivery.item.producer, delivery.item.seq);
+      EXPECT_TRUE(seen.insert(key).second)
+          << "double delivery of producer " << key.first << " seq "
+          << key.second;
+    }
+  }
+  EXPECT_EQ(total, int64_t{kProducers} * kItemsPerProducer);
+  EXPECT_EQ(seen.size(),
+            static_cast<size_t>(kProducers) * kItemsPerProducer);
+  // Every pre-expired item must still have been delivered (expiry is the
+  // server's business — the queue never drops), and they are a lower bound
+  // on the observed-expired count because in-flight queueing can expire
+  // more, never fewer.
+  EXPECT_GE(expired, int64_t{kProducers} *
+                         ((kItemsPerProducer + kExpiredStride - 1) /
+                          kExpiredStride));
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(QueueStressTest, PerProducerFifoSurvivesBatchScan) {
+  // Single consumer: PopBatch always takes the global oldest first and
+  // scans forward, so each producer's sequence must arrive monotonically.
+  BoundedQueue<StressItem> queue(kCapacity);
+  std::vector<Delivered> sink;
+  std::thread consumer(ConsumerLoop, &queue, &sink);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int seq = 0; seq < kItemsPerProducer; ++seq) {
+        StressItem item;
+        item.producer = p;
+        item.seq = seq;
+        item.model = p % kModels;
+        item.deadline = Clock::now() + std::chrono::seconds(60);
+        while (!queue.TryPush(item)) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  queue.Close();
+  consumer.join();
+
+  std::vector<int> next_seq(kProducers, 0);
+  for (const Delivered& delivery : sink) {
+    EXPECT_EQ(delivery.item.seq, next_seq[delivery.item.producer])
+        << "producer " << delivery.item.producer << " reordered";
+    next_seq[delivery.item.producer] = delivery.item.seq + 1;
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_seq[p], kItemsPerProducer);
+  }
+}
+
+TEST(QueueStressTest, CloseWhileProducingStrandsNothingAccepted) {
+  // Producers race Close(): pushes may be rejected, but whatever TryPush
+  // accepted must still come out exactly once — a closed queue keeps
+  // draining.
+  BoundedQueue<StressItem> queue(kCapacity);
+
+  std::vector<std::vector<Delivered>> consumed(kConsumers);
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back(ConsumerLoop, &queue, &consumed[c]);
+  }
+
+  std::atomic<int64_t> accepted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, &accepted, p] {
+      for (int seq = 0; seq < kItemsPerProducer; ++seq) {
+        StressItem item;
+        item.producer = p;
+        item.seq = seq;
+        item.model = seq % kModels;
+        item.deadline = Clock::now() + std::chrono::seconds(60);
+        if (queue.TryPush(item)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          std::this_thread::yield();  // Full or closed; drop and move on.
+        }
+      }
+    });
+  }
+
+  // Close mid-stream from a separate thread to race the producers.
+  std::thread closer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    queue.Close();
+  });
+
+  for (std::thread& producer : producers) producer.join();
+  closer.join();
+  for (std::thread& consumer : consumers) consumer.join();
+
+  int64_t total = 0;
+  std::set<std::pair<int, int>> seen;
+  for (const auto& sink : consumed) {
+    for (const Delivered& delivery : sink) {
+      ++total;
+      EXPECT_TRUE(
+          seen.insert(std::make_pair(delivery.item.producer * kModels +
+                                         delivery.item.model,
+                                     delivery.item.seq))
+              .second);
+    }
+  }
+  EXPECT_EQ(total, accepted.load());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace stsm

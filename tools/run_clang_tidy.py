@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for the stsm tree.
+
+Runs clang-tidy (configuration from the repo's .clang-tidy) over every
+first-party translation unit in compile_commands.json, in parallel, and
+fails on any finding — WarningsAsErrors is '*', so CI treats tidy findings
+exactly like compiler errors.
+
+Usage:
+  run_clang_tidy.py [--build-dir BUILD] [--jobs N] [--filter REGEX] [--fix]
+
+The build directory must have been configured by CMake (the root
+CMakeLists.txt always exports compile_commands.json). Scope is src/ — tests
+and benches follow looser rules (gtest macros trip several bugprone checks).
+
+Exit status: 0 clean, 1 findings, 2 environment problems (no clang-tidy
+binary, no compile database). Stdlib only.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+# Newest first; plain "clang-tidy" wins when present.
+TIDY_CANDIDATES = ["clang-tidy"] + [f"clang-tidy-{v}" for v in
+                                    range(21, 13, -1)]
+
+
+def find_clang_tidy():
+    for name in TIDY_CANDIDATES:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(build_dir):
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        print(f"error: {db_path} not found — configure with cmake first "
+              "(compile_commands.json export is always on)", file=sys.stderr)
+        return None
+    with open(db_path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory (default: build)")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, (os.cpu_count() or 2) - 1),
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--filter", default=r"/src/.*\.cc$",
+                        help="regex selecting TUs from the compile database")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply suggested fixes (serialised: --jobs 1)")
+    args = parser.parse_args(argv[1:])
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    build_dir = (root / args.build_dir).resolve() \
+        if not os.path.isabs(args.build_dir) \
+        else pathlib.Path(args.build_dir)
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("error: no clang-tidy binary on PATH (tried: "
+              f"{', '.join(TIDY_CANDIDATES)})", file=sys.stderr)
+        return 2
+
+    db = load_compile_db(build_dir)
+    if db is None:
+        return 2
+
+    selector = re.compile(args.filter)
+    files = sorted({entry["file"] for entry in db
+                    if selector.search(entry["file"])})
+    if not files:
+        print(f"error: no TUs match --filter {args.filter!r}",
+              file=sys.stderr)
+        return 2
+
+    base_cmd = [tidy, "-p", str(build_dir), "--quiet"]
+    if args.fix:
+        base_cmd.append("--fix")
+        args.jobs = 1  # Concurrent fixers race on shared headers.
+
+    def run_one(path):
+        proc = subprocess.run(base_cmd + [path], capture_output=True,
+                              text=True)
+        # clang-tidy prints per-TU noise ("N warnings generated") on stderr;
+        # findings land on stdout.
+        return path, proc.returncode, proc.stdout.strip()
+
+    failures = []
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for path, code, output in pool.map(run_one, files):
+            rel = os.path.relpath(path, root)
+            if code != 0 or output:
+                failures.append((rel, output))
+                print(f"FAIL {rel}", file=sys.stderr)
+                if output:
+                    print(output, file=sys.stderr)
+            else:
+                print(f"  ok {rel}")
+
+    if failures:
+        print(f"clang-tidy: {len(failures)} file(s) with findings "
+              f"(of {len(files)} checked)", file=sys.stderr)
+        return 1
+    print(f"clang-tidy: OK — {len(files)} translation units clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Project-specific invariant linter for the stsm tree.
+
+Checks rules that generic static analysis (clang-tidy, -Wthread-safety)
+cannot know because they encode *this* codebase's contracts:
+
+  serve-nograd       src/serve/ must never build autograd state: no call to
+                     Backward()/EnsureGrad()/GradView()/set_requires_grad(),
+                     and any serve translation unit that runs a model
+                     Forward() must take autograd::NoGradGuard somewhere in
+                     the file (served forwards build zero graph — PR 4's
+                     NodesCreated()/GradAllocations() counters assert it at
+                     runtime; this catches it at review time).
+
+  ops-strided-pair   every kernel in src/tensor/ops.cc that branches on
+                     is_contiguous() for a fast path must also contain a
+                     generic strided path (index tables / Contiguous()
+                     compaction / explicit strides) in the same function.
+                     A contiguous-only kernel silently computes garbage on
+                     the zero-copy views introduced in PR 5.
+
+  pool-include       "tensor/pool.h" is an implementation detail of the
+                     tensor substrate. Outside src/tensor/ only the pool's
+                     own tests may include it; everything else goes through
+                     the public surface (storage.h's RecordPoolProfCounters,
+                     prof counters, STSM_POOL env knobs).
+
+  prof-scope-unique  every STSM_PROF_SCOPE string literal is globally
+                     unique. Two scopes sharing a name merge into one timer
+                     and make per-op attribution (bench_table5_runtime's
+                     matmul/transpose breakdown) silently wrong. Scopes
+                     named by a variable (ops.cc's per-node fwd/bwd names)
+                     are out of scope for this textual check.
+
+Usage: stsm_lint.py [repo_root]
+
+Exit status 0 when clean, 1 with one line per finding otherwise. Stdlib
+only; wired into CI next to check_pool_stats.py.
+"""
+
+import pathlib
+import re
+import sys
+
+# ---- shared helpers ---------------------------------------------------------
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments (string literals are not parsed; the
+    patterns this linter greps for do not occur inside project strings)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", "", text)
+    return text
+
+
+def read(path):
+    return path.read_text(encoding="utf-8")
+
+
+# ---- serve-nograd -----------------------------------------------------------
+
+FORBIDDEN_IN_SERVE = [
+    (r"\bBackward\s*\(", "calls Backward()"),
+    (r"\bEnsureGrad\s*\(", "allocates gradient storage"),
+    (r"\bGradView\s*\(", "wraps a gradient buffer"),
+    (r"\bset_requires_grad\s*\(", "marks a tensor as requiring grad"),
+    (r"\bZeroGrad\s*\(", "touches gradient state"),
+]
+
+
+def check_serve_nograd(root, findings):
+    for path in sorted((root / "src" / "serve").glob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        text = strip_comments(read(path))
+        rel = path.relative_to(root)
+        for pattern, why in FORBIDDEN_IN_SERVE:
+            for match in re.finditer(pattern, text):
+                line = text[: match.start()].count("\n") + 1
+                findings.append(
+                    f"{rel}:{line}: [serve-nograd] {why} — serve code paths "
+                    "must not construct autograd state")
+        # A serve TU that runs the model must pin NoGradGuard.
+        if re.search(r"(->|\.)Forward\s*\(", text) and \
+                "NoGradGuard" not in text:
+            findings.append(
+                f"{rel}: [serve-nograd] calls Forward() but never takes "
+                "autograd::NoGradGuard — served forwards must build no "
+                "graph")
+
+
+# ---- ops-strided-pair -------------------------------------------------------
+
+# Evidence of a generic (non-contiguous) path inside the same function.
+STRIDED_MARKERS = (
+    "BuildPhysTable", "PhysAt", "BuildIndexTable", "BinaryLayout",
+    "Contiguous(", "PhysicalIndex", "strides", "table",
+)
+
+
+NAMESPACE_OPEN = re.compile(r"^\s*(inline\s+)?namespace\b[^{]*\{\s*$")
+NAMESPACE_CLOSE = re.compile(r"^\}\s*$|^\}\s*//\s*namespace")
+
+
+def toplevel_functions(text):
+    """Yields (name_line, body) for each namespace-level brace-balanced
+    block (function, class, or struct definition).
+
+    AST-lite: relies on the tree's clang-format layout (opening brace on the
+    signature line, closing brace back at the margin, namespace braces on
+    their own `namespace x {` / `}  // namespace x` lines, which are treated
+    as transparent). Good enough to attribute an is_contiguous() branch to
+    its kernel.
+    """
+    lines = text.split("\n")
+    depth = 0
+    start = None
+    for i, line in enumerate(lines):
+        if start is None and (NAMESPACE_OPEN.match(line) or
+                              NAMESPACE_CLOSE.match(line)):
+            continue  # Namespace braces do not open a block.
+        opens = line.count("{")
+        closes = line.count("}")
+        if depth == 0 and opens > closes:
+            start = i
+        depth += opens - closes
+        if depth == 0 and start is not None:
+            yield start + 1, "\n".join(lines[start:i + 1])
+            start = None
+
+
+def check_ops_strided_pairing(root, findings):
+    path = root / "src" / "tensor" / "ops.cc"
+    text = strip_comments(read(path))
+    rel = path.relative_to(root)
+    for line, body in toplevel_functions(text):
+        if "is_contiguous()" not in body:
+            continue
+        if not any(marker in body for marker in STRIDED_MARKERS):
+            findings.append(
+                f"{rel}:{line}: [ops-strided-pair] kernel branches on "
+                "is_contiguous() but has no strided fallback (expected one "
+                f"of: {', '.join(STRIDED_MARKERS)})")
+
+
+# ---- pool-include -----------------------------------------------------------
+
+POOL_INCLUDE = re.compile(r"#include\s+\"tensor/pool\.h\"")
+# The pool's own tests assert free-list/recycling internals.
+POOL_TEST_ALLOWLIST = {
+    "tests/tensor/storage_pool_test.cc",
+    "tests/tensor/strided_view_test.cc",
+}
+
+
+def check_pool_include(root, findings):
+    for sub in ("src", "tests", "bench", "examples"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc", ".cpp"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith("src/tensor/") or rel in POOL_TEST_ALLOWLIST:
+                continue
+            text = strip_comments(read(path))
+            match = POOL_INCLUDE.search(text)
+            if match:
+                line = text[: match.start()].count("\n") + 1
+                findings.append(
+                    f"{rel}:{line}: [pool-include] tensor/pool.h is "
+                    "internal to src/tensor/ — use RecordPoolProfCounters() "
+                    "(tensor/storage.h) or the pool.* prof counters instead")
+
+
+# ---- prof-scope-unique ------------------------------------------------------
+
+PROF_SCOPE = re.compile(r"STSM_PROF_SCOPE\s*\(\s*\"([^\"]+)\"\s*\)")
+
+
+def check_prof_scope_unique(root, findings):
+    seen = {}
+    for sub in ("src", "bench", "examples"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc", ".cpp"):
+                continue
+            text = strip_comments(read(path))
+            rel = path.relative_to(root).as_posix()
+            for match in PROF_SCOPE.finditer(text):
+                name = match.group(1)
+                line = text[: match.start()].count("\n") + 1
+                where = f"{rel}:{line}"
+                if name in seen:
+                    findings.append(
+                        f"{where}: [prof-scope-unique] STSM_PROF_SCOPE "
+                        f"name \"{name}\" already used at {seen[name]} — "
+                        "shared names merge into one timer and corrupt "
+                        "per-op attribution")
+                else:
+                    seen[name] = where
+
+
+# ---- driver -----------------------------------------------------------------
+
+
+def main(argv):
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else \
+        pathlib.Path(__file__).resolve().parent.parent
+    findings = []
+    check_serve_nograd(root, findings)
+    check_ops_strided_pairing(root, findings)
+    check_pool_include(root, findings)
+    check_prof_scope_unique(root, findings)
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    if findings:
+        print(f"stsm_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("stsm_lint: OK (serve-nograd, ops-strided-pair, pool-include, "
+          "prof-scope-unique)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
