@@ -11,11 +11,23 @@
 #include "nn/loss.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "timeseries/dtw.h"
 #include "timeseries/pseudo_observations.h"
 
 namespace stsm {
 namespace {
+
+// Pins the scalar reference kernels for the duration of one benchmark so the
+// *Scalar variants measure the exact code the SIMD dispatch replaced. The
+// micro/baseline speedup pairs in bench/baselines.json compare against these.
+class ScalarDispatchScope {
+ public:
+  ScalarDispatchScope() { simd::SetDispatchForTesting(false); }
+  ~ScalarDispatchScope() { simd::ResetDispatch(); }
+  ScalarDispatchScope(const ScalarDispatchScope&) = delete;
+  ScalarDispatchScope& operator=(const ScalarDispatchScope&) = delete;
+};
 
 void BM_MatMulGcnShaped(benchmark::State& state) {
   const int64_t nodes = state.range(0);
@@ -129,6 +141,26 @@ void BM_NaiveGemm(benchmark::State& state) {
 }
 BENCHMARK(BM_NaiveGemm)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_PackedGemmScalar(benchmark::State& state) {
+  // Same workload as BM_PackedGemm with the dispatch pinned to the scalar
+  // microkernel; BM_PackedGemm / BM_PackedGemmScalar is the SIMD speedup.
+  ScalarDispatchScope scalar_only;
+  const int64_t n = state.range(0);
+  Rng rng(9);
+  std::vector<float> a(static_cast<size_t>(n * n));
+  std::vector<float> b(static_cast<size_t>(n * n));
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-1.0, 1.0));
+  for (auto _ : state) {
+    PackedGemm(n, n, n, a.data(), n, 1, b.data(), n, 1, c.data(), n, 1,
+               /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_PackedGemmScalar)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_MatMulTransposedOperand(benchmark::State& state) {
   // A^T @ B without materializing A^T: the GEMM packing absorbs the swapped
   // strides, so this should track BM_PackedGemm rather than paying an extra
@@ -203,6 +235,40 @@ void BM_Softmax(benchmark::State& state) {
 }
 BENCHMARK(BM_Softmax);
 
+void BM_SoftmaxScalar(benchmark::State& state) {
+  ScalarDispatchScope scalar_only;
+  Rng rng(5);
+  const Tensor x = Tensor::Uniform(Shape({64, 8, 24, 24}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(x, -1).data());
+  }
+}
+BENCHMARK(BM_SoftmaxScalar);
+
+void BM_AddContiguous(benchmark::State& state) {
+  // Contiguous elementwise binary op: the canonical vectorized fast path.
+  Rng rng(11);
+  const Tensor a = Tensor::Uniform(Shape({64, 8, 24, 24}), -1, 1, &rng);
+  const Tensor b = Tensor::Uniform(Shape({64, 8, 24, 24}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Add(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.numel());
+}
+BENCHMARK(BM_AddContiguous);
+
+void BM_AddContiguousScalar(benchmark::State& state) {
+  ScalarDispatchScope scalar_only;
+  Rng rng(11);
+  const Tensor a = Tensor::Uniform(Shape({64, 8, 24, 24}), -1, 1, &rng);
+  const Tensor b = Tensor::Uniform(Shape({64, 8, 24, 24}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Add(a, b).data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.numel());
+}
+BENCHMARK(BM_AddContiguousScalar);
+
 void BM_InfoNce(benchmark::State& state) {
   Rng rng(6);
   Tensor a = Tensor::Uniform(Shape({16, 32}), -1, 1, &rng, true);
@@ -257,4 +323,17 @@ BENCHMARK(BM_AdjacencyBuild);
 }  // namespace
 }  // namespace stsm
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the JSON report records which
+// kernel table was live: tools/check_pool_stats.py --micro skips the
+// SIMD-vs-scalar speedup pairs when the context says the scalar table ran
+// (older CPU, -DSTSM_SIMD=OFF build, or STSM_SIMD=off in the environment).
+int main(int argc, char** argv) {
+  const stsm::simd::KernelTable* active = stsm::simd::Active();
+  benchmark::AddCustomContext("stsm_simd", active ? "on" : "off");
+  benchmark::AddCustomContext("stsm_simd_isa", active ? active->isa : "scalar");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,10 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
+#include <cassert>
 #include <vector>
+
+#include "tensor/simd.h"
 
 namespace stsm {
 
@@ -53,9 +56,16 @@ void PackedGemm(int64_t m, int64_t n, int64_t k,            //
     return;
   }
 
-  const int64_t n_panels = (n + kGemmNr - 1) / kGemmNr;
-  tl_a_pack.resize(static_cast<size_t>(kGemmMr * kGemmKc));
-  tl_b_pack.resize(static_cast<size_t>(n_panels * kGemmNr * kGemmKc));
+  // Fetch the dispatch once per call: every pack/store below uses the same
+  // tile geometry, and flipping dispatch mid-call (tests) cannot tear us.
+  const simd::KernelTable* vk = simd::Active();
+  const int64_t mr = vk != nullptr ? vk->gemm_mr : kGemmMr;
+  const int64_t nr = vk != nullptr ? vk->gemm_nr : kGemmNr;
+  assert(mr <= kGemmMaxMr && nr <= kGemmMaxNr);
+
+  const int64_t n_panels = (n + nr - 1) / nr;
+  tl_a_pack.resize(static_cast<size_t>(mr * kGemmKc));
+  tl_b_pack.resize(static_cast<size_t>(n_panels * nr * kGemmKc));
 
   for (int64_t kc = 0; kc < k; kc += kGemmKc) {
     const int64_t kb = std::min(kGemmKc, k - kc);
@@ -66,36 +76,40 @@ void PackedGemm(int64_t m, int64_t n, int64_t k,            //
     // Pack B into NR-wide, k-major panels (zero-padded past column n).
     float* b_pack = tl_b_pack.data();
     for (int64_t jp = 0; jp < n_panels; ++jp) {
-      const int64_t j0 = jp * kGemmNr;
-      const int64_t jw = std::min(kGemmNr, n - j0);
-      float* panel = b_pack + jp * kb * kGemmNr;
+      const int64_t j0 = jp * nr;
+      const int64_t jw = std::min(nr, n - j0);
+      float* panel = b_pack + jp * kb * nr;
       for (int64_t kk = 0; kk < kb; ++kk) {
         const float* src = b + (kc + kk) * rs_b + j0 * cs_b;
-        float* dst = panel + kk * kGemmNr;
+        float* dst = panel + kk * nr;
         for (int64_t j = 0; j < jw; ++j) dst[j] = src[j * cs_b];
-        for (int64_t j = jw; j < kGemmNr; ++j) dst[j] = 0.0f;
+        for (int64_t j = jw; j < nr; ++j) dst[j] = 0.0f;
       }
     }
 
-    for (int64_t i0 = 0; i0 < m; i0 += kGemmMr) {
-      const int64_t iw = std::min(kGemmMr, m - i0);
+    for (int64_t i0 = 0; i0 < m; i0 += mr) {
+      const int64_t iw = std::min(mr, m - i0);
       // Pack the A row panel k-major (zero-padded past row m).
       float* a_pack = tl_a_pack.data();
       for (int64_t kk = 0; kk < kb; ++kk) {
         const float* src = a + i0 * rs_a + (kc + kk) * cs_a;
-        float* dst = a_pack + kk * kGemmMr;
+        float* dst = a_pack + kk * mr;
         for (int64_t i = 0; i < iw; ++i) dst[i] = src[i * rs_a];
-        for (int64_t i = iw; i < kGemmMr; ++i) dst[i] = 0.0f;
+        for (int64_t i = iw; i < mr; ++i) dst[i] = 0.0f;
       }
 
       for (int64_t jp = 0; jp < n_panels; ++jp) {
-        const int64_t j0 = jp * kGemmNr;
-        const int64_t jw = std::min(kGemmNr, n - j0);
-        float acc[kGemmMr * kGemmNr] = {};
-        MicroKernel(kb, a_pack, b_pack + jp * kb * kGemmNr, acc);
+        const int64_t j0 = jp * nr;
+        const int64_t jw = std::min(nr, n - j0);
+        alignas(32) float acc[kGemmMaxMr * kGemmMaxNr] = {};
+        if (vk != nullptr) {
+          vk->gemm_micro(kb, a_pack, b_pack + jp * kb * nr, acc);
+        } else {
+          MicroKernel(kb, a_pack, b_pack + jp * kb * nr, acc);
+        }
         for (int64_t i = 0; i < iw; ++i) {
           float* dst = c + (i0 + i) * rs_c + j0 * cs_c;
-          const float* src = acc + i * kGemmNr;
+          const float* src = acc + i * nr;
           if (overwrite) {
             for (int64_t j = 0; j < jw; ++j) dst[j * cs_c] = src[j];
           } else {

@@ -26,8 +26,13 @@ namespace stsm {
 
 // Register-tile and cache-block parameters, exported so benchmarks and tests
 // can reason about edge cases (m % kGemmMr, n % kGemmNr, k > kGemmKc).
-inline constexpr int64_t kGemmMr = 4;   // rows per register tile
-inline constexpr int64_t kGemmNr = 8;   // columns per register tile
+// kGemmMr/kGemmNr describe the scalar reference tile; when a SIMD kernel
+// table is active (see tensor/simd.h) PackedGemm packs with the table's
+// wider geometry instead, bounded by kGemmMaxMr/kGemmMaxNr.
+inline constexpr int64_t kGemmMr = 4;   // rows per register tile (scalar)
+inline constexpr int64_t kGemmNr = 8;   // columns per register tile (scalar)
+inline constexpr int64_t kGemmMaxMr = 8;   // upper bound over all kernels
+inline constexpr int64_t kGemmMaxNr = 16;  // upper bound over all kernels
 inline constexpr int64_t kGemmKc = 256; // k-block (packed panel depth)
 
 // Suggested number of C rows per parallel task when callers split a single

@@ -10,9 +10,20 @@
 #include "common/thread_pool.h"
 #include "tensor/autograd.h"
 #include "tensor/gemm.h"
+#include "tensor/simd.h"
 
 namespace stsm {
 namespace {
+
+// Gather scratch for feeding strided rows to the SIMD reduction/softmax
+// kernels: running every layout through the SAME vector kernel keeps the
+// bitwise strided==contiguous invariant that the scalar kernels already
+// guarantee. thread_local because MatMul-adjacent callers run ops inside
+// ParallelFor workers.
+std::vector<float>& TlGatherScratch() {
+  thread_local std::vector<float> scratch;
+  return scratch;
+}
 
 using ImplPtr = std::shared_ptr<TensorImpl>;
 using autograd::Node;
@@ -248,9 +259,13 @@ namespace {
 // suffix broadcast on either side (modulo indexing), and a precomputed
 // odometer index table for arbitrary broadcasts.
 // `fwd_name` / `bwd_name` label the op in the profiler (string literals).
+// `vec` selects the op's kernel in simd::KernelTable; when dispatch is
+// active and both operands take the flat fast path the vector kernel runs
+// instead of the scalar loop (bitwise-identical results by contract).
 template <typename Fwd, typename DfA, typename DfB>
 Tensor BinaryOp(const char* fwd_name, const char* bwd_name, const Tensor& a,
-                const Tensor& b, Fwd fwd, DfA dfa, DfB dfb) {
+                const Tensor& b, Fwd fwd, DfA dfa, DfB dfb,
+                simd::BinaryKernel simd::KernelTable::*vec = nullptr) {
   STSM_PROF_SCOPE(fwd_name);
   STSM_CHECK(a.defined() && b.defined());
   const Shape out_shape = Shape::Broadcast(a.shape(), b.shape());
@@ -281,7 +296,12 @@ Tensor BinaryOp(const char* fwd_name, const char* bwd_name, const Tensor& a,
   const float* bd = b.data();
   float* out = result->data();
   if (layout.a_same && layout.b_same) {
-    for (int64_t i = 0; i < layout.n; ++i) out[i] = fwd(ad[i], bd[i]);
+    const simd::KernelTable* vk = vec != nullptr ? simd::Active() : nullptr;
+    if (vk != nullptr) {
+      (vk->*vec)(ad, bd, out, layout.n);
+    } else {
+      for (int64_t i = 0; i < layout.n; ++i) out[i] = fwd(ad[i], bd[i]);
+    }
   } else {
     for (int64_t i = 0; i < layout.n; ++i) {
       out[i] = fwd(ad[layout.a_index(i)], bd[layout.b_index(i)]);
@@ -296,10 +316,15 @@ Tensor BinaryOp(const char* fwd_name, const char* bwd_name, const Tensor& a,
 }
 
 // Generic elementwise unary op. `dfx(x, y)` is d out / d x given the input
-// value and the already-computed output value.
+// value and the already-computed output value. `vec` selects the op's SIMD
+// kernel (run on the contiguous fast path only — bitwise-identical by
+// contract) and `p` is the scalar parameter forwarded to it (leaky-relu
+// alpha, the constant of Add(x, c), ...).
 template <typename Fwd, typename Dfx>
 Tensor UnaryOp(const char* fwd_name, const char* bwd_name, const Tensor& x,
-               Fwd fwd, Dfx dfx) {
+               Fwd fwd, Dfx dfx,
+               simd::UnaryKernel simd::KernelTable::*vec = nullptr,
+               float p = 0.0f) {
   STSM_PROF_SCOPE(fwd_name);
   STSM_CHECK(x.defined());
   ImplPtr result =
@@ -309,7 +334,12 @@ Tensor UnaryOp(const char* fwd_name, const char* bwd_name, const Tensor& x,
   float* out = result->data();
   IndexTable table = BuildPhysTable(*x.impl());
   if (table == nullptr) {
-    for (int64_t i = 0; i < n; ++i) out[i] = fwd(xd[i]);
+    const simd::KernelTable* vk = vec != nullptr ? simd::Active() : nullptr;
+    if (vk != nullptr) {
+      (vk->*vec)(xd, out, n, p);
+    } else {
+      for (int64_t i = 0; i < n; ++i) out[i] = fwd(xd[i]);
+    }
   } else {
     for (int64_t i = 0; i < n; ++i) out[i] = fwd(xd[(*table)[i]]);
   }
@@ -328,26 +358,30 @@ Tensor UnaryOp(const char* fwd_name, const char* bwd_name, const Tensor& x,
 Tensor Add(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       "add.fwd", "add.bwd", a, b, [](float x, float y) { return x + y; },
-      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; },
+      &simd::KernelTable::add);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       "sub.fwd", "sub.bwd", a, b, [](float x, float y) { return x - y; },
-      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; },
+      &simd::KernelTable::sub);
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       "mul.fwd", "mul.bwd", a, b, [](float x, float y) { return x * y; },
-      [](float, float y) { return y; }, [](float x, float) { return x; });
+      [](float, float y) { return y; }, [](float x, float) { return x; },
+      &simd::KernelTable::mul);
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return BinaryOp(
       "div.fwd", "div.bwd", a, b, [](float x, float y) { return x / y; },
       [](float, float y) { return 1.0f / y; },
-      [](float x, float y) { return -x / (y * y); });
+      [](float x, float y) { return -x / (y * y); },
+      &simd::KernelTable::div);
 }
 
 Tensor Maximum(const Tensor& a, const Tensor& b) {
@@ -355,7 +389,8 @@ Tensor Maximum(const Tensor& a, const Tensor& b) {
       "maximum.fwd", "maximum.bwd", a, b,
       [](float x, float y) { return x >= y ? x : y; },
       [](float x, float y) { return x >= y ? 1.0f : 0.0f; },
-      [](float x, float y) { return x >= y ? 0.0f : 1.0f; });
+      [](float x, float y) { return x >= y ? 0.0f : 1.0f; },
+      &simd::KernelTable::maximum);
 }
 
 Tensor Minimum(const Tensor& a, const Tensor& b) {
@@ -363,14 +398,38 @@ Tensor Minimum(const Tensor& a, const Tensor& b) {
       "minimum.fwd", "minimum.bwd", a, b,
       [](float x, float y) { return x <= y ? x : y; },
       [](float x, float y) { return x <= y ? 1.0f : 0.0f; },
-      [](float x, float y) { return x <= y ? 0.0f : 1.0f; });
+      [](float x, float y) { return x <= y ? 0.0f : 1.0f; },
+      &simd::KernelTable::minimum);
 }
 
-Tensor Add(const Tensor& a, float b) { return Add(a, Tensor::Scalar(b)); }
-Tensor Sub(const Tensor& a, float b) { return Sub(a, Tensor::Scalar(b)); }
+// Scalar right-hand operands run as unary ops so the contiguous fast path
+// can use the *_scalar SIMD kernels (a broadcast from Tensor::Scalar would
+// take the index-table path instead). Same values and gradients either way.
+Tensor Add(const Tensor& a, float b) {
+  return UnaryOp(
+      "add_scalar.fwd", "add_scalar.bwd", a,
+      [b](float v) { return v + b; }, [](float, float) { return 1.0f; },
+      &simd::KernelTable::add_scalar, b);
+}
+Tensor Sub(const Tensor& a, float b) {
+  return UnaryOp(
+      "sub_scalar.fwd", "sub_scalar.bwd", a,
+      [b](float v) { return v - b; }, [](float, float) { return 1.0f; },
+      &simd::KernelTable::sub_scalar, b);
+}
 Tensor Sub(float a, const Tensor& b) { return Sub(Tensor::Scalar(a), b); }
-Tensor Mul(const Tensor& a, float b) { return Mul(a, Tensor::Scalar(b)); }
-Tensor Div(const Tensor& a, float b) { return Div(a, Tensor::Scalar(b)); }
+Tensor Mul(const Tensor& a, float b) {
+  return UnaryOp(
+      "mul_scalar.fwd", "mul_scalar.bwd", a,
+      [b](float v) { return v * b; }, [b](float, float) { return b; },
+      &simd::KernelTable::mul_scalar, b);
+}
+Tensor Div(const Tensor& a, float b) {
+  return UnaryOp(
+      "div_scalar.fwd", "div_scalar.bwd", a,
+      [b](float v) { return v / b; }, [b](float, float) { return 1.0f / b; },
+      &simd::KernelTable::div_scalar, b);
+}
 Tensor Div(float a, const Tensor& b) { return Div(Tensor::Scalar(a), b); }
 
 // ---- Elementwise unary ---------------------------------------------------------
@@ -378,20 +437,22 @@ Tensor Div(float a, const Tensor& b) { return Div(Tensor::Scalar(a), b); }
 Tensor Neg(const Tensor& x) {
   return UnaryOp(
       "neg.fwd", "neg.bwd", x, [](float v) { return -v; },
-      [](float, float) { return -1.0f; });
+      [](float, float) { return -1.0f; }, &simd::KernelTable::neg);
 }
 
 Tensor Relu(const Tensor& x) {
   return UnaryOp(
       "relu.fwd", "relu.bwd", x, [](float v) { return v > 0.0f ? v : 0.0f; },
-      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; },
+      &simd::KernelTable::relu);
 }
 
 Tensor LeakyRelu(const Tensor& x, float alpha) {
   return UnaryOp(
       "leaky_relu.fwd", "leaky_relu.bwd", x,
       [alpha](float v) { return v > 0.0f ? v : alpha * v; },
-      [alpha](float v, float) { return v > 0.0f ? 1.0f : alpha; });
+      [alpha](float v, float) { return v > 0.0f ? 1.0f : alpha; },
+      &simd::KernelTable::leaky_relu, alpha);
 }
 
 Tensor Sigmoid(const Tensor& x) {
@@ -427,19 +488,21 @@ Tensor Log(const Tensor& x) {
 Tensor Sqrt(const Tensor& x) {
   return UnaryOp(
       "sqrt.fwd", "sqrt.bwd", x, [](float v) { return std::sqrt(v); },
-      [](float, float y) { return y > 0.0f ? 0.5f / y : 0.0f; });
+      [](float, float y) { return y > 0.0f ? 0.5f / y : 0.0f; },
+      &simd::KernelTable::sqrt);
 }
 
 Tensor Square(const Tensor& x) {
   return UnaryOp(
       "square.fwd", "square.bwd", x, [](float v) { return v * v; },
-      [](float v, float) { return 2.0f * v; });
+      [](float v, float) { return 2.0f * v; }, &simd::KernelTable::square);
 }
 
 Tensor Abs(const Tensor& x) {
   return UnaryOp(
       "abs.fwd", "abs.bwd", x, [](float v) { return std::fabs(v); },
-      [](float v, float) { return v >= 0.0f ? 1.0f : -1.0f; });
+      [](float v, float) { return v >= 0.0f ? 1.0f : -1.0f; },
+      &simd::KernelTable::abs);
 }
 
 Tensor Pow(const Tensor& x, float exponent) {
@@ -845,8 +908,21 @@ Tensor Sum(const Tensor& x) {
   const float* xd = x.data();
   const int64_t n = x.numel();
   IndexTable table = BuildPhysTable(*x.impl());
+  const simd::KernelTable* vk = simd::Active();
   double acc = 0.0;
-  if (table == nullptr) {
+  if (vk != nullptr) {
+    // Every layout goes through the same lane-split kernel: a strided view
+    // is gathered first so its accumulation order — and therefore its
+    // result — stays bitwise equal to the contiguous case.
+    const float* src = xd;
+    if (table != nullptr) {
+      std::vector<float>& scratch = TlGatherScratch();
+      scratch.resize(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) scratch[i] = xd[(*table)[i]];
+      src = scratch.data();
+    }
+    acc = vk->sum(src, n);
+  } else if (table == nullptr) {
     for (int64_t i = 0; i < n; ++i) acc += xd[i];
   } else {
     for (int64_t i = 0; i < n; ++i) acc += xd[(*table)[i]];
@@ -962,14 +1038,35 @@ Tensor Sum(const Tensor& x, int dim, bool keepdim) {
   const DimMap& m = *map;
   const float* xd = x.data();
   float* out = result->data();
-  for (int64_t o = 0; o < s.outer; ++o) {
-    for (int64_t i = 0; i < s.inner; ++i) {
-      const int64_t base = m.outer_off[o] + m.inner_off[i];
-      double acc = 0.0;
-      for (int64_t r = 0; r < s.reduce; ++r) {
-        acc += xd[base + r * m.reduce_stride];
+  const simd::KernelTable* vk = simd::Active();
+  if (vk != nullptr) {
+    // Same kernel for every layout (unit-stride rows reduce in place,
+    // anything else is gathered) so strided==contiguous stays bitwise.
+    std::vector<float>& scratch = TlGatherScratch();
+    for (int64_t o = 0; o < s.outer; ++o) {
+      for (int64_t i = 0; i < s.inner; ++i) {
+        const int64_t base = m.outer_off[o] + m.inner_off[i];
+        const float* row = xd + base;
+        if (m.reduce_stride != 1) {
+          scratch.resize(static_cast<size_t>(s.reduce));
+          for (int64_t r = 0; r < s.reduce; ++r) {
+            scratch[r] = xd[base + r * m.reduce_stride];
+          }
+          row = scratch.data();
+        }
+        out[o * s.inner + i] = static_cast<float>(vk->sum(row, s.reduce));
       }
-      out[o * s.inner + i] = static_cast<float>(acc);
+    }
+  } else {
+    for (int64_t o = 0; o < s.outer; ++o) {
+      for (int64_t i = 0; i < s.inner; ++i) {
+        const int64_t base = m.outer_off[o] + m.inner_off[i];
+        double acc = 0.0;
+        for (int64_t r = 0; r < s.reduce; ++r) {
+          acc += xd[base + r * m.reduce_stride];
+        }
+        out[o * s.inner + i] = static_cast<float>(acc);
+      }
     }
   }
 
@@ -1044,9 +1141,33 @@ Tensor ExtremumAlongDim(const Tensor& x, int dim, bool keepdim, bool is_max) {
   const float* xd = x.data();
   float* out = result->data();
   std::vector<int64_t> arg_indices(static_cast<size_t>(s.outer * s.inner));
+  const simd::KernelTable* vk = simd::Active();
+  std::vector<float>& scratch = TlGatherScratch();
   for (int64_t o = 0; o < s.outer; ++o) {
     for (int64_t i = 0; i < s.inner; ++i) {
       const int64_t base = m.outer_off[o] + m.inner_off[i];
+      if (vk != nullptr) {
+        // The vector reduction is bitwise-exact (values AND argmax) but
+        // declines NaN rows and short rows; those fall through to the
+        // scalar scan, which is the semantic reference either way.
+        const float* row = xd + base;
+        if (m.reduce_stride != 1) {
+          scratch.resize(static_cast<size_t>(s.reduce));
+          for (int64_t r = 0; r < s.reduce; ++r) {
+            scratch[r] = xd[base + r * m.reduce_stride];
+          }
+          row = scratch.data();
+        }
+        float best = 0.0f;
+        int64_t best_r = 0;
+        const bool done = is_max ? vk->max_row(row, s.reduce, &best, &best_r)
+                                 : vk->min_row(row, s.reduce, &best, &best_r);
+        if (done) {
+          out[o * s.inner + i] = best;
+          arg_indices[o * s.inner + i] = best_r;
+          continue;
+        }
+      }
       int64_t best_r = 0;
       float best = xd[base];
       for (int64_t r = 1; r < s.reduce; ++r) {
@@ -1345,9 +1466,36 @@ Tensor Softmax(const Tensor& x, int dim) {
   const DimMap& m = *map;
   const float* xd = x.data();
   float* out = result->data();
+  const simd::KernelTable* vk = simd::Active();
+  std::vector<float>& scratch = TlGatherScratch();
   for (int64_t o = 0; o < s.outer; ++o) {
     for (int64_t i = 0; i < s.inner; ++i) {
       const int64_t xbase = m.outer_off[o] + m.inner_off[i];
+      if (vk != nullptr) {
+        // One kernel for every layout: unit-stride rows (last-dim softmax on
+        // a contiguous tensor) run in place, everything else gathers and
+        // scatters through scratch — so strided==contiguous stays bitwise.
+        // The kernel declines non-finite and short rows; those fall through
+        // to the scalar reference below.
+        bool done = false;
+        if (m.reduce_stride == 1 && s.inner == 1) {
+          done = vk->softmax_row(xd + xbase, out + o * s.reduce, s.reduce);
+        } else {
+          scratch.resize(static_cast<size_t>(2 * s.reduce));
+          float* row_in = scratch.data();
+          float* row_out = scratch.data() + s.reduce;
+          for (int64_t r = 0; r < s.reduce; ++r) {
+            row_in[r] = xd[xbase + r * m.reduce_stride];
+          }
+          done = vk->softmax_row(row_in, row_out, s.reduce);
+          if (done) {
+            for (int64_t r = 0; r < s.reduce; ++r) {
+              out[(o * s.reduce + r) * s.inner + i] = row_out[r];
+            }
+          }
+        }
+        if (done) continue;
+      }
       float max_v = -std::numeric_limits<float>::infinity();
       for (int64_t r = 0; r < s.reduce; ++r) {
         max_v = std::max(max_v, xd[xbase + r * m.reduce_stride]);
@@ -1596,7 +1744,12 @@ void AddScaledInPlace(Tensor x, const Tensor& y, float alpha) {
   float* xd = x.data();
   const float* yd = y.data();
   if (x.impl()->is_contiguous() && y.impl()->is_contiguous()) {
-    for (int64_t i = 0; i < n; ++i) xd[i] += alpha * yd[i];
+    const simd::KernelTable* vk = simd::Active();
+    if (vk != nullptr) {
+      vk->axpy(xd, yd, alpha, n);
+    } else {
+      for (int64_t i = 0; i < n; ++i) xd[i] += alpha * yd[i];
+    }
     return;
   }
   const IndexTable tx = BuildPhysTable(*x.impl());
@@ -1616,7 +1769,12 @@ void MulScalarInPlace(Tensor x, float value) {
   const int64_t n = x.numel();
   float* xd = x.data();
   if (x.impl()->is_contiguous()) {
-    for (int64_t i = 0; i < n; ++i) xd[i] *= value;
+    const simd::KernelTable* vk = simd::Active();
+    if (vk != nullptr) {
+      vk->scal(xd, value, n);
+    } else {
+      for (int64_t i = 0; i < n; ++i) xd[i] *= value;
+    }
     return;
   }
   const IndexTable tx = BuildPhysTable(*x.impl());
@@ -1629,7 +1787,12 @@ void ReluInPlace(Tensor x) {
   const int64_t n = x.numel();
   float* xd = x.data();
   if (x.impl()->is_contiguous()) {
-    for (int64_t i = 0; i < n; ++i) xd[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
+    const simd::KernelTable* vk = simd::Active();
+    if (vk != nullptr) {
+      vk->relu_inplace(xd, n);
+    } else {
+      for (int64_t i = 0; i < n; ++i) xd[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
+    }
     return;
   }
   const IndexTable tx = BuildPhysTable(*x.impl());

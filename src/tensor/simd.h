@@ -1,0 +1,109 @@
+// Runtime SIMD dispatch for the tensor substrate.
+//
+// The scalar kernels in ops.cc / gemm.cc are the reference semantics; this
+// header exposes an optional table of vectorized replacements for their
+// contiguous fast paths. The table is built in a separate translation unit
+// (simd_avx2.cc) compiled with -mavx2 -mfma, selected at runtime via CPUID,
+// and can be vetoed with STSM_SIMD=off (env) or -DSTSM_SIMD=OFF (CMake), so
+// non-x86 builds and the sanitizer lanes keep working with the scalar code
+// unchanged.
+//
+// Determinism contract (DESIGN.md §10):
+//  - Elementwise kernels (add/sub/mul/div/max/min/relu/... and the in-place
+//    trio) are BITWISE identical to the scalar reference for every input,
+//    including NaN, ±Inf, ±0.0 and denormals: each output element is the
+//    same single correctly-rounded operation in either path.
+//  - max_row/min_row reproduce the scalar strict-compare / first-index-wins
+//    reduction exactly (bitwise values AND argmax indices); rows containing
+//    NaN are declined (return false) and the caller must run the scalar code.
+//  - sum and softmax_row change the accumulation order (lane-split doubles)
+//    and softmax_row uses a polynomial exp, so they are ULP-bounded against
+//    the scalar reference, not bitwise. They are still deterministic
+//    run-to-run, and layout-independent as long as callers feed every layout
+//    through the same kernel (ops.cc gathers strided rows into scratch).
+//  - gemm_micro uses FMA and a wider tile, so PackedGemm under SIMD is
+//    ULP-bounded against scalar PackedGemm; within one dispatch mode it
+//    stays bitwise reproducible and stride/thread-count independent.
+
+#ifndef STSM_TENSOR_SIMD_H_
+#define STSM_TENSOR_SIMD_H_
+
+#include <cstdint>
+
+namespace stsm {
+namespace simd {
+
+// y[i] = op(a[i], b[i]) over contiguous arrays.
+using BinaryKernel = void (*)(const float* a, const float* b, float* y,
+                              int64_t n);
+// y[i] = op(x[i], p); p is the op parameter (leaky-relu alpha, the scalar
+// operand of Add(x, c), ...) and is ignored by parameter-free ops.
+using UnaryKernel = void (*)(const float* x, float* y, int64_t n, float p);
+
+struct KernelTable {
+  // ---- Packed GEMM microkernel ----------------------------------------
+  // Register-tile geometry the microkernel expects; gemm.cc packs its
+  // panels with these instead of kGemmMr/kGemmNr when the table is active.
+  int64_t gemm_mr;
+  int64_t gemm_nr;
+  // acc is a gemm_mr x gemm_nr row-major block, overwritten (not
+  // accumulated) with sum_k a_panel[k][i] * b_panel[k][j]. Panels are
+  // k-major and zero-padded to full tile width, exactly like the scalar
+  // MicroKernel's operands.
+  void (*gemm_micro)(int64_t kb, const float* a_panel, const float* b_panel,
+                     float* acc);
+
+  // ---- Contiguous elementwise (bitwise-exact vs scalar) ---------------
+  BinaryKernel add, sub, mul, div, maximum, minimum;
+  // Same ops with a scalar right-hand operand in p (x op c).
+  UnaryKernel add_scalar, sub_scalar, mul_scalar, div_scalar;
+  UnaryKernel neg, relu, leaky_relu, square, abs, sqrt;
+
+  // ---- In-place (bitwise-exact vs scalar) -----------------------------
+  void (*axpy)(float* x, const float* y, float alpha, int64_t n);  // x+=a*y
+  void (*scal)(float* x, float v, int64_t n);                      // x*=v
+  void (*relu_inplace)(float* x, int64_t n);
+
+  // ---- Reductions ------------------------------------------------------
+  // Lane-split double accumulation; ULP-bounded vs the scalar ordered sum.
+  double (*sum)(const float* x, int64_t n);
+  // Strict-compare extremum with first-index tie-breaking, bitwise equal to
+  // the scalar reduction. Returns false (outputs untouched) when the kernel
+  // declines the row — NaN present or n too small to vectorize — in which
+  // case the caller must run the scalar code.
+  bool (*max_row)(const float* x, int64_t n, float* best, int64_t* argbest);
+  bool (*min_row)(const float* x, int64_t n, float* best, int64_t* argbest);
+  // Softmax over one contiguous row into y. Declines (returns false, y
+  // unspecified) when the row holds a non-finite value or is too short;
+  // the scalar fallback then reproduces the reference special-value
+  // semantics exactly.
+  bool (*softmax_row)(const float* x, float* y, int64_t n);
+
+  const char* isa;  // e.g. "avx2+fma"
+};
+
+// Table compiled into this binary AND supported by the running CPU, else
+// nullptr. Ignores the STSM_SIMD env knob and test overrides.
+const KernelTable* Supported();
+
+// The active dispatch: Supported() unless vetoed by STSM_SIMD (off/0/scalar/
+// false) or a test override. Kernels and callers fetch this once per op
+// call; the pointer is atomic so toggling in tests is race-free.
+const KernelTable* Active();
+
+// Force dispatch on (when Supported()) or off. Used by the differential
+// tests and the scalar-vs-SIMD benchmarks; production code never calls it.
+void SetDispatchForTesting(bool enabled);
+// Restore the default env+CPUID decision.
+void ResetDispatch();
+
+namespace internal {
+// Defined in simd_avx2.cc: the AVX2+FMA table, or nullptr when that TU was
+// compiled without STSM_HAVE_AVX2 (non-x86 target or unsupported compiler).
+const KernelTable* Avx2Table();
+}  // namespace internal
+
+}  // namespace simd
+}  // namespace stsm
+
+#endif  // STSM_TENSOR_SIMD_H_

@@ -3,12 +3,22 @@
 
 Usage: check_pool_stats.py [--smoke-baseline] [--baselines FILE]
                            <profile.json> [serve_load.json]
+       check_pool_stats.py --micro [--baselines FILE] <benchmark.json>
 
 With --smoke-baseline, additionally asserts that pool.acquire stays below
 the checked-in smoke-bench ceiling (zero-copy views must allocate strictly
 less than the copying tensor core did). The ceiling lives in
 bench/baselines.json — next to the benches that produce the numbers, not
 hardcoded here — and failures report the observed-vs-expected delta.
+
+With --micro, the argument is instead a google-benchmark JSON report from
+bench_micro_substrate (--benchmark_format=json). Each entry in the
+baselines "micro" section names a fast/slow benchmark pair and a speedup
+floor: real_time(slow) / real_time(fast) must be >= min_speedup. Pairs
+marked simd_only are skipped when the report's custom context says the
+scalar kernel table ran (stsm_simd != "on") — e.g. an STSM_SIMD=off lane
+or a non-AVX2 host — since pinning scalar dispatch on both sides makes the
+SIMD-vs-scalar ratio meaningless there.
 
 Asserts that the pool counters are present (the tensor core actually routed
 its allocations through the BufferPool) and that no buffer leaked: every
@@ -51,6 +61,65 @@ def load_baseline(path, scale, counter):
         print(f"FAIL: {path} has no usable entry for "
               f"[{scale!r}][{counter!r}]['max']", file=sys.stderr)
         sys.exit(1)
+
+
+def load_micro_baselines(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            baselines = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"FAIL: cannot load baselines from {path}: {error}",
+              file=sys.stderr)
+        sys.exit(1)
+    micro = baselines.get("micro")
+    if not isinstance(micro, dict) or not micro:
+        print(f"FAIL: {path} has no usable 'micro' section", file=sys.stderr)
+        sys.exit(1)
+    return micro
+
+
+def check_micro(path, micro):
+    """Asserts every fast/slow speedup pair in the baselines 'micro' section
+    against a google-benchmark JSON report."""
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+
+    simd_on = report.get("context", {}).get("stsm_simd") == "on"
+    times = {b["name"]: float(b["real_time"])
+             for b in report.get("benchmarks", [])
+             if b.get("run_type", "iteration") == "iteration"}
+
+    status = 0
+    checked = skipped = 0
+    for name, spec in sorted(micro.items()):
+        if spec.get("simd_only", False) and not simd_on:
+            print(f"SKIP: {name}: scalar kernel table was active "
+                  "(stsm_simd != 'on'), SIMD-vs-scalar pair not meaningful")
+            skipped += 1
+            continue
+        fast, slow = spec["fast"], spec["slow"]
+        missing = [b for b in (fast, slow) if b not in times]
+        if missing:
+            print(f"FAIL: {name}: benchmark(s) {', '.join(missing)} absent "
+                  f"from {path} — was bench_micro_substrate run with a "
+                  "filter that excluded them?", file=sys.stderr)
+            status = 1
+            continue
+        floor = float(spec["min_speedup"])
+        speedup = times[slow] / times[fast]
+        checked += 1
+        if speedup < floor:
+            print(f"FAIL: {name}: {slow} / {fast} = {speedup:.2f}x, below "
+                  f"the checked-in floor {floor:.2f}x — the vectorized path "
+                  "regressed or silently fell back", file=sys.stderr)
+            status = 1
+        else:
+            print(f"OK: {name}: {slow} / {fast} = {speedup:.2f}x "
+                  f"(floor {floor:.2f}x)")
+    if status == 0:
+        print(f"OK: {path}: {checked} speedup pair(s) checked, "
+              f"{skipped} skipped")
+    return status
 
 
 def check_pool(path, baseline=None):
@@ -141,6 +210,13 @@ def main(argv):
         at = args.index("--baselines")
         args.pop(at)
         baselines_path = pathlib.Path(args.pop(at))
+    if "--micro" in args:
+        args.remove("--micro")
+        if len(args) != 1:
+            print(f"usage: {argv[0]} --micro [--baselines FILE] "
+                  "<benchmark.json>", file=sys.stderr)
+            return 1
+        return check_micro(args[0], load_micro_baselines(baselines_path))
     baseline = None
     if "--smoke-baseline" in args:
         args.remove("--smoke-baseline")
