@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <vector>
+
 #include "common/rng.h"
 #include "graph/adjacency.h"
 #include "graph/geo.h"
@@ -12,6 +15,7 @@
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/simd.h"
+#include "tensor/sparse.h"
 #include "timeseries/dtw.h"
 #include "timeseries/pseudo_observations.h"
 
@@ -319,6 +323,51 @@ void BM_AdjacencyBuild(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AdjacencyBuild);
+
+// City-scale propagation pair: one graph-propagation pass over a 10k-node
+// synthetic city as CSR SpMM vs the same normalised operator materialised
+// dense. BM_DenseSpmmCity / BM_SpmmCity is the sparse speedup whose floor
+// tools/check_pool_stats.py --micro enforces (bench/baselines.json,
+// "spmm.sparse_vs_dense"); the pair is degree-matched, so the ratio tracks
+// the N^2 / nnz work ratio rather than kernel tuning.
+SparseCsr CityAdjacency(int nodes) {
+  // Extent sized so the Eq. 2 radius (epsilon 0.5, sigma 1 km) captures
+  // ~25 neighbours per node — metro-scale sensor density.
+  const double radius = std::sqrt(std::log(2.0));
+  const double extent = std::sqrt(nodes * M_PI * radius * radius / 25.0);
+  Rng rng(12);
+  std::vector<GeoPoint> coords;
+  coords.reserve(nodes);
+  for (int i = 0; i < nodes; ++i) {
+    coords.push_back({rng.Uniform(0, extent), rng.Uniform(0, extent)});
+  }
+  return NormalizeSymmetric(GaussianAdjacencyFromCoords(coords, 0.5, 1.0),
+                            /*add_self_loops=*/false);
+}
+
+void BM_SpmmCity(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const SparseCsr adj = CityAdjacency(nodes);
+  Rng rng(13);
+  const Tensor x = Tensor::Uniform(Shape({nodes, 16}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Spmm(adj, x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * adj.nnz() * 16);
+}
+BENCHMARK(BM_SpmmCity)->Arg(10000);
+
+void BM_DenseSpmmCity(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  const Tensor dense = CityAdjacency(nodes).ToDense();
+  Rng rng(13);
+  const Tensor x = Tensor::Uniform(Shape({nodes, 16}), -1, 1, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(dense, x).data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * nodes * nodes * 16);
+}
+BENCHMARK(BM_DenseSpmmCity)->Arg(10000);
 
 }  // namespace
 }  // namespace stsm

@@ -95,8 +95,8 @@ serve::ForecastRequest RequestAt(const SpatioTemporalDataset& dataset,
 // One timed forward (includes graph destruction for the grad-enabled arm —
 // tearing down the recorded graph is part of that mode's per-request cost).
 double TimeForwardOnce(const StModel& model, const Tensor& x,
-                       const Tensor& time, const Tensor& adj_s,
-                       const Tensor& adj_t, bool no_grad) {
+                       const Tensor& time, const Adjacency& adj_s,
+                       const Adjacency& adj_t, bool no_grad) {
   const auto start = std::chrono::steady_clock::now();
   if (no_grad) {
     NoGradGuard guard;
@@ -118,7 +118,12 @@ void Run() {
   const std::string dataset_name = "bay-sim";
   const SpatioTemporalDataset dataset =
       MakeDataset(dataset_name, DataScaleFor(scale));
-  const StsmConfig config = ScaledConfig(dataset_name, scale);
+  StsmConfig config = ScaledConfig(dataset_name, scale);
+  // The smoke run serves through the CSR sparse-adjacency route (DESIGN.md
+  // §11): CI's serve_load_profile.json then carries the sparse.* counters,
+  // and tools/check_pool_stats.py cross-checks that every CSR matrix built
+  // during the run was destroyed (sparse.csr_create == sparse.csr_destroy).
+  if (scale == BenchScale::kSmoke) config.sparse_adjacency = true;
   const SpaceSplit split = BenchSplits(dataset.coords, 1)[0];
   const int t = config.input_length;
 

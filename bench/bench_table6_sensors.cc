@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <numeric>
 
 #include "harness.h"
@@ -13,8 +14,34 @@ namespace stsm {
 namespace bench {
 namespace {
 
-void Run() {
+// City-scale extension (DESIGN.md §11): past the paper's 800 sensors, grow
+// a synthetic city at a fixed ~25-neighbour density and compare CSR
+// propagation against the dense operator. The dense arm is gated at 12k
+// nodes — beyond that the N x N matrix alone is multiple GB while the CSR
+// arrays stay O(edges). Reachable without the training sweep via
+// `bench_table6_sensors --city-only`.
+void RunCity(BenchScale scale) {
+  std::vector<CityPoint> city;
+  switch (scale) {
+    case BenchScale::kSmoke:
+      city = {{2000, 25.0}};
+      break;
+    case BenchScale::kFast:
+      city = {{10000, 25.0}};
+      break;
+    case BenchScale::kFull:
+      city = {{10000, 25.0}, {30000, 25.0}, {100000, 25.0}};
+      break;
+  }
+  RunCityScalePhase("table6_sensors", city, /*dense_node_cap=*/12000);
+}
+
+void Run(bool city_only) {
   const BenchScale scale = ScaleFromEnv();
+  if (city_only) {
+    RunCity(scale);
+    return;
+  }
   int total = 0;
   std::vector<int> counts;
   switch (scale) {
@@ -57,13 +84,18 @@ void Run() {
   }
   EmitTable("table6_sensors", "Table 6: varying the number of sensors",
             table);
+  RunCity(scale);
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace stsm
 
-int main() {
-  stsm::bench::Run();
+int main(int argc, char** argv) {
+  bool city_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--city-only") == 0) city_only = true;
+  }
+  stsm::bench::Run(city_only);
   return 0;
 }

@@ -2,6 +2,7 @@
 // region (fixed area, growing sensor count; paper: 200 -> 964).
 
 #include <cstdio>
+#include <cstring>
 
 #include "harness.h"
 
@@ -9,8 +10,24 @@ namespace stsm {
 namespace bench {
 namespace {
 
-void Run() {
+// City-scale extension (DESIGN.md §11), density axis: a fixed node count
+// with the layout shrunk so the Eq. 2 radius captures ever more neighbours.
+// Dense cost is degree-independent, so the dense-over-sparse factor shows
+// how the CSR advantage narrows as the graph densifies. Reachable without
+// the training sweep via `bench_table7_density --city-only`.
+void RunCity(BenchScale scale) {
+  const int city_nodes = scale == BenchScale::kSmoke ? 2000 : 10000;
+  RunCityScalePhase("table7_density",
+                    {{city_nodes, 8.0}, {city_nodes, 25.0}, {city_nodes, 64.0}},
+                    /*dense_node_cap=*/12000);
+}
+
+void Run(bool city_only) {
   const BenchScale scale = ScaleFromEnv();
+  if (city_only) {
+    RunCity(scale);
+    return;
+  }
   std::vector<int> counts;
   switch (scale) {
     case BenchScale::kSmoke: counts = {40, 80}; break;
@@ -35,13 +52,18 @@ void Run() {
   }
   EmitTable("table7_density", "Table 7: varying the density of sensors",
             table);
+  RunCity(scale);
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace stsm
 
-int main() {
-  stsm::bench::Run();
+int main(int argc, char** argv) {
+  bool city_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--city-only") == 0) city_only = true;
+  }
+  stsm::bench::Run(city_only);
   return 0;
 }

@@ -1,9 +1,19 @@
 #include "harness.h"
 
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 
+#include "common/check.h"
 #include "common/env.h"
 #include "common/prof.h"
+#include "common/rng.h"
+#include "graph/adjacency.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
 #include "tensor/storage.h"
 
 namespace stsm {
@@ -106,6 +116,173 @@ void EmitTable(const std::string& name, const std::string& heading,
   if (table.WriteCsv(csv_path)) {
     std::printf("[csv written to %s]\n", csv_path.c_str());
   }
+  std::fflush(stdout);
+}
+
+namespace {
+
+// Fixed Eq. 2 kernel parameters for the synthetic city; the layout extent
+// (not the kernel) controls the neighbour count.
+constexpr double kCityEpsilon = 0.5;
+constexpr double kCitySigma = 1.0;   // km
+constexpr int kCityChannels = 16;    // feature width per propagation pass
+constexpr int kCityDepth = 8;        // stacked propagation passes
+
+double PeakRssMb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB.
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Uniform sensor layout over a square sized so that the Eq. 2 threshold
+// radius r = sigma * sqrt(ln(1/epsilon)) captures about `target_degree`
+// neighbours per node: extent^2 = nodes * pi r^2 / target_degree.
+std::vector<GeoPoint> SyntheticCity(int nodes, double target_degree,
+                                    uint64_t seed) {
+  const double radius = kCitySigma * std::sqrt(std::log(1.0 / kCityEpsilon));
+  const double extent =
+      std::sqrt(nodes * M_PI * radius * radius / target_degree);
+  Rng rng(seed);
+  std::vector<GeoPoint> coords;
+  coords.reserve(nodes);
+  for (int i = 0; i < nodes; ++i) {
+    coords.push_back({rng.Uniform(0, extent), rng.Uniform(0, extent)});
+  }
+  return coords;
+}
+
+}  // namespace
+
+void RunCityScalePhase(const std::string& bench_name,
+                       const std::vector<CityPoint>& points,
+                       int dense_node_cap) {
+  struct Arm {
+    CityPoint point;
+    SparseCsr adj;
+    Tensor x;
+    double avg_degree = 0.0;
+    double sparse_build = 0.0, sparse_prop = 0.0, sparse_check = 0.0;
+    double rss_after_sparse = 0.0;
+    bool dense_ran = false;
+    double dense_build = -1.0, dense_prop = -1.0, rss_after_dense = -1.0;
+  };
+  std::vector<Arm> arms;
+  arms.reserve(points.size());
+
+  // Pass 1 — every sparse arm, before any dense matrix exists: ru_maxrss is
+  // monotone per process, so the reading after each arm is a sparse-only
+  // peak (the largest point's reading is the sparse phase's true peak).
+  for (const CityPoint& point : points) {
+    std::fprintf(stderr, "[%s] city phase: %d nodes, ~%.0f neighbours ...\n",
+                 bench_name.c_str(), point.nodes, point.target_degree);
+    Arm arm;
+    arm.point = point;
+    const std::vector<GeoPoint> coords =
+        SyntheticCity(point.nodes, point.target_degree,
+                      1234u + static_cast<uint64_t>(point.nodes));
+    auto start = std::chrono::steady_clock::now();
+    arm.adj = NormalizeSymmetric(
+        GaussianAdjacencyFromCoords(coords, kCityEpsilon, kCitySigma),
+        /*add_self_loops=*/false);
+    arm.sparse_build = SecondsSince(start);
+    arm.avg_degree =
+        static_cast<double>(arm.adj.nnz()) / point.nodes - 1.0;  // - self-loop
+    Rng data_rng(99);
+    arm.x = Tensor::Uniform(Shape({point.nodes, kCityChannels}), -1, 1,
+                            &data_rng);
+    {
+      NoGradGuard no_grad;
+      Spmm(arm.adj, arm.x);  // Warm the buffer pool before timing.
+      Tensor h = arm.x;
+      start = std::chrono::steady_clock::now();
+      for (int d = 0; d < kCityDepth; ++d) h = Spmm(arm.adj, h);
+      arm.sparse_prop = SecondsSince(start);
+      arm.sparse_check = Sum(Square(h)).item();
+    }
+    arm.rss_after_sparse = PeakRssMb();
+    arms.push_back(std::move(arm));
+  }
+
+  // Pass 2 — the same operator materialised as an N x N tensor. Gated: past
+  // the cap the dense matrix alone is multiple GB and the MatMul stack
+  // hundreds of times the SpMM flops.
+  for (Arm& arm : arms) {
+    if (arm.point.nodes > dense_node_cap) continue;
+    std::fprintf(stderr, "[%s] city phase: %d nodes dense arm ...\n",
+                 bench_name.c_str(), arm.point.nodes);
+    arm.dense_ran = true;
+    auto start = std::chrono::steady_clock::now();
+    const Tensor dense = arm.adj.ToDense();
+    arm.dense_build = SecondsSince(start);
+    double dense_check = 0.0;
+    {
+      NoGradGuard no_grad;
+      Tensor h = arm.x;
+      start = std::chrono::steady_clock::now();
+      for (int d = 0; d < kCityDepth; ++d) h = MatMul(dense, h);
+      arm.dense_prop = SecondsSince(start);
+      dense_check = Sum(Square(h)).item();
+    }
+    arm.rss_after_dense = PeakRssMb();
+    STSM_CHECK_LE(std::fabs(dense_check - arm.sparse_check),
+                  1e-2 * std::max(1.0, std::fabs(dense_check)))
+        << "sparse and dense propagation diverged at " << arm.point.nodes
+        << " nodes";
+  }
+
+  Table table({"Nodes", "AvgDeg", "nnz", "Sparse build s", "Sparse prop s",
+               "RSS MB", "Dense prop s", "Dense/sparse"});
+  std::string json = "{\n  \"scale\": \"" +
+                     std::string(ScaleName(ScaleFromEnv())) +
+                     "\",\n  \"channels\": " + std::to_string(kCityChannels) +
+                     ",\n  \"depth\": " + std::to_string(kCityDepth) +
+                     ",\n  \"points\": [";
+  char buf[512];
+  bool first = true;
+  for (const Arm& arm : arms) {
+    const double speedup = arm.dense_ran && arm.sparse_prop > 0.0
+                               ? arm.dense_prop / arm.sparse_prop
+                               : 0.0;
+    table.AddRow(
+        {std::to_string(arm.point.nodes), FormatFloat(arm.avg_degree, 1),
+         std::to_string(arm.adj.nnz()), FormatFloat(arm.sparse_build, 3),
+         FormatFloat(arm.sparse_prop, 3), FormatFloat(arm.rss_after_sparse, 0),
+         arm.dense_ran ? FormatFloat(arm.dense_prop, 3) : "skipped",
+         arm.dense_ran ? FormatFloat(speedup, 1) : "-"});
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n    {\"nodes\": %d, \"nnz\": %lld, \"avg_degree\": %.2f,\n"
+        "     \"sparse_build_seconds\": %.4f, "
+        "\"sparse_propagate_seconds\": %.4f,\n"
+        "     \"peak_rss_mb_after_sparse\": %.1f, \"dense_ran\": %s,\n"
+        "     \"dense_build_seconds\": %.4f, "
+        "\"dense_propagate_seconds\": %.4f,\n"
+        "     \"peak_rss_mb_after_dense\": %.1f, "
+        "\"dense_over_sparse_propagate\": %.2f}",
+        first ? "" : ",", arm.point.nodes,
+        static_cast<long long>(arm.adj.nnz()), arm.avg_degree,
+        arm.sparse_build, arm.sparse_prop, arm.rss_after_sparse,
+        arm.dense_ran ? "true" : "false", arm.dense_build, arm.dense_prop,
+        arm.rss_after_dense, speedup);
+    json += buf;
+    first = false;
+  }
+  json += "\n  ]\n}\n";
+
+  EmitTable(bench_name + "_city",
+            "City scale: CSR sparse vs dense propagation", table);
+  const std::string json_path = bench_name + "_city.json";
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  STSM_CHECK(out != nullptr) << "cannot write " << json_path;
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::printf("[city json written to %s]\n", json_path.c_str());
   std::fflush(stdout);
 }
 

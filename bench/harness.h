@@ -59,6 +59,27 @@ std::vector<std::string> MetricCells(const Metrics& metrics);
 void EmitTable(const std::string& name, const std::string& heading,
                const Table& table);
 
+// One measurement point of the city-scale phase: `nodes` sensors laid out
+// uniformly over an area sized so the Eq. 2 threshold radius captures about
+// `target_degree` neighbours per node. Table 6's phase grows `nodes` at a
+// fixed degree; Table 7's grows the degree at a fixed node count.
+struct CityPoint {
+  int nodes;
+  double target_degree;
+};
+
+// City-scale sparse-vs-dense comparison (DESIGN.md §11). For each point:
+// builds the CSR adjacency straight from coordinates (grid-binned, never
+// O(N^2)), normalises it, and times a stack of SpMM propagation passes; then
+// — only when nodes <= dense_node_cap — materialises the same operator dense
+// and times the equivalent MatMul stack. The sparse phase runs first so the
+// monotone ru_maxrss reading after it is the sparse-only peak. Emits
+// `<bench_name>_city.csv` (table) and `<bench_name>_city.json` with
+// per-point {nnz, seconds, peak RSS MB, dense-over-sparse speedup}.
+void RunCityScalePhase(const std::string& bench_name,
+                       const std::vector<CityPoint>& points,
+                       int dense_node_cap);
+
 // Writes the current stsm::prof snapshot to `<name>_profile.json` in the
 // current working directory and prints the path. No-op (and no file) when
 // the snapshot is empty, e.g. when profiling was never enabled.

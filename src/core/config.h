@@ -65,6 +65,13 @@ struct StsmConfig {
   // kernel weights (DESIGN.md §5.1). Exists for the design-choice ablation
   // bench; the weighted kernel is the default.
   bool binary_spatial_kernel = false;
+  // Hold every adjacency (A_s, A_sg, DTW similarity) in CSR sparse form and
+  // propagate through SpMM instead of dense MatMul (DESIGN.md §11). Same
+  // thresholded weights and normalisation — metrics match the dense path to
+  // float round-off — but memory and propagation cost scale with the edge
+  // count, which is what makes city-scale graphs (Tables 6/7 city points)
+  // feasible. Default off: the dense path stays bitwise what it was.
+  bool sparse_adjacency = false;
 
   // ---- Masking (Sections 3.3 / 4.1) ----
   bool selective_masking = true;  // false = STSM-R / STSM-RNC random masking.

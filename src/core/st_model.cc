@@ -53,7 +53,7 @@ Tensor StBlock::TemporalBranch(const Tensor& x) const {
   return Transpose(h, 1, 2);
 }
 
-Tensor StBlock::SpatialBranch(const Tensor& x, const Tensor& adj) const {
+Tensor StBlock::SpatialBranch(const Tensor& x, const Adjacency& adj) const {
   // Eq. 8/9: stack gated GCN layers, elementwise-max over layer outputs.
   Tensor h = x;
   Tensor aggregated;
@@ -64,8 +64,8 @@ Tensor StBlock::SpatialBranch(const Tensor& x, const Tensor& adj) const {
   return aggregated;
 }
 
-Tensor StBlock::Forward(const Tensor& x, const Tensor& adj_spatial,
-                        const Tensor& adj_temporal) const {
+Tensor StBlock::Forward(const Tensor& x, const Adjacency& adj_spatial,
+                        const Adjacency& adj_temporal) const {
   const Tensor h_temporal = TemporalBranch(x);
   // Eq. 11: max over the two adjacency variants.
   const Tensor h_spatial = Maximum(SpatialBranch(x, adj_spatial),
@@ -131,8 +131,8 @@ StModel::StModel(const StsmConfig& config, Rng* rng)
 }
 
 StModel::Output StModel::Forward(const Tensor& x, const Tensor& time_features,
-                                 const Tensor& adj_spatial,
-                                 const Tensor& adj_temporal) const {
+                                 const Adjacency& adj_spatial,
+                                 const Adjacency& adj_temporal) const {
   STSM_CHECK_EQ(x.ndim(), 4);
   STSM_CHECK_EQ(x.shape()[3], 1);
   STSM_CHECK_EQ(x.shape()[1], config_.input_length);

@@ -32,16 +32,16 @@ class StBlock : public Module {
  public:
   StBlock(int64_t channels, const StsmConfig& config, Rng* rng);
 
-  // x: [B, T, N, C]; adjacencies are [N, N] (pre-normalised).
-  Tensor Forward(const Tensor& x, const Tensor& adj_spatial,
-                 const Tensor& adj_temporal) const;
+  // x: [B, T, N, C]; adjacencies are [N, N] (pre-normalised), dense or CSR.
+  Tensor Forward(const Tensor& x, const Adjacency& adj_spatial,
+                 const Adjacency& adj_temporal) const;
 
   std::vector<Tensor> Parameters() const override;
   std::vector<Module*> Children() override;
 
  private:
   Tensor TemporalBranch(const Tensor& x) const;
-  Tensor SpatialBranch(const Tensor& x, const Tensor& adj) const;
+  Tensor SpatialBranch(const Tensor& x, const Adjacency& adj) const;
 
   TemporalModule temporal_module_;
   std::vector<std::unique_ptr<TemporalConv>> tcn_stack_;
@@ -65,8 +65,10 @@ class StModel : public Module {
   };
 
   // x: [B, T, N, 1]; time_features: [B, T, 3] (see TimeOfDayFeatures).
+  // Adjacencies may be dense tensors or SparseCsr (city-scale graphs).
   Output Forward(const Tensor& x, const Tensor& time_features,
-                 const Tensor& adj_spatial, const Tensor& adj_temporal) const;
+                 const Adjacency& adj_spatial,
+                 const Adjacency& adj_temporal) const;
 
   std::vector<Tensor> Parameters() const override;
   std::vector<Module*> Children() override;

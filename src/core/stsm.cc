@@ -14,6 +14,7 @@
 #include "nn/loss.h"
 #include "nn/optim.h"
 #include "tensor/ops.h"
+#include "tensor/sparse.h"
 #include "tensor/storage.h"
 #include "timeseries/pseudo_observations.h"
 #include "timeseries/temporal_adjacency.h"
@@ -57,6 +58,15 @@ std::vector<double> SubDistances(const std::vector<double>& distances,
   return sub;
 }
 
+// Wraps an already-normalised dense adjacency in the representation the
+// config asks for. The DTW similarity matrices are built dense (they are
+// K x U blocks embedded in N x N, rebuilt per epoch); sparse mode converts
+// them once so every propagation step runs through SpMM.
+Adjacency RouteAdjacency(Tensor dense, bool sparse) {
+  if (sparse) return Adjacency(SparseCsr::FromDense(dense));
+  return Adjacency(std::move(dense));
+}
+
 // Evenly subsamples `starts` down to at most `cap` entries (cap <= 0: all).
 std::vector<int> CapWindows(std::vector<int> starts, int cap) {
   if (cap <= 0 || static_cast<int>(starts.size()) <= cap) return starts;
@@ -92,9 +102,8 @@ struct StsmRunner::State {
   const std::vector<double>* dist_pseudo = nullptr;
   std::vector<double> dist_pseudo_train;  // Observed x observed.
 
-  Tensor a_s_kernel;      // Full-graph Eq. 2 adjacency (binary).
-  Tensor a_s_norm_full;   // Normalised, full graph.
-  Tensor a_s_norm_train;  // Normalised, observed sub-graph.
+  Adjacency a_s_norm_full;   // Eq. 2 adjacency, normalised, full graph.
+  Adjacency a_s_norm_train;  // Normalised, observed sub-graph.
   MaskingContext mask_context;
 
   std::unique_ptr<StModel> model;
@@ -156,20 +165,35 @@ StsmRunner::StsmRunner(const SpatioTemporalDataset& dataset,
   s.dist_pseudo_train = SubDistances(*s.dist_pseudo, n, s.observed);
 
   // Spatial adjacency (Eq. 2). Eq. 2 already yields a unit diagonal, so
-  // normalisation does not add a second self-loop.
-  s.a_s_kernel =
-      GaussianThresholdAdjacency(*s.dist_adjacency, n, config.epsilon_s,
-                                 /*sigma_override=*/0.0,
-                                 config.binary_spatial_kernel);
-  s.a_s_norm_full = NormalizeSymmetric(s.a_s_kernel, /*add_self_loops=*/false);
-  s.a_s_norm_train = NormalizeSymmetric(SubAdjacency(s.a_s_kernel, s.observed),
-                                        /*add_self_loops=*/false);
-
-  // Sub-graph adjacency for masking (Eq. 2 with epsilon_sg) and the
-  // masking context (Section 4.1).
-  const Tensor a_sg = GaussianThresholdAdjacency(
-      *s.dist_adjacency, n, config.epsilon_sg, /*sigma_override=*/0.0,
-      /*binary=*/true);
+  // normalisation does not add a second self-loop. Sparse mode builds the
+  // kernel in CSR without ever materialising the dense N x N matrix; the
+  // sub-graph adjacency for masking (Eq. 2 with epsilon_sg) follows the
+  // same route since only its neighbour structure is read.
+  Adjacency a_sg;
+  if (config.sparse_adjacency) {
+    const SparseCsr kernel = GaussianThresholdAdjacencyCsr(
+        *s.dist_adjacency, n, config.epsilon_s, /*sigma_override=*/0.0,
+        config.binary_spatial_kernel);
+    s.a_s_norm_full =
+        Adjacency(NormalizeSymmetric(kernel, /*add_self_loops=*/false));
+    s.a_s_norm_train = Adjacency(NormalizeSymmetric(
+        SubAdjacency(kernel, s.observed), /*add_self_loops=*/false));
+    a_sg = Adjacency(GaussianThresholdAdjacencyCsr(
+        *s.dist_adjacency, n, config.epsilon_sg, /*sigma_override=*/0.0,
+        /*binary=*/true));
+  } else {
+    const Tensor kernel =
+        GaussianThresholdAdjacency(*s.dist_adjacency, n, config.epsilon_s,
+                                   /*sigma_override=*/0.0,
+                                   config.binary_spatial_kernel);
+    s.a_s_norm_full =
+        Adjacency(NormalizeSymmetric(kernel, /*add_self_loops=*/false));
+    s.a_s_norm_train = Adjacency(NormalizeSymmetric(
+        SubAdjacency(kernel, s.observed), /*add_self_loops=*/false));
+    a_sg = Adjacency(GaussianThresholdAdjacency(
+        *s.dist_adjacency, n, config.epsilon_sg, /*sigma_override=*/0.0,
+        /*binary=*/true));
+  }
   MaskingConfig mask_config;
   mask_config.mask_ratio = config.mask_ratio;
   mask_config.top_k = config.top_k;
@@ -213,7 +237,7 @@ void StsmRunner::Train(ExperimentResult* result) {
   // like the test-time unobserved region, and the best weights seen.
   std::vector<int> validation_local, validation_sources;
   SeriesMatrix validation_view;
-  Tensor a_dtw_validation;
+  Adjacency a_dtw_validation;
   std::vector<std::vector<float>> best_weights;
   double best_validation_loss = 1e300;
   if (config_.validation_selection) {
@@ -231,10 +255,12 @@ void StsmRunner::Train(ExperimentResult* result) {
     FillPseudoObservations(&validation_view, s.dist_pseudo_train,
                            validation_local, validation_sources,
                            config_.pseudo_neighbors);
-    a_dtw_validation = NormalizeRow(
-        TemporalSimilarityAdjacency(validation_view, validation_sources,
-                                    validation_local, s.dtw_options),
-        /*add_self_loops=*/true);
+    a_dtw_validation = RouteAdjacency(
+        NormalizeRow(
+            TemporalSimilarityAdjacency(validation_view, validation_sources,
+                                        validation_local, s.dtw_options),
+            /*add_self_loops=*/true),
+        config_.sparse_adjacency);
   }
 
   // Prediction MSE on the validation locations when they are masked.
@@ -287,13 +313,15 @@ void StsmRunner::Train(ExperimentResult* result) {
 
     // Temporal-similarity adjacency, rebuilt every epoch because the mask
     // changes (Section 3.4.1).
-    Tensor a_dtw_train;
+    Adjacency a_dtw_train;
     {
       STSM_PROF_SCOPE("train.temporal_adj");
-      a_dtw_train = NormalizeRow(
-          TemporalSimilarityAdjacency(masked_view, source_local, masked_local,
-                                      s.dtw_options),
-          /*add_self_loops=*/true);
+      a_dtw_train = RouteAdjacency(
+          NormalizeRow(TemporalSimilarityAdjacency(masked_view, source_local,
+                                                   masked_local,
+                                                   s.dtw_options),
+                       /*add_self_loops=*/true),
+          config_.sparse_adjacency);
     }
 
     double epoch_loss = 0.0;
@@ -369,10 +397,12 @@ void StsmRunner::Evaluate(ExperimentResult* result) {
                          s.observed, config_.pseudo_neighbors);
   const SeriesMatrix test_period = test_input.TimeSlice(
       s.time_split.train_steps, s.time_split.total_steps);
-  const Tensor a_dtw_full = NormalizeRow(
-      TemporalSimilarityAdjacency(test_period, s.observed, s.unobserved,
-                                  s.dtw_options),
-      /*add_self_loops=*/true);
+  const Adjacency a_dtw_full = RouteAdjacency(
+      NormalizeRow(
+          TemporalSimilarityAdjacency(test_period, s.observed, s.unobserved,
+                                      s.dtw_options),
+          /*add_self_loops=*/true),
+      config_.sparse_adjacency);
 
   std::vector<int> starts = CapWindows(
       ValidWindowStarts(s.time_split.train_steps, s.time_split.total_steps,

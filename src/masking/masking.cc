@@ -49,7 +49,7 @@ std::vector<int> MaskToTarget(const MaskingContext& context,
 
 }  // namespace
 
-MaskingContext BuildMaskingContext(const Tensor& a_sg,
+MaskingContext BuildMaskingContext(const Adjacency& a_sg,
                                    const std::vector<GeoPoint>& coords,
                                    const std::vector<NodeMetadata>& metadata,
                                    const std::vector<int>& observed,
@@ -61,7 +61,7 @@ MaskingContext BuildMaskingContext(const Tensor& a_sg,
 }
 
 MaskingContext BuildMaskingContext(
-    const Tensor& a_sg, const std::vector<GeoPoint>& coords,
+    const Adjacency& a_sg, const std::vector<GeoPoint>& coords,
     const std::vector<NodeMetadata>& metadata,
     const std::vector<int>& observed,
     const std::vector<std::vector<int>>& regions,
@@ -70,14 +70,18 @@ MaskingContext BuildMaskingContext(
   STSM_CHECK(!regions.empty());
   for (const auto& region : regions) STSM_CHECK(!region.empty());
   STSM_CHECK_EQ(coords.size(), metadata.size());
-  STSM_CHECK_EQ(a_sg.shape()[0], static_cast<int64_t>(coords.size()));
+  STSM_CHECK(a_sg.defined());
+  STSM_CHECK_EQ(a_sg.rows(), static_cast<int64_t>(coords.size()));
 
   MaskingContext context;
   context.observed = observed;
   context.config = config;
 
   const std::set<int> observed_set(observed.begin(), observed.end());
-  const auto neighbors = NeighborLists(a_sg);
+  // Only the neighbour structure matters; both representations yield the
+  // same lists (the dense overload routes through CSR conversion).
+  const auto neighbors = a_sg.is_sparse() ? NeighborLists(a_sg.sparse())
+                                          : NeighborLists(a_sg.dense());
 
   // 1-hop sub-graphs restricted to observed locations.
   context.subgraphs.resize(observed.size());

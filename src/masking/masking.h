@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "data/metadata.h"
 #include "graph/geo.h"
+#include "tensor/sparse.h"
 #include "tensor/tensor.h"
 
 namespace stsm {
@@ -46,9 +47,10 @@ struct MaskingContext {
 };
 
 // Builds the context. `a_sg` is the sub-graph adjacency built from Eq. 2
-// with threshold epsilon_sg over ALL nodes; sub-graphs are intersected with
-// the observed set. `unobserved` defines the region of interest.
-MaskingContext BuildMaskingContext(const Tensor& a_sg,
+// with threshold epsilon_sg over ALL nodes (dense tensor or CSR — only its
+// neighbour structure is read); sub-graphs are intersected with the observed
+// set. `unobserved` defines the region of interest.
+MaskingContext BuildMaskingContext(const Adjacency& a_sg,
                                    const std::vector<GeoPoint>& coords,
                                    const std::vector<NodeMetadata>& metadata,
                                    const std::vector<int>& observed,
@@ -60,7 +62,7 @@ MaskingContext BuildMaskingContext(const Tensor& a_sg,
 // prefers sub-graphs resembling ANY of the regions of interest.
 // `regions` must be non-empty and each region non-empty.
 MaskingContext BuildMaskingContext(
-    const Tensor& a_sg, const std::vector<GeoPoint>& coords,
+    const Adjacency& a_sg, const std::vector<GeoPoint>& coords,
     const std::vector<NodeMetadata>& metadata,
     const std::vector<int>& observed,
     const std::vector<std::vector<int>>& regions,

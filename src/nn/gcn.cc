@@ -17,14 +17,15 @@ GcnLayer::GcnLayer(int64_t in_features, int64_t out_features, Rng* rng)
   bias_ = Tensor::Zeros(Shape({out_features}), /*requires_grad=*/true);
 }
 
-Tensor GcnLayer::Forward(const Tensor& adj, const Tensor& x) const {
+Tensor GcnLayer::Forward(const Adjacency& adj, const Tensor& x) const {
   STSM_PROF_SCOPE("gcn.fwd");
-  STSM_CHECK_EQ(adj.ndim(), 2);
-  STSM_CHECK_EQ(adj.shape()[0], adj.shape()[1]);
-  STSM_CHECK_EQ(x.shape()[-2], adj.shape()[0]);
+  STSM_CHECK(adj.defined());
+  STSM_CHECK_EQ(adj.rows(), adj.cols());
+  STSM_CHECK_EQ(x.shape()[-2], adj.rows());
   STSM_CHECK_EQ(x.shape()[-1], in_features_);
-  // Â mixes the node dimension; W mixes features. Batch dims broadcast.
-  return Add(MatMul(MatMul(adj, x), weight_), bias_);
+  // Â mixes the node dimension (MatMul or SpMM depending on the adjacency
+  // representation); W mixes features. Batch dims broadcast.
+  return Add(MatMul(adj.Apply(x), weight_), bias_);
 }
 
 std::vector<Tensor> GcnLayer::Parameters() const { return {weight_, bias_}; }
@@ -33,7 +34,7 @@ GcnlLayer::GcnlLayer(int64_t in_features, int64_t out_features, Rng* rng)
     : value_(in_features, out_features, rng),
       gate_(in_features, out_features, rng) {}
 
-Tensor GcnlLayer::Forward(const Tensor& adj, const Tensor& x) const {
+Tensor GcnlLayer::Forward(const Adjacency& adj, const Tensor& x) const {
   STSM_PROF_SCOPE("gcnl.fwd");
   return Mul(value_.Forward(adj, x), Sigmoid(gate_.Forward(adj, x)));
 }

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "nn/module.h"
+#include "tensor/sparse.h"
 #include "tensor/tensor.h"
 
 namespace stsm {
@@ -16,8 +17,9 @@ class GcnLayer : public Module {
  public:
   GcnLayer(int64_t in_features, int64_t out_features, Rng* rng);
 
-  // adj: [N, N] (constant, pre-normalised); x: [..., N, in] -> [..., N, out].
-  Tensor Forward(const Tensor& adj, const Tensor& x) const;
+  // adj: [N, N] (constant, pre-normalised), dense or CSR — node mixing
+  // routes to MatMul or SpMM accordingly; x: [..., N, in] -> [..., N, out].
+  Tensor Forward(const Adjacency& adj, const Tensor& x) const;
 
   std::vector<Tensor> Parameters() const override;
 
@@ -34,7 +36,7 @@ class GcnlLayer : public Module {
  public:
   GcnlLayer(int64_t in_features, int64_t out_features, Rng* rng);
 
-  Tensor Forward(const Tensor& adj, const Tensor& x) const;
+  Tensor Forward(const Adjacency& adj, const Tensor& x) const;
 
   std::vector<Tensor> Parameters() const override;
 

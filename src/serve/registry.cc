@@ -41,11 +41,21 @@ ModelSpec BuildModelSpec(const std::string& name,
   const std::vector<double> distances = PairwiseDistances(dataset.coords);
 
   // Spatial adjacency (Eq. 2; unit diagonal, so no extra self-loops).
-  const Tensor kernel =
-      GaussianThresholdAdjacency(distances, n, config.epsilon_s,
-                                 /*sigma_override=*/0.0,
-                                 config.binary_spatial_kernel);
-  spec.adj_spatial = NormalizeSymmetric(kernel, /*add_self_loops=*/false);
+  // Sparse mode assembles CSR directly — the dense N x N kernel is never
+  // materialised, which is the point for city-scale node counts.
+  if (config.sparse_adjacency) {
+    spec.adj_spatial = Adjacency(NormalizeSymmetric(
+        GaussianThresholdAdjacencyCsr(distances, n, config.epsilon_s,
+                                      /*sigma_override=*/0.0,
+                                      config.binary_spatial_kernel),
+        /*add_self_loops=*/false));
+  } else {
+    spec.adj_spatial = Adjacency(NormalizeSymmetric(
+        GaussianThresholdAdjacency(distances, n, config.epsilon_s,
+                                   /*sigma_override=*/0.0,
+                                   config.binary_spatial_kernel),
+        /*add_self_loops=*/false));
+  }
 
   // Temporal adjacency over the full graph: unobserved columns are filled
   // with pseudo-observations first (they have no real history), matching
@@ -59,9 +69,12 @@ ModelSpec BuildModelSpec(const std::string& name,
   dtw_options.q_ku = config.q_ku;
   dtw_options.steps_per_day = dataset.steps_per_day;
   dtw_options.dtw_band = config.dtw_band;
-  spec.adj_temporal = NormalizeRow(
+  const Tensor dtw = NormalizeRow(
       TemporalSimilarityAdjacency(filled, observed, unobserved, dtw_options),
       /*add_self_loops=*/true);
+  spec.adj_temporal = config.sparse_adjacency
+                          ? Adjacency(SparseCsr::FromDense(dtw))
+                          : Adjacency(dtw);
   return spec;
 }
 

@@ -31,6 +31,7 @@
 #include "data/dataset.h"
 #include "data/normalizer.h"
 #include "data/splits.h"
+#include "tensor/sparse.h"
 #include "tensor/tensor.h"
 
 namespace stsm {
@@ -42,8 +43,11 @@ struct ModelSpec {
   int num_nodes = 0;
   int steps_per_day = 288;
   Normalizer normalizer;
-  Tensor adj_spatial;   // [N, N], symmetric-normalised Eq. 2 kernel.
-  Tensor adj_temporal;  // [N, N], row-normalised DTW similarity.
+  // [N, N] symmetric-normalised Eq. 2 kernel / row-normalised DTW
+  // similarity. CSR when config.sparse_adjacency (city-scale graphs),
+  // dense tensors otherwise.
+  Adjacency adj_spatial;
+  Adjacency adj_temporal;
   std::string checkpoint_path;
 };
 

@@ -2,6 +2,7 @@
 
 #include "core/st_model.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "gtest/gtest.h"
@@ -149,6 +150,37 @@ TEST(StModelTest, GradientsReachAllParameters) {
   // Nearly all parameters should receive gradient (head + blocks + input
   // projections). Allow a couple of dead gates.
   EXPECT_GE(with_grad, total - 2);
+}
+
+TEST(StModelTest, SparseAdjacencyMatchesDenseForward) {
+  // Table 4 guarantee of the CSR refactor: swapping the dense adjacencies
+  // for their CSR form changes only the flop order of the node mixing, so
+  // predictions agree within float accumulation tolerance.
+  const StsmConfig config = SmallModelConfig();
+  Rng rng(30);
+  const StModel model(config, &rng);
+  const int nodes = 6;
+  Rng adj_rng(31);
+  Tensor dense_s = Tensor::Uniform(Shape({nodes, nodes}), 0, 0.4f, &adj_rng);
+  Tensor dense_t = Tensor::Uniform(Shape({nodes, nodes}), 0, 0.4f, &adj_rng);
+  for (Tensor* adj : {&dense_s, &dense_t}) {
+    for (int64_t i = 0; i < adj->numel(); ++i) {
+      if (adj->data()[i] < 0.2f) adj->data()[i] = 0.0f;  // Prune to sparse.
+    }
+  }
+  const Tensor x = RandomInput(2, 6, nodes, 32);
+  const Tensor tf = RandomTime(2, 6, 33);
+
+  const StModel::Output dense_out = model.Forward(x, tf, dense_s, dense_t);
+  const StModel::Output sparse_out =
+      model.Forward(x, tf, Adjacency(SparseCsr::FromDense(dense_s)),
+                    Adjacency(SparseCsr::FromDense(dense_t)));
+  ASSERT_EQ(dense_out.predictions.shape(), sparse_out.predictions.shape());
+  for (int64_t i = 0; i < dense_out.predictions.numel(); ++i) {
+    const float d = dense_out.predictions.data()[i];
+    const float s = sparse_out.predictions.data()[i];
+    EXPECT_NEAR(s, d, 1e-5f * std::max(1.0f, std::fabs(d))) << "element " << i;
+  }
 }
 
 TEST(StBlockTest, Eq12ResidualCombination) {

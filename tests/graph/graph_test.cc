@@ -1,13 +1,39 @@
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "graph/adjacency.h"
 #include "graph/geo.h"
 #include "graph/road.h"
 #include "gtest/gtest.h"
+#include "tensor/sparse.h"
 
 namespace stsm {
 namespace {
+
+uint32_t FloatBits(float v) {
+  uint32_t out;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+void ExpectDenseBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(FloatBits(a.data()[i]), FloatBits(b.data()[i]))
+        << "element " << i;
+  }
+}
+
+std::vector<GeoPoint> RandomCity(int n, uint64_t seed, double extent = 10.0) {
+  Rng rng(seed);
+  std::vector<GeoPoint> pts;
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0, extent), rng.Uniform(0, extent)});
+  }
+  return pts;
+}
 
 TEST(GeoTest, Distance) {
   EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
@@ -113,6 +139,92 @@ TEST(AdjacencyTest, NeighborListsExcludeSelf) {
   ASSERT_EQ(neighbors.size(), 3u);
   EXPECT_EQ(neighbors[0], (std::vector<int>{1, 2}));
   EXPECT_EQ(neighbors[1], (std::vector<int>{0, 2}));
+}
+
+// ---- CSR builders and sparse normalisation ---------------------------------
+
+TEST(SparseAdjacencyTest, CsrBuilderMatchesDenseBitwise) {
+  const auto pts = RandomCity(40, /*seed=*/11);
+  const auto d = PairwiseDistances(pts);
+  for (const bool binary : {false, true}) {
+    const Tensor dense =
+        GaussianThresholdAdjacency(d, 40, 0.3, /*sigma_override=*/0.0, binary);
+    const SparseCsr csr = GaussianThresholdAdjacencyCsr(
+        d, 40, 0.3, /*sigma_override=*/0.0, binary);
+    EXPECT_EQ(csr.nnz(), CountEdges(dense));
+    ExpectDenseBitwiseEqual(csr.ToDense(), dense);
+  }
+}
+
+TEST(SparseAdjacencyTest, FromCoordsMatchesDistanceMatrixBuilder) {
+  // With an explicit sigma the grid-binned construction must reproduce the
+  // distance-matrix builder exactly: same entries, same weights.
+  const auto pts = RandomCity(60, /*seed=*/12);
+  const auto d = PairwiseDistances(pts);
+  const double sigma = 3.0;
+  const SparseCsr from_matrix =
+      GaussianThresholdAdjacencyCsr(d, 60, 0.4, /*sigma_override=*/sigma);
+  const SparseCsr from_coords = GaussianAdjacencyFromCoords(pts, 0.4, sigma);
+  EXPECT_EQ(from_coords.nnz(), from_matrix.nnz());
+  ExpectDenseBitwiseEqual(from_coords.ToDense(), from_matrix.ToDense());
+}
+
+TEST(SparseAdjacencyTest, NormalizeSymmetricMatchesDenseBitwise) {
+  const auto pts = RandomCity(30, /*seed=*/13);
+  const auto d = PairwiseDistances(pts);
+  const Tensor dense = GaussianThresholdAdjacency(d, 30, 0.3);
+  const SparseCsr csr = GaussianThresholdAdjacencyCsr(d, 30, 0.3);
+  for (const bool self_loops : {false, true}) {
+    ExpectDenseBitwiseEqual(NormalizeSymmetric(csr, self_loops).ToDense(),
+                            NormalizeSymmetric(dense, self_loops));
+  }
+}
+
+TEST(SparseAdjacencyTest, NormalizeRowMatchesDenseBitwise) {
+  // A directed matrix with empty rows, like the DTW similarity block.
+  Tensor dense = Tensor::Zeros(Shape({4, 4}));
+  dense.set({0, 1}, 0.5f);
+  dense.set({0, 3}, 1.5f);
+  dense.set({2, 0}, 2.0f);
+  const SparseCsr csr = SparseCsr::FromDense(dense);
+  for (const bool self_loops : {false, true}) {
+    ExpectDenseBitwiseEqual(NormalizeRow(csr, self_loops).ToDense(),
+                            NormalizeRow(dense, self_loops));
+  }
+}
+
+TEST(SparseAdjacencyTest, NormalizeIsolatedNodeStaysZero) {
+  const SparseCsr empty = SparseCsr::FromDense(Tensor::Zeros(Shape({3, 3})));
+  const SparseCsr norm = NormalizeSymmetric(empty, /*add_self_loops=*/false);
+  EXPECT_EQ(norm.nnz(), 0);
+  ExpectDenseBitwiseEqual(norm.ToDense(), Tensor::Zeros(Shape({3, 3})));
+}
+
+TEST(SparseAdjacencyTest, SubAdjacencyMatchesDenseSubmatrix) {
+  const auto pts = RandomCity(25, /*seed=*/14);
+  const auto d = PairwiseDistances(pts);
+  const Tensor dense = GaussianThresholdAdjacency(d, 25, 0.3);
+  const SparseCsr csr = GaussianThresholdAdjacencyCsr(d, 25, 0.3);
+  const std::vector<int> indices = {20, 3, 7, 0, 24, 11};
+  const int64_t k = static_cast<int64_t>(indices.size());
+  Tensor expected = Tensor::Zeros(Shape({k, k}));
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      expected.set({i, j}, dense.at({indices[i], indices[j]}));
+    }
+  }
+  ExpectDenseBitwiseEqual(SubAdjacency(csr, indices).ToDense(), expected);
+}
+
+TEST(SparseAdjacencyTest, NeighborListsAndCountEdgesAgree) {
+  const auto pts = RandomCity(20, /*seed=*/15);
+  const auto d = PairwiseDistances(pts);
+  const Tensor dense =
+      GaussianThresholdAdjacency(d, 20, 0.4, 0.0, /*binary=*/true);
+  const SparseCsr csr =
+      GaussianThresholdAdjacencyCsr(d, 20, 0.4, 0.0, /*binary=*/true);
+  EXPECT_EQ(CountEdges(csr), CountEdges(dense));
+  EXPECT_EQ(NeighborLists(csr), NeighborLists(dense));
 }
 
 TEST(RoadTest, GraphIsConnected) {

@@ -57,6 +57,22 @@ TEST(MaskingContextTest, SubgraphsContainRootAndOnlyObserved) {
   EXPECT_GE(f.context.average_subgraph_size, 1.0);
 }
 
+TEST(MaskingContextTest, CsrAdjacencyGivesIdenticalContext) {
+  // Masking reads only the neighbour structure of a_sg; feeding the same
+  // adjacency as CSR must reproduce the context exactly.
+  const Fixture f = MakeFixture();
+  MaskingConfig mask_config;
+  mask_config.mask_ratio = 0.5;
+  mask_config.top_k = 20;
+  const MaskingContext sparse_context = BuildMaskingContext(
+      Adjacency(SparseCsr::FromDense(f.a_sg)), f.dataset.coords,
+      f.dataset.metadata, f.split.Observed(), f.split.test, mask_config);
+  EXPECT_EQ(sparse_context.subgraphs, f.context.subgraphs);
+  EXPECT_EQ(sparse_context.similarity, f.context.similarity);
+  EXPECT_EQ(sparse_context.proximity, f.context.proximity);
+  EXPECT_EQ(sparse_context.probability, f.context.probability);
+}
+
 TEST(MaskingContextTest, SimilaritiesInUnitRange) {
   const Fixture f = MakeFixture();
   for (double s : f.context.similarity) {

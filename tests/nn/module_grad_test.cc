@@ -11,6 +11,7 @@
 #include "nn/norm.h"
 #include "tensor/grad_check.h"
 #include "tensor/ops.h"
+#include "tensor/sparse.h"
 
 namespace stsm {
 namespace {
@@ -130,6 +131,21 @@ TEST(ModuleGradTest, GcnLayerParams) {
                      [&] { return Mean(Square(layer.Forward(adj, x))); });
 }
 
+TEST(ModuleGradTest, GcnLayerSparseAdjacency) {
+  // Same layer, CSR adjacency: parameter gradients flow through SpMM.
+  Rng rng(40);
+  const GcnLayer layer(2, 3, &rng);
+  Rng data_rng(41);
+  Tensor dense = Tensor::Uniform(Shape({4, 4}), 0, 0.6f, &data_rng);
+  for (int64_t i = 0; i < dense.numel(); ++i) {
+    if (dense.data()[i] < 0.3f) dense.data()[i] = 0.0f;  // Prune to sparse.
+  }
+  const Adjacency adj(SparseCsr::FromDense(dense));
+  const Tensor x = Tensor::Uniform(Shape({1, 2, 4, 2}), -1, 1, &data_rng);
+  ExpectModuleGradOk(layer,
+                     [&] { return Mean(Square(layer.Forward(adj, x))); });
+}
+
 // Input-gradient checks: the differentiated input is the module's data
 // input x, not its parameters. This exercises the backward paths the
 // encoder relies on when gradients flow from deeper layers through a
@@ -184,6 +200,20 @@ TEST(ModuleGradTest, GcnlLayerInputGrad) {
   const GcnlLayer layer(2, 2, &rng);
   Rng data_rng(29);
   const Tensor adj = Tensor::Uniform(Shape({3, 3}), 0, 0.5f, &data_rng);
+  const Tensor x = Tensor::Uniform(Shape({1, 2, 3, 2}), -1, 1, &data_rng,
+                                   /*requires_grad=*/true);
+  ExpectInputGradOk(
+      [&](const Tensor& in) { return Mean(Square(layer.Forward(adj, in))); },
+      x);
+}
+
+TEST(ModuleGradTest, GcnlLayerSparseInputGrad) {
+  Rng rng(42);
+  const GcnlLayer layer(2, 2, &rng);
+  Rng data_rng(43);
+  Tensor dense = Tensor::Uniform(Shape({3, 3}), 0, 0.5f, &data_rng);
+  dense.data()[1] = 0.0f;  // At least one pruned edge.
+  const Adjacency adj(SparseCsr::FromDense(dense));
   const Tensor x = Tensor::Uniform(Shape({1, 2, 3, 2}), -1, 1, &data_rng,
                                    /*requires_grad=*/true);
   ExpectInputGradOk(

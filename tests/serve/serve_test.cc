@@ -4,6 +4,7 @@
 
 #include "serve/server.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -172,6 +173,41 @@ ForecastRequest MakeRequest(const ServeFixture& f, int start) {
     }
   }
   return request;
+}
+
+TEST(ModelSpecTest, SparseAdjacencyPredictsLikeDense) {
+  // config.sparse_adjacency flips the spec's adjacencies to CSR; the served
+  // forecasts must agree with the dense spec within float accumulation
+  // tolerance (same Table 4 guarantee as the offline model).
+  ServeFixture& f = Fixture();
+  StsmConfig sparse_config = f.config;
+  sparse_config.sparse_adjacency = true;
+  const ModelSpec sparse_spec = BuildModelSpec(
+      "stsm-sparse", f.dataset, f.split, sparse_config, f.checkpoint);
+  EXPECT_TRUE(sparse_spec.adj_spatial.is_sparse());
+  EXPECT_TRUE(sparse_spec.adj_temporal.is_sparse());
+  EXPECT_FALSE(f.spec.adj_spatial.is_sparse());
+
+  const auto dense_model = ServedModel::Load(f.spec);
+  const auto sparse_model = ServedModel::Load(sparse_spec);
+  ASSERT_TRUE(dense_model->healthy());
+  ASSERT_TRUE(sparse_model->healthy());
+
+  Rng rng(31);
+  const int n = f.dataset.num_nodes();
+  const Tensor inputs = Tensor::Uniform(
+      Shape({2, f.config.input_length, n, 1}), -1, 1, &rng);
+  const Tensor time_features =
+      Tensor::Uniform(Shape({2, f.config.input_length, 3}), -1, 1, &rng);
+  const Tensor dense_out = dense_model->Predict(inputs, time_features);
+  const Tensor sparse_out = sparse_model->Predict(inputs, time_features);
+  ASSERT_EQ(dense_out.shape(), sparse_out.shape());
+  for (int64_t i = 0; i < dense_out.numel(); ++i) {
+    const float d = dense_out.data()[i];
+    EXPECT_NEAR(sparse_out.data()[i], d,
+                1e-5f * std::max(1.0f, std::fabs(d)))
+        << "element " << i;
+  }
 }
 
 TEST(ForecastServerTest, HealthyModelServesOk) {

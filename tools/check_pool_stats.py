@@ -24,6 +24,9 @@ Asserts that the pool counters are present (the tensor core actually routed
 its allocations through the BufferPool) and that no buffer leaked: every
 buffer that entered circulation (acquired from the pool or adopted via
 Tensor::FromVector) was released back by the time the profile was written.
+When the profile carries the sparse substrate's counters, additionally
+asserts sparse.csr_create == sparse.csr_destroy — no CSR matrix may outlive
+the run.
 
 When a serve_load.json (emitted by bench_serve_load) is given as the second
 argument, additionally asserts the serving layer behaved: a nonzero forecast
@@ -157,6 +160,17 @@ def check_pool(path, baseline=None):
         print(f"FAIL: {leaked} net leaked buffer(s): pool.acquire "
               f"({acquires}) + pool.adopt ({adopts}) != pool.release "
               f"({releases})", file=sys.stderr)
+        return 1
+
+    # When the run built CSR sparse matrices, every one of them must have
+    # been torn down (all three pooled arrays released) by snapshot time —
+    # a dangling SparseCsr handle is the sparse substrate's leak shape.
+    created = counters.get("sparse.csr_create", 0)
+    destroyed = counters.get("sparse.csr_destroy", 0)
+    if created != destroyed:
+        print(f"FAIL: sparse.csr_create ({created}) != sparse.csr_destroy "
+              f"({destroyed}) — {created - destroyed} CSR matrix(es) still "
+              "alive when the profile was written", file=sys.stderr)
         return 1
 
     if baseline is not None and acquires >= baseline:

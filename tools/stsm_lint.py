@@ -32,6 +32,14 @@ cannot know because they encode *this* codebase's contracts:
                      named by a variable (ops.cc's per-node fwd/bwd names)
                      are out of scope for this textual check.
 
+  sparse-kernel-oracle  every `*Kernel` function at namespace level in
+                     src/tensor/sparse.cc has a `*Oracle` twin in the same
+                     file. The oracle is the dense-reference implementation
+                     with the identical skip-zero ascending accumulation
+                     order; the sparse differential tests require bitwise
+                     equality against it, so a kernel without its oracle is
+                     a kernel the tests cannot pin down.
+
 Usage: stsm_lint.py [repo_root]
 
 Exit status 0 when clean, 1 with one line per finding otherwise. Stdlib
@@ -150,6 +158,8 @@ POOL_INCLUDE = re.compile(r"#include\s+\"tensor/pool\.h\"")
 POOL_TEST_ALLOWLIST = {
     "tests/tensor/storage_pool_test.cc",
     "tests/tensor/strided_view_test.cc",
+    # Asserts CSR buffers (values/indices) return to the pool on destruction.
+    "tests/tensor/sparse_test.cc",
 }
 
 
@@ -204,6 +214,32 @@ def check_prof_scope_unique(root, findings):
                     seen[name] = where
 
 
+# ---- sparse-kernel-oracle ---------------------------------------------------
+
+
+def check_sparse_kernel_oracle(root, findings):
+    path = root / "src" / "tensor" / "sparse.cc"
+    if not path.is_file():
+        return
+    text = strip_comments(read(path))
+    rel = path.relative_to(root)
+    # Collect namespace-level `<prefix>Kernel(` / `<prefix>Oracle(`
+    # definitions by signature line (the brace-balanced block's first line).
+    names = {"Kernel": {}, "Oracle": {}}
+    for line, body in toplevel_functions(text):
+        signature = body.split("{", 1)[0]
+        match = re.search(r"\b(\w+?)(Kernel|Oracle)\s*\(", signature)
+        if match:
+            names[match.group(2)].setdefault(match.group(1), line)
+    for prefix, line in sorted(names["Kernel"].items()):
+        if prefix not in names["Oracle"]:
+            findings.append(
+                f"{rel}:{line}: [sparse-kernel-oracle] {prefix}Kernel has "
+                f"no {prefix}Oracle dense-reference twin — the sparse "
+                "differential tests require a bitwise-identical oracle for "
+                "every SpMM kernel")
+
+
 # ---- driver -----------------------------------------------------------------
 
 
@@ -215,13 +251,14 @@ def main(argv):
     check_ops_strided_pairing(root, findings)
     check_pool_include(root, findings)
     check_prof_scope_unique(root, findings)
+    check_sparse_kernel_oracle(root, findings)
     for finding in findings:
         print(finding, file=sys.stderr)
     if findings:
         print(f"stsm_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
     print("stsm_lint: OK (serve-nograd, ops-strided-pair, pool-include, "
-          "prof-scope-unique)")
+          "prof-scope-unique, sparse-kernel-oracle)")
     return 0
 
 
