@@ -34,20 +34,21 @@ size_t CacheKeyHash::operator()(const CacheKey& key) const {
   return static_cast<size_t>(hash);
 }
 
-ForecastCache::ForecastCache(size_t capacity) : capacity_(capacity) {}
+ForecastCache::ForecastCache(size_t capacity, CacheProfNames counters)
+    : capacity_(capacity), counters_(counters) {}
 
 bool ForecastCache::Lookup(const CacheKey& key, std::vector<float>* out) {
   MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
-    STSM_PROF_COUNT("serve.cache.miss", 1);
+    STSM_PROF_COUNT(counters_.miss, 1);
     return false;
   }
   entries_.splice(entries_.begin(), entries_, it->second);
   *out = it->second->forecast;
   ++stats_.hits;
-  STSM_PROF_COUNT("serve.cache.hit", 1);
+  STSM_PROF_COUNT(counters_.hit, 1);
   return true;
 }
 
@@ -64,7 +65,7 @@ void ForecastCache::Insert(const CacheKey& key, std::vector<float> forecast) {
     index_.erase(entries_.back().key);
     entries_.pop_back();
     ++stats_.evictions;
-    STSM_PROF_COUNT("serve.cache.evict", 1);
+    STSM_PROF_COUNT(counters_.evict, 1);
   }
   entries_.push_front(Entry{key, std::move(forecast)});
   index_[key] = entries_.begin();

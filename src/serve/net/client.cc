@@ -1,0 +1,128 @@
+#include "serve/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace stsm {
+namespace serve {
+namespace net {
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool FailErrno(std::string* error, const char* what) {
+  return Fail(error, std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+NetClient::~NetClient() { Close(); }
+
+bool NetClient::Connect(const std::string& host, uint16_t port,
+                        std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return FailErrno(error, "socket");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Fail(error, "bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return FailErrno(error, "connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool NetClient::SendRequest(const RequestFrame& frame, std::string* error) {
+  std::vector<uint8_t> bytes;
+  EncodeRequest(frame, &bytes);
+  return SendBytes(bytes.data(), bytes.size(), error);
+}
+
+bool NetClient::SendBytes(const void* data, size_t size, std::string* error) {
+  if (fd_ < 0) return Fail(error, "not connected");
+  const uint8_t* at = static_cast<const uint8_t*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::send(fd_, at, remaining, MSG_NOSIGNAL);
+    if (n > 0) {
+      at += n;
+      remaining -= static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return FailErrno(error, "send");
+  }
+  return true;
+}
+
+bool NetClient::ReadResponse(ResponseFrame* out, std::string* error) {
+  if (fd_ < 0) return Fail(error, "not connected");
+  while (true) {
+    FrameHeader header;
+    std::string decode_error;
+    const DecodeResult head =
+        DecodeHeader(buffer_.data(), buffer_.size(), &header, &decode_error);
+    if (head == DecodeResult::kMalformed) {
+      return Fail(error, "malformed frame from server: " + decode_error);
+    }
+    if (head == DecodeResult::kOk) {
+      if (header.type != FrameType::kResponse) {
+        return Fail(error, "unexpected frame type from server");
+      }
+      if (buffer_.size() >= kHeaderBytes + header.payload_bytes) {
+        if (!DecodeResponsePayload(buffer_.data() + kHeaderBytes,
+                                   header.payload_bytes, out,
+                                   &decode_error)) {
+          return Fail(error, "malformed response payload: " + decode_error);
+        }
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<long>(
+                                            kHeaderBytes +
+                                            header.payload_bytes));
+        return true;
+      }
+    }
+    uint8_t chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.insert(buffer_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) return Fail(error, "connection closed by server");
+    if (errno == EINTR) continue;
+    return FailErrno(error, "recv");
+  }
+}
+
+void NetClient::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace stsm

@@ -1,0 +1,72 @@
+// Minimal blocking client of the wire protocol, used by the tests and the
+// load bench. One instance = one TCP connection; not thread-safe. Requests
+// may be pipelined (SendRequest repeatedly, then ReadResponse repeatedly) —
+// responses carry the echoed request id for matching, and may arrive in a
+// different order than the sends when they land on different servers.
+
+#ifndef STSM_SERVE_NET_CLIENT_H_
+#define STSM_SERVE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/net/wire.h"
+
+namespace stsm {
+namespace serve {
+namespace net {
+
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();  // Closes the connection.
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  NetClient(NetClient&& other) noexcept
+      : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+    other.fd_ = -1;
+  }
+  NetClient& operator=(NetClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      buffer_ = std::move(other.buffer_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool Connect(const std::string& host, uint16_t port, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+
+  // Encodes and writes one request frame (handles partial writes).
+  bool SendRequest(const RequestFrame& frame, std::string* error);
+
+  // Writes raw bytes verbatim — the malformed-frame tests speak through
+  // this to poke the server's defensive decoding.
+  bool SendBytes(const void* data, size_t size, std::string* error);
+
+  // Blocks until one complete response frame arrives. False on EOF, a read
+  // error, or a malformed/unexpected frame from the server.
+  bool ReadResponse(ResponseFrame* out, std::string* error);
+
+  // Half-close: tells the server no more requests are coming, while
+  // responses can still be read. Lets a test observe the server-side
+  // graceful close.
+  void ShutdownWrite();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::vector<uint8_t> buffer_;  // Bytes read past the last parsed frame.
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace stsm
+
+#endif  // STSM_SERVE_NET_CLIENT_H_

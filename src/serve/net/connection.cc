@@ -1,0 +1,184 @@
+#include "serve/net/connection.h"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "common/check.h"
+
+namespace stsm {
+namespace serve {
+namespace net {
+namespace {
+
+// Per-read chunk; the buffer cap below bounds how far past one maximal
+// frame a pipelining client can push bytes we have not parsed yet.
+constexpr size_t kReadChunkBytes = 64 * 1024;
+constexpr size_t kMaxReadBufferBytes = kMaxPayloadBytes + kHeaderBytes +
+                                       kReadChunkBytes;
+
+}  // namespace
+
+Waker::Waker() : fd_(eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
+  STSM_CHECK_GE(fd_, 0) << "— eventfd creation failed";
+}
+
+Waker::~Waker() { ::close(fd_); }
+
+void Waker::Wake() {
+  const uint64_t one = 1;
+  // The counter saturates rather than blocks under EFD_NONBLOCK; a failed
+  // write means a wake is already pending, which is all we need.
+  [[maybe_unused]] ssize_t n = ::write(fd_, &one, sizeof(one));
+}
+
+void Waker::Drain() {
+  uint64_t count = 0;
+  [[maybe_unused]] ssize_t n = ::read(fd_, &count, sizeof(count));
+}
+
+Connection::Connection(int fd, int max_inflight,
+                       size_t max_write_buffer_bytes)
+    : fd_(fd),
+      max_inflight_(max_inflight),
+      max_write_buffer_bytes_(max_write_buffer_bytes) {
+  STSM_CHECK_GE(fd, 0);
+  STSM_CHECK_GE(max_inflight, 1);
+}
+
+Connection::~Connection() { ::close(fd_); }
+
+Connection::IoStatus Connection::OnReadable() {
+  uint8_t chunk[kReadChunkBytes];
+  while (read_buffer_.size() < kMaxReadBufferBytes) {
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      read_buffer_.insert(read_buffer_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {
+      peer_eof_ = true;
+      return IoStatus::kOk;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+Connection::ParseStatus Connection::ParseAndSubmit(
+    const FrameHandler& handler, IngressCounters* counters) {
+  size_t consumed = 0;
+  ParseStatus status = ParseStatus::kOk;
+  while (inflight() < static_cast<size_t>(max_inflight_)) {
+    const uint8_t* data = read_buffer_.data() + consumed;
+    const size_t available = read_buffer_.size() - consumed;
+    FrameHeader header;
+    std::string error;
+    const DecodeResult head = DecodeHeader(data, available, &header, &error);
+    if (head == DecodeResult::kNeedMore) break;
+    if (head == DecodeResult::kMalformed ||
+        header.type != FrameType::kRequest) {
+      counters->malformed.fetch_add(1, std::memory_order_relaxed);
+      status = ParseStatus::kMalformed;
+      break;
+    }
+    if (available < kHeaderBytes + header.payload_bytes) break;
+    RequestFrame frame;
+    if (!DecodeRequestPayload(data + kHeaderBytes, header.payload_bytes,
+                              &frame, &error)) {
+      counters->malformed.fetch_add(1, std::memory_order_relaxed);
+      status = ParseStatus::kMalformed;
+      break;
+    }
+    consumed += kHeaderBytes + header.payload_bytes;
+    {
+      MutexLock lock(mutex_);
+      ++inflight_;
+    }
+    counters->frames_in.fetch_add(1, std::memory_order_relaxed);
+    handler(std::move(frame));
+  }
+  if (consumed > 0) {
+    read_buffer_.erase(read_buffer_.begin(),
+                       read_buffer_.begin() + static_cast<long>(consumed));
+  }
+  return status;
+}
+
+void Connection::DrainCompletions(IngressCounters* counters) {
+  std::vector<Completion> done;
+  {
+    MutexLock lock(mutex_);
+    done.swap(completions_);
+    inflight_ -= done.size();
+  }
+  for (Completion& completion : done) {
+    ResponseFrame frame;
+    frame.id = completion.id;
+    frame.response = std::move(completion.response);
+    EncodeResponse(frame, &write_buffer_);
+    counters->frames_out.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Connection::IoStatus Connection::Flush() {
+  while (write_offset_ < write_buffer_.size()) {
+    const ssize_t n = ::write(fd_, write_buffer_.data() + write_offset_,
+                              write_buffer_.size() - write_offset_);
+    if (n > 0) {
+      write_offset_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+  write_buffer_.clear();
+  write_offset_ = 0;
+  return IoStatus::kOk;
+}
+
+Connection::Interest Connection::Wanted() {
+  Interest interest;
+  interest.write = has_pending_write();
+  const size_t pending_write = write_buffer_.size() - write_offset_;
+  interest.read = !peer_eof_ &&
+                  inflight() < static_cast<size_t>(max_inflight_) &&
+                  pending_write < max_write_buffer_bytes_ &&
+                  read_buffer_.size() < kMaxReadBufferBytes;
+  return interest;
+}
+
+bool Connection::Idle() {
+  if (has_pending_write()) return false;
+  MutexLock lock(mutex_);
+  return inflight_ == 0 && completions_.empty();
+}
+
+void Connection::PushCompletion(uint64_t id, ForecastResponse response) {
+  MutexLock lock(mutex_);
+  if (closed_) return;
+  Completion completion;
+  completion.id = id;
+  completion.response = std::move(response);
+  completions_.push_back(std::move(completion));
+}
+
+void Connection::MarkClosed() {
+  MutexLock lock(mutex_);
+  closed_ = true;
+  completions_.clear();
+}
+
+size_t Connection::inflight() {
+  MutexLock lock(mutex_);
+  return inflight_;
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace stsm

@@ -1,0 +1,162 @@
+// Per-connection state machine of the epoll ingress.
+//
+// A Connection is driven from two sides with a strict division of state:
+//
+//   * The event-loop thread (and only it) owns the socket and the read/write
+//     byte buffers. OnReadable/ParseAndSubmit/DrainCompletions/Flush are
+//     loop-only calls — no lock protects the buffers because no other thread
+//     may touch them.
+//   * Server worker threads finish requests by calling PushCompletion from
+//     the ForecastServer response callback. The completion queue and the
+//     in-flight counter are the only cross-thread state, guarded by mutex_.
+//
+// Back-pressure: ParseAndSubmit stops decoding once max_inflight requests
+// are outstanding, leaving the rest of the bytes buffered; Wanted() then
+// drops read interest until completions drain (and the buffered bytes are
+// re-parsed on the next service pass, without new socket activity). Writes
+// are bounded the same way: a connection whose response bytes back up past
+// the write cap stops reading until the peer drains them.
+//
+// A malformed frame is terminal: the byte stream has no resynchronisation
+// point, so the listener records it and closes the connection.
+
+#ifndef STSM_SERVE_NET_CONNECTION_H_
+#define STSM_SERVE_NET_CONNECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "serve/net/wire.h"
+
+namespace stsm {
+namespace serve {
+namespace net {
+
+// Ingress-wide counters, incremented by the loop thread while servicing
+// connections and snapshotted by Listener::stats().
+struct IngressCounters {
+  std::atomic<uint64_t> accepted{0};     // Connections accepted.
+  std::atomic<uint64_t> closed{0};       // Connections fully torn down.
+  std::atomic<uint64_t> malformed{0};    // Frames rejected (closes the conn).
+  std::atomic<uint64_t> frames_in{0};    // Well-formed requests decoded.
+  std::atomic<uint64_t> frames_out{0};   // Responses encoded for the wire.
+  std::atomic<uint64_t> read_pauses{0};  // Back-pressure read-pause events.
+};
+
+// eventfd wrapper that lets worker threads kick the epoll loop. Shared via
+// shared_ptr with every response callback so a completion arriving during
+// (or after) listener teardown writes to a still-open descriptor.
+class Waker {
+ public:
+  Waker();
+  ~Waker();
+  Waker(const Waker&) = delete;
+  Waker& operator=(const Waker&) = delete;
+
+  int fd() const { return fd_; }
+  void Wake();   // Any thread.
+  void Drain();  // Loop thread: consume the pending tick(s).
+
+ private:
+  int fd_ = -1;
+};
+
+class Connection {
+ public:
+  // What the loop should ask epoll to watch for.
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  enum class IoStatus { kOk, kError };
+  enum class ParseStatus { kOk, kMalformed };
+
+  // Decoded request handler supplied by the listener; called once per
+  // well-formed frame, on the loop thread.
+  using FrameHandler = std::function<void(RequestFrame)>;
+
+  // Takes ownership of the (already non-blocking) socket fd.
+  Connection(int fd, int max_inflight, size_t max_write_buffer_bytes);
+  ~Connection();  // Closes the fd.
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+
+  // ---- loop-thread only ----------------------------------------------------
+
+  // Reads until EAGAIN, EOF, or the read buffer cap. EOF is not an error:
+  // it is recorded (peer_eof) and any buffered requests still get answers.
+  IoStatus OnReadable();
+
+  // Decodes complete frames from the read buffer and hands each to
+  // `handler`, stopping at the in-flight cap. Counts each decoded frame in
+  // `counters`. kMalformed means the stream is corrupt — close.
+  ParseStatus ParseAndSubmit(const FrameHandler& handler,
+                             IngressCounters* counters)
+      STSM_EXCLUDES(mutex_);
+
+  // Moves finished responses out of the completion queue and encodes them
+  // into the write buffer (releasing their in-flight slots).
+  void DrainCompletions(IngressCounters* counters) STSM_EXCLUDES(mutex_);
+
+  // Writes buffered bytes until EAGAIN or empty.
+  IoStatus Flush();
+
+  Interest Wanted() STSM_EXCLUDES(mutex_);
+
+  bool peer_eof() const { return peer_eof_; }
+  bool has_pending_write() const {
+    return write_offset_ < write_buffer_.size();
+  }
+  // True when nothing is owed to the peer: no request in flight, no
+  // completion queued, no byte unflushed. peer_eof + Idle = close.
+  bool Idle() STSM_EXCLUDES(mutex_);
+
+  // ---- any thread ----------------------------------------------------------
+
+  // Queues a finished response for the loop to encode; no-op once the
+  // connection is closed. The caller wakes the loop afterwards.
+  void PushCompletion(uint64_t id, ForecastResponse response)
+      STSM_EXCLUDES(mutex_);
+
+  // Tears down the cross-thread side: subsequent PushCompletion calls drop
+  // their responses. Called by the listener before destroying the map entry
+  // so that late worker callbacks (which hold a shared_ptr to this object)
+  // become harmless.
+  void MarkClosed() STSM_EXCLUDES(mutex_);
+
+ private:
+  size_t inflight() STSM_EXCLUDES(mutex_);
+
+  const int fd_;
+  const int max_inflight_;
+  const size_t max_write_buffer_bytes_;
+
+  // Loop-thread state (unguarded by design; see file comment).
+  std::vector<uint8_t> read_buffer_;
+  std::vector<uint8_t> write_buffer_;
+  size_t write_offset_ = 0;
+  bool peer_eof_ = false;
+
+  struct Completion {
+    uint64_t id = 0;
+    ForecastResponse response;
+  };
+
+  Mutex mutex_;
+  std::vector<Completion> completions_ STSM_GUARDED_BY(mutex_);
+  size_t inflight_ STSM_GUARDED_BY(mutex_) = 0;
+  bool closed_ STSM_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace stsm
+
+#endif  // STSM_SERVE_NET_CONNECTION_H_

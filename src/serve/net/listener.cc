@@ -1,0 +1,235 @@
+#include "serve/net/listener.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace stsm {
+namespace serve {
+namespace net {
+namespace {
+
+constexpr int kListenBacklog = 128;
+constexpr int kMaxEpollEvents = 64;
+
+bool FailErrno(std::string* error, const char* what) {
+  if (error != nullptr) {
+    *error = std::string(what) + ": " + std::strerror(errno);
+  }
+  return false;
+}
+
+}  // namespace
+
+Listener::Listener(SubmitFn submit, ListenerConfig config)
+    : submit_(std::move(submit)),
+      config_(std::move(config)),
+      waker_(std::make_shared<Waker>()) {}
+
+Listener::~Listener() { Stop(); }
+
+bool Listener::Start(std::string* error) {
+  if (started_) return FailErrno(error, "listener already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return FailErrno(error, "socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return FailErrno(error, "inet_pton");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, kListenBacklog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return FailErrno(error, "bind/listen");
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return FailErrno(error, "getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return FailErrno(error, "epoll_create1");
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = waker_->fd();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, waker_->fd(), &ev);
+
+  started_ = true;
+  loop_ = std::thread([this] { LoopMain(); });
+  return true;
+}
+
+void Listener::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  stop_.store(true, std::memory_order_release);
+  waker_->Wake();
+  loop_.join();
+  CloseAll();
+  ::close(epoll_fd_);
+  epoll_fd_ = -1;
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void Listener::LoopMain() {
+  epoll_event events[kMaxEpollEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEpollEvents, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // epoll itself broke; Stop() still joins cleanly.
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptAll();
+      } else if (fd == waker_->fd()) {
+        waker_->Drain();
+      }
+    }
+    // Service every connection each pass: a completion wake names no fd, a
+    // drained completion can unblock parsing of already-buffered bytes, and
+    // connection counts here are small enough that a full sweep is cheaper
+    // than tracking which connection each event was for.
+    std::vector<int> to_close;
+    for (auto& [fd, state] : connections_) {
+      if (!ServiceConnection(&state)) to_close.push_back(fd);
+    }
+    for (int fd : to_close) CloseConnection(fd);
+  }
+}
+
+void Listener::AcceptAll() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN, or a transient accept failure: retry on
+                         // the next readiness event either way.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ConnState state;
+    state.conn = std::make_shared<Connection>(
+        fd, config_.max_inflight_per_connection,
+        config_.max_write_buffer_bytes);
+    state.epoll_mask = EPOLLIN;
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    connections_.emplace(fd, std::move(state));
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool Listener::ServiceConnection(ConnState* state) {
+  const std::shared_ptr<Connection> conn = state->conn;
+  conn->DrainCompletions(&counters_);
+  if (conn->OnReadable() == Connection::IoStatus::kError) return false;
+
+  const Connection::FrameHandler handler = [this, conn](RequestFrame frame) {
+    ForecastRequest request = std::move(frame.request);
+    if (frame.deadline_ms > 0) {
+      request.deadline =
+          Clock::now() + std::chrono::milliseconds(frame.deadline_ms);
+    }
+    const uint64_t id = frame.id;
+    const std::shared_ptr<Waker> waker = waker_;
+    submit_(std::move(request),
+            [conn, waker, id](ForecastResponse response) {
+              conn->PushCompletion(id, std::move(response));
+              waker->Wake();
+            });
+  };
+  if (conn->ParseAndSubmit(handler, &counters_) ==
+      Connection::ParseStatus::kMalformed) {
+    return false;
+  }
+  // Error and rejection paths answer synchronously on this thread — pick
+  // those completions up now instead of waiting for the waker round-trip.
+  conn->DrainCompletions(&counters_);
+  if (conn->Flush() == Connection::IoStatus::kError) return false;
+  if (conn->peer_eof() && conn->Idle()) return false;
+
+  const Connection::Interest want = conn->Wanted();
+  const uint32_t mask = (want.read ? static_cast<uint32_t>(EPOLLIN) : 0u) |
+                        (want.write ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  if (mask != state->epoll_mask) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = mask;
+    ev.data.fd = conn->fd();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
+    state->epoll_mask = mask;
+  }
+  const bool paused = !want.read && !conn->peer_eof();
+  if (paused && !state->paused) {
+    counters_.read_pauses.fetch_add(1, std::memory_order_relaxed);
+  }
+  state->paused = paused;
+  return true;
+}
+
+void Listener::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  it->second.conn->MarkClosed();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  connections_.erase(it);  // ~Connection closes the fd.
+  counters_.closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Listener::CloseAll() {
+  for (auto& [fd, state] : connections_) {
+    state.conn->MarkClosed();
+    counters_.closed.fetch_add(1, std::memory_order_relaxed);
+  }
+  connections_.clear();
+}
+
+ListenerStats Listener::stats() const {
+  ListenerStats stats;
+  stats.accepted = counters_.accepted.load(std::memory_order_relaxed);
+  stats.closed = counters_.closed.load(std::memory_order_relaxed);
+  stats.malformed = counters_.malformed.load(std::memory_order_relaxed);
+  stats.frames_in = counters_.frames_in.load(std::memory_order_relaxed);
+  stats.frames_out = counters_.frames_out.load(std::memory_order_relaxed);
+  stats.read_pauses = counters_.read_pauses.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace stsm

@@ -1,0 +1,121 @@
+// Epoll-based TCP ingress for the forecast service.
+//
+// One loop thread multiplexes the listen socket, an eventfd waker, and every
+// accepted connection (all non-blocking, level-triggered). Decoded requests
+// are handed to a SubmitFn — in production a lambda over
+// ShardedRegistry::SubmitAsync — whose completion callback runs on a server
+// worker thread: it queues the response on the owning Connection and kicks
+// the waker, and the loop encodes + writes it on the next pass. The loop
+// never blocks on a forecast and a worker never touches a socket.
+//
+// Lifetime of late completions: every response callback captures a
+// shared_ptr to its Connection and to the Waker, so a forecast finishing
+// after the connection (or the whole listener) is torn down lands in
+// MarkClosed()'d no-ops against still-live objects, in any teardown order.
+
+#ifndef STSM_SERVE_NET_LISTENER_H_
+#define STSM_SERVE_NET_LISTENER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "serve/net/connection.h"
+#include "serve/types.h"
+
+namespace stsm {
+namespace serve {
+namespace net {
+
+struct ListenerConfig {
+  std::string host = "127.0.0.1";
+  // 0 binds an ephemeral port; the chosen one is readable via port() after
+  // Start succeeds.
+  uint16_t port = 0;
+  // Per-connection bound on decoded-but-unanswered requests; parsing (and
+  // then reading) pauses at the cap.
+  int max_inflight_per_connection = 64;
+  // Per-connection bound on un-flushed response bytes; reading pauses while
+  // the peer lets responses back up past it.
+  size_t max_write_buffer_bytes = 4u << 20;
+};
+
+// Point-in-time snapshot of IngressCounters.
+struct ListenerStats {
+  uint64_t accepted = 0;
+  uint64_t closed = 0;
+  uint64_t malformed = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t read_pauses = 0;
+};
+
+class Listener {
+ public:
+  // Request sink: forwards a validated-by-decode request plus the callback
+  // that must eventually receive its response (from any thread).
+  using SubmitFn =
+      std::function<void(ForecastRequest, std::function<void(ForecastResponse)>)>;
+
+  Listener(SubmitFn submit, ListenerConfig config);
+  ~Listener();  // Stops the loop and closes every socket.
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds, listens, and starts the loop thread. False (with *error set) on
+  // any socket failure; the listener is then inert and safe to destroy.
+  bool Start(std::string* error);
+
+  // Stops the loop thread and closes all connections. Idempotent; requests
+  // already handed to the submit fn still complete (their completions are
+  // dropped by MarkClosed).
+  void Stop();
+
+  // Bound port; valid after Start() returns true.
+  uint16_t port() const { return port_; }
+
+  ListenerStats stats() const;
+
+ private:
+  struct ConnState {
+    std::shared_ptr<Connection> conn;
+    uint32_t epoll_mask = 0;
+    bool paused = false;  // For the read_pauses transition counter.
+  };
+
+  void LoopMain();
+  void AcceptAll();
+  // Runs the full drain -> read -> parse -> flush pass on one connection;
+  // returns false when the connection must be closed and removed.
+  bool ServiceConnection(ConnState* state);
+  void CloseConnection(int fd);
+  void CloseAll();
+
+  const SubmitFn submit_;
+  const ListenerConfig config_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  uint16_t port_ = 0;
+  std::shared_ptr<Waker> waker_;
+  std::thread loop_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  // Loop-thread only (constructed before the thread starts, destroyed after
+  // it joins).
+  std::unordered_map<int, ConnState> connections_;
+
+  mutable IngressCounters counters_;
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace stsm
+
+#endif  // STSM_SERVE_NET_LISTENER_H_

@@ -106,12 +106,36 @@ Tensor ServedModel::Predict(const Tensor& inputs,
           .predictions);
 }
 
-bool ModelRegistry::Load(const ModelSpec& spec) {
+LoadResult ModelRegistry::Load(const ModelSpec& spec) {
+  // Checkpoint restore happens outside the lock: a hot-swap must not stall
+  // concurrent Find calls behind model construction.
   std::shared_ptr<const ServedModel> served = ServedModel::Load(spec);
-  const bool healthy = served->healthy();
-  MutexLock lock(mutex_);
-  models_[spec.name] = std::move(served);
-  return healthy;
+  LoadResult result;
+  result.healthy = served->healthy();
+  std::shared_ptr<const ServedModel> replaced;  // Torn down after unlock.
+  {
+    MutexLock lock(mutex_);
+    std::shared_ptr<const ServedModel>& slot = models_[spec.name];
+    if (slot != nullptr) {
+      result.previous = slot->healthy() ? EntryHealth::kHealthy
+                                        : EntryHealth::kUnhealthy;
+    }
+    replaced = std::move(slot);
+    slot = std::move(served);
+  }
+  return result;
+}
+
+bool ModelRegistry::Unload(const std::string& name) {
+  std::shared_ptr<const ServedModel> dropped;  // Torn down after unlock.
+  {
+    MutexLock lock(mutex_);
+    auto it = models_.find(name);
+    if (it == models_.end()) return false;
+    dropped = std::move(it->second);
+    models_.erase(it);
+  }
+  return true;
 }
 
 std::shared_ptr<const ServedModel> ModelRegistry::Find(

@@ -85,13 +85,42 @@ class ServedModel {
   std::unique_ptr<StModel> model_;  // Null when the checkpoint failed.
 };
 
+// Health of the registry entry a Load replaced (the "previous generation"
+// in a checkpoint hot-swap).
+enum class EntryHealth {
+  kAbsent,     // No entry of that name existed: an initial load.
+  kHealthy,    // Replaced a serving model (the common hot-swap case).
+  kUnhealthy,  // Replaced an entry whose checkpoint had failed.
+};
+
+// What a Load/Swap did: the new entry's health plus the transition from
+// whatever it replaced. `previous == kUnhealthy && healthy` is the
+// recovery path; `previous == kHealthy && !healthy` is a swap that made
+// things worse and deserves an alert at the call site.
+struct LoadResult {
+  bool healthy = false;                       // The newly installed entry.
+  EntryHealth previous = EntryHealth::kAbsent;
+};
+
 // Thread-safe name -> ServedModel map.
+//
+// Hot-swap semantics: Load builds the replacement ServedModel *outside* the
+// lock, then flips the shared_ptr under it — one pointer store. Requests
+// that called Find before the flip keep their shared_ptr and finish their
+// batch on the old model; the old weights are freed when the last in-flight
+// batch drops its reference. Nothing is ever mutated in place.
 class ModelRegistry {
  public:
-  // Loads and registers a model (replacing any same-named entry). Returns
-  // the loaded model's health: false means the checkpoint failed and the
-  // entry will only serve degraded responses.
-  bool Load(const ModelSpec& spec) STSM_EXCLUDES(mutex_);
+  // Loads and registers a model (replacing any same-named entry). The
+  // result carries the new entry's health — false means the checkpoint
+  // failed and the entry will only serve degraded responses — plus the
+  // replaced entry's health transition.
+  LoadResult Load(const ModelSpec& spec) STSM_EXCLUDES(mutex_);
+
+  // Removes `name`. Returns false when no such entry existed. In-flight
+  // requests that already hold the model's shared_ptr finish normally;
+  // later requests get an "unknown model" error.
+  bool Unload(const std::string& name) STSM_EXCLUDES(mutex_);
 
   // Null when `name` is not registered.
   std::shared_ptr<const ServedModel> Find(const std::string& name) const

@@ -30,16 +30,35 @@ CacheKey KeyFor(const ForecastRequest& request) {
 
 }  // namespace
 
+namespace {
+// Construction-time validation: a zero-worker server hangs every queued
+// request, a zero-capacity queue rejects everything, and a zero batch_max
+// indexes batch_size_counts_ out of range — all are configuration bugs
+// better reported up front than debugged under load.
+const ServerConfig& ValidatedConfig(const ServerConfig& config) {
+  STSM_CHECK_GE(config.num_workers, 1)
+      << "— ServerConfig.num_workers must be positive (a zero-worker server "
+         "never answers queued requests)";
+  STSM_CHECK_GE(config.queue_capacity, 1)
+      << "— ServerConfig.queue_capacity must be positive (a zero-capacity "
+         "queue rejects every request)";
+  STSM_CHECK_GE(config.batch_max, 1)
+      << "— ServerConfig.batch_max must be positive";
+  STSM_CHECK_GE(config.cache_capacity, 0)
+      << "— ServerConfig.cache_capacity must be >= 0 (0 disables the cache)";
+  return config;
+}
+}  // namespace
+
 ForecastServer::ForecastServer(const ModelRegistry* registry,
                                const ServerConfig& config)
     : registry_(registry),
-      config_(config),
-      cache_(static_cast<size_t>(std::max(0, config.cache_capacity))),
-      queue_(static_cast<size_t>(std::max(1, config.queue_capacity))),
+      config_(ValidatedConfig(config)),
+      cache_(static_cast<size_t>(config.cache_capacity),
+             config.cache_counters),
+      queue_(static_cast<size_t>(config.queue_capacity)),
       batch_size_counts_(
           new std::atomic<uint64_t>[config.batch_max + 1]()) {
-  STSM_CHECK_GE(config.num_workers, 1);
-  STSM_CHECK_GE(config.batch_max, 1);
   workers_.reserve(config.num_workers);
   for (int w = 0; w < config.num_workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -57,14 +76,11 @@ void ForecastServer::Stop() {
   workers_.clear();
 }
 
-std::future<ForecastResponse> ForecastServer::Submit(ForecastRequest request) {
+void ForecastServer::SubmitAsync(ForecastRequest request,
+                                 ResponseCallback done) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
   STSM_PROF_COUNT("serve.requests", 1);
   const Clock::time_point now = Clock::now();
-
-  Pending pending;
-  pending.enqueue_time = now;
-  std::future<ForecastResponse> future = pending.promise.get_future();
 
   // Validation against the registered model's shapes.
   const std::shared_ptr<const ServedModel> model =
@@ -72,9 +88,8 @@ std::future<ForecastResponse> ForecastServer::Submit(ForecastRequest request) {
   if (model == nullptr) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     STSM_PROF_COUNT("serve.errors", 1);
-    pending.promise.set_value(
-        ErrorResponse("unknown model: " + request.model));
-    return future;
+    done(ErrorResponse("unknown model: " + request.model));
+    return;
   }
   const ModelSpec& spec = model->spec();
   const size_t expected_window =
@@ -82,15 +97,15 @@ std::future<ForecastResponse> ForecastServer::Submit(ForecastRequest request) {
   if (request.window.size() != expected_window || request.regions.empty()) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     STSM_PROF_COUNT("serve.errors", 1);
-    pending.promise.set_value(ErrorResponse("bad request shape"));
-    return future;
+    done(ErrorResponse("bad request shape"));
+    return;
   }
   for (int region : request.regions) {
     if (region < 0 || region >= spec.num_nodes) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       STSM_PROF_COUNT("serve.errors", 1);
-      pending.promise.set_value(ErrorResponse("region id out of range"));
-      return future;
+      done(ErrorResponse("region id out of range"));
+      return;
     }
   }
 
@@ -113,24 +128,35 @@ std::future<ForecastResponse> ForecastServer::Submit(ForecastRequest request) {
             "serve.latency",
             static_cast<uint64_t>(cached.latency.count()));
       }
-      pending.promise.set_value(std::move(cached));
-      return future;
+      done(std::move(cached));
+      return;
     }
   }
 
+  Pending pending;
+  pending.enqueue_time = now;
   pending.request = std::move(request);
+  pending.done = std::move(done);
+  // TryPush consumes the Pending even on failure, so keep a handle on the
+  // callback to answer the rejection from.
+  ResponseCallback on_reject = pending.done;
   if (!queue_.TryPush(std::move(pending))) {
-    // The promise was consumed by the moved-from Pending either way, so the
-    // original future is broken; answer the caller from a fresh promise.
     rejected_.fetch_add(1, std::memory_order_relaxed);
     STSM_PROF_COUNT("serve.rejected", 1);
     ForecastResponse rejected;
     rejected.status = Status::kRejected;
     rejected.message = "queue full";
-    std::promise<ForecastResponse> fresh;
-    future = fresh.get_future();
-    fresh.set_value(std::move(rejected));
+    rejected.latency = Clock::now() - now;
+    on_reject(std::move(rejected));
   }
+}
+
+std::future<ForecastResponse> ForecastServer::Submit(ForecastRequest request) {
+  auto promise = std::make_shared<std::promise<ForecastResponse>>();
+  std::future<ForecastResponse> future = promise->get_future();
+  SubmitAsync(std::move(request), [promise](ForecastResponse response) {
+    promise->set_value(std::move(response));
+  });
   return future;
 }
 
@@ -257,7 +283,7 @@ void ForecastServer::Respond(Pending* pending, ForecastResponse response) {
       errors_.fetch_add(1, std::memory_order_relaxed);
       break;
   }
-  pending->promise.set_value(std::move(response));
+  pending->done(std::move(response));
 }
 
 ForecastResponse ForecastServer::Fallback(const ForecastRequest& request,

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -37,6 +38,9 @@
 namespace stsm {
 namespace serve {
 
+// Validated at ForecastServer construction: num_workers, queue_capacity and
+// batch_max must be >= 1 and cache_capacity >= 0, or construction aborts
+// with a diagnostic instead of hanging (zero workers) or exhibiting UB.
 struct ServerConfig {
   int num_workers = 2;
   int queue_capacity = 64;
@@ -46,6 +50,9 @@ struct ServerConfig {
   int cache_capacity = 128;
   // Applied to requests that arrive without a deadline; zero = unlimited.
   std::chrono::milliseconds default_deadline{0};
+  // Prof counter names for this server's forecast cache; a sharded
+  // front-end injects per-shard names (see cache.h).
+  CacheProfNames cache_counters{};
 };
 
 // Point-in-time counters (monotonic since construction).
@@ -71,6 +78,16 @@ class ForecastServer {
   ForecastServer(const ForecastServer&) = delete;
   ForecastServer& operator=(const ForecastServer&) = delete;
 
+  // Invoked exactly once per accepted request, either inline from the
+  // submitting thread (validation error, cache hit, queue-full rejection)
+  // or from a worker thread. Must not block: the network event loop's
+  // completions ride on it.
+  using ResponseCallback = std::function<void(ForecastResponse)>;
+
+  // Callback entry point used by the network ingress: `done` fires when the
+  // response is ready, on whichever thread produced it.
+  void SubmitAsync(ForecastRequest request, ResponseCallback done);
+
   // Asynchronous entry point. The future is always fulfilled — with
   // kError/kRejected immediately, with a cache hit immediately, or by a
   // worker thread otherwise.
@@ -92,7 +109,7 @@ class ForecastServer {
   struct Pending {
     ForecastRequest request;
     Clock::time_point enqueue_time;
-    std::promise<ForecastResponse> promise;
+    ResponseCallback done;
   };
 
   void WorkerLoop();

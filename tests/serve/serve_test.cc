@@ -153,7 +153,7 @@ ServeFixture& Fixture() {
 
     f->spec = BuildModelSpec("stsm", f->dataset, f->split, f->config,
                              f->checkpoint);
-    EXPECT_TRUE(f->registry.Load(f->spec));
+    EXPECT_TRUE(f->registry.Load(f->spec).healthy);
     return f;
   }();
   return *fixture;
@@ -313,7 +313,7 @@ TEST(ForecastServerTest, UnhealthyModelDegradesInsteadOfFailing) {
   ModelSpec broken = f.spec;
   broken.name = "broken";
   broken.checkpoint_path = "/tmp/stsm_serve_test_missing_ckpt.bin";
-  EXPECT_FALSE(registry.Load(broken));  // Load failure reported...
+  EXPECT_FALSE(registry.Load(broken).healthy);  // Load failure reported...
   ASSERT_NE(registry.Find("broken"), nullptr);  // ...but still registered.
   EXPECT_FALSE(registry.Find("broken")->healthy());
 

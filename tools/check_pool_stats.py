@@ -31,7 +31,14 @@ the run.
 When a serve_load.json (emitted by bench_serve_load) is given as the second
 argument, additionally asserts the serving layer behaved: a nonzero forecast
 cache hit rate, at least one degraded response from the injected deadline
-misses, and positive throughput.
+misses, and positive throughput. The sharded front-end is held to its own
+bars: the profile must carry per-shard serve.cache.shard<k>.* counters with
+hits on at least two shards (so the replay phase provably exercised both
+shard caches), and the open_loop section must show Poisson phases with
+monotonic tail percentiles, zero transport/server errors, zero malformed
+frames, at least one mid-load checkpoint hot-swap, zero requests failed by
+the swaps, and (at smoke scale) a p99 under the serve.open_loop.p99_ms
+ceiling in bench/baselines.json.
 
 Exit status 0 on success; 1 with a diagnostic on failure. Stdlib only.
 """
@@ -190,7 +197,95 @@ def check_pool(path, baseline=None):
     return 0
 
 
-def check_serve(path):
+def check_serve_shards(path, report, profile_path):
+    """Per-shard cache counters: present for every shard the report claims,
+    and with hits on at least two of them — the replay phase alternates model
+    kinds precisely so both shard caches serve."""
+    num_shards = int(report.get("num_shards", 0))
+    if num_shards < 2:
+        print(f"FAIL: {path}: num_shards is {num_shards} — the load bench "
+              "must drive a sharded front-end (>= 2 shards)", file=sys.stderr)
+        return 1
+    with open(profile_path, "r", encoding="utf-8") as f:
+        profile = json.load(f)
+    counters = {c["name"]: c["total_ns"] for c in profile.get("counters", [])}
+    shards_with_hits = 0
+    for shard in range(num_shards):
+        prefix = f"serve.cache.shard{shard}"
+        missing = [f"{prefix}{suffix}" for suffix in (".hit", ".miss")
+                   if f"{prefix}{suffix}" not in counters]
+        if missing:
+            print(f"FAIL: {profile_path} is missing per-shard cache "
+                  f"counters: {', '.join(missing)} — shard {shard}'s "
+                  "ForecastCache is not wired to its interned prof names",
+                  file=sys.stderr)
+            return 1
+        if counters[f"{prefix}.hit"] > 0:
+            shards_with_hits += 1
+    if shards_with_hits < 2:
+        print(f"FAIL: {profile_path}: only {shards_with_hits} shard(s) "
+              "recorded cache hits — the replay phase must alternate model "
+              "kinds so every shard's cache serves", file=sys.stderr)
+        return 1
+    return 0
+
+
+def check_serve_open_loop(path, report, baselines_path):
+    """The open-loop network section: rates present with sane tails, zero
+    errors, zero malformed frames, and hot-swaps that failed nothing."""
+    open_loop = report.get("open_loop")
+    if not isinstance(open_loop, dict) or not open_loop.get("rates"):
+        print(f"FAIL: {path}: no open_loop.rates — bench_serve_load must "
+              "drive the real socket path with Poisson arrivals",
+              file=sys.stderr)
+        return 1
+    worst_p99 = 0.0
+    for rate in open_loop["rates"]:
+        label = f"open_loop rate {rate.get('target_rps', '?')}rps"
+        if rate.get("errors", -1) != 0:
+            print(f"FAIL: {path}: {label} saw {rate.get('errors')} kError "
+                  "response(s) — the serving path must never error under "
+                  "well-formed load", file=sys.stderr)
+            return 1
+        if rate.get("completed") != rate.get("sent"):
+            print(f"FAIL: {path}: {label} completed "
+                  f"{rate.get('completed')} of {rate.get('sent')} sent — "
+                  "responses went missing over the wire", file=sys.stderr)
+            return 1
+        tails = [rate.get(key, 0.0)
+                 for key in ("p50_ms", "p95_ms", "p99_ms", "p999_ms")]
+        if any(hi < lo for lo, hi in zip(tails, tails[1:])):
+            print(f"FAIL: {path}: {label} percentiles are not monotonic: "
+                  f"{tails}", file=sys.stderr)
+            return 1
+        worst_p99 = max(worst_p99, float(rate.get("p99_ms", 0.0)))
+    if int(open_loop.get("hot_swaps", 0)) < 1:
+        print(f"FAIL: {path}: open_loop.hot_swaps is 0 — the bench must "
+              "hot-swap a checkpoint while the socket load runs",
+              file=sys.stderr)
+        return 1
+    if open_loop.get("swap_failed_requests", -1) != 0:
+        print(f"FAIL: {path}: {open_loop.get('swap_failed_requests')} "
+              "request(s) failed during checkpoint hot-swaps — a swap is a "
+              "pointer flip and must strand nothing", file=sys.stderr)
+        return 1
+    if open_loop.get("listener", {}).get("malformed", -1) != 0:
+        print(f"FAIL: {path}: the listener counted malformed frames from "
+              "the bench's own well-formed clients", file=sys.stderr)
+        return 1
+    if report.get("scale") == "smoke":
+        ceiling = load_baseline(baselines_path, "smoke",
+                                "serve.open_loop.p99_ms")
+        if worst_p99 >= ceiling:
+            print(f"FAIL: {path}: open-loop p99 {worst_p99:.1f} ms did not "
+                  f"stay below the checked-in ceiling ({ceiling} ms) — the "
+                  "ingress or serving path regressed under load",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+def check_serve(path, profile_path, baselines_path):
     with open(path, "r", encoding="utf-8") as f:
         report = json.load(f)
 
@@ -211,9 +306,20 @@ def check_serve(path):
         print(f"FAIL: {path}: qps is {qps}", file=sys.stderr)
         return 1
 
+    status = check_serve_shards(path, report, profile_path)
+    if status == 0:
+        status = check_serve_open_loop(path, report, baselines_path)
+    if status != 0:
+        return status
+
+    open_loop = report["open_loop"]
+    top = open_loop["rates"][-1]
     print(f"OK: {path}: {qps:.1f} QPS, cache hit rate {hit_rate:.1%}, "
           f"{degraded} degraded, p99 {report.get('latency_p99_ns', 0) / 1e6:.2f} ms, "
-          f"no-grad speedup {report.get('nograd_speedup', 0):.2f}x")
+          f"no-grad speedup {report.get('nograd_speedup', 0):.2f}x; "
+          f"open loop @{top.get('target_rps', 0):.0f}rps p99 "
+          f"{top.get('p99_ms', 0):.1f} ms, {open_loop.get('hot_swaps')} "
+          "hot swap(s), 0 swap failures")
     return 0
 
 
@@ -241,7 +347,8 @@ def main(argv):
         return 1
     status = check_pool(args[0], baseline=baseline)
     if status == 0 and len(args) == 2:
-        status = check_serve(args[1])
+        status = check_serve(args[1], profile_path=args[0],
+                             baselines_path=baselines_path)
     return status
 
 

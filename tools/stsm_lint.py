@@ -32,6 +32,15 @@ cannot know because they encode *this* codebase's contracts:
                      named by a variable (ops.cc's per-node fwd/bwd names)
                      are out of scope for this textual check.
 
+  mutex-guarded      every Mutex data member (trailing-underscore member
+                     naming) must have at least one STSM_GUARDED_BY /
+                     STSM_PT_GUARDED_BY annotation naming it in the same
+                     file. A mutex that guards nothing the analysis can see
+                     is a mutex -Werror=thread-safety silently ignores —
+                     exactly how an unprotected-member race slips in.
+                     Function-local mutexes (no trailing underscore) are out
+                     of scope.
+
   sparse-kernel-oracle  every `*Kernel` function at namespace level in
                      src/tensor/sparse.cc has a `*Oracle` twin in the same
                      file. The oracle is the dense-reference implementation
@@ -77,7 +86,8 @@ FORBIDDEN_IN_SERVE = [
 
 
 def check_serve_nograd(root, findings):
-    for path in sorted((root / "src" / "serve").glob("*")):
+    # rglob: the rule covers nested serve layers (serve/net/, ...) too.
+    for path in sorted((root / "src" / "serve").rglob("*")):
         if path.suffix not in (".h", ".cc"):
             continue
         text = strip_comments(read(path))
@@ -214,6 +224,36 @@ def check_prof_scope_unique(root, findings):
                     seen[name] = where
 
 
+# ---- mutex-guarded ----------------------------------------------------------
+
+MUTEX_MEMBER = re.compile(r"\b(?:mutable\s+)?Mutex\s+(\w*_)\s*;")
+
+
+def check_mutex_guarded(root, findings):
+    for sub in ("src", "bench"):
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".h", ".cc", ".cpp"):
+                continue
+            if path.name == "thread_annotations.h":
+                continue  # Defines the annotation macros themselves.
+            text = strip_comments(read(path))
+            rel = path.relative_to(root).as_posix()
+            for match in MUTEX_MEMBER.finditer(text):
+                name = match.group(1)
+                if (f"STSM_GUARDED_BY({name})" in text or
+                        f"STSM_PT_GUARDED_BY({name})" in text):
+                    continue
+                line = text[: match.start()].count("\n") + 1
+                findings.append(
+                    f"{rel}:{line}: [mutex-guarded] Mutex member {name} has "
+                    f"no STSM_GUARDED_BY({name}) data member in this file — "
+                    "annotate what it protects so -Werror=thread-safety can "
+                    "check the locking")
+
+
 # ---- sparse-kernel-oracle ---------------------------------------------------
 
 
@@ -251,6 +291,7 @@ def main(argv):
     check_ops_strided_pairing(root, findings)
     check_pool_include(root, findings)
     check_prof_scope_unique(root, findings)
+    check_mutex_guarded(root, findings)
     check_sparse_kernel_oracle(root, findings)
     for finding in findings:
         print(finding, file=sys.stderr)
@@ -258,7 +299,7 @@ def main(argv):
         print(f"stsm_lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1
     print("stsm_lint: OK (serve-nograd, ops-strided-pair, pool-include, "
-          "prof-scope-unique, sparse-kernel-oracle)")
+          "prof-scope-unique, mutex-guarded, sparse-kernel-oracle)")
     return 0
 
 
