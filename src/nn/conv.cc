@@ -29,7 +29,9 @@ TemporalConv::TemporalConv(int64_t in_channels, int64_t out_channels,
 
 Tensor TemporalConv::Forward(const Tensor& x) const {
   STSM_CHECK_EQ(x.shape()[-1], in_channels_);
-  return Conv1dTime(x, weight_, bias_, dilation_);
+  // Conv1dTime walks raw fp32 — bf16 serving weights widen at the point of
+  // use (the kernel tensor is tiny; identity handles for fp32).
+  return Conv1dTime(x, WidenToF32(weight_), WidenToF32(bias_), dilation_);
 }
 
 std::vector<Tensor> TemporalConv::Parameters() const {

@@ -1,0 +1,34 @@
+#include "nn/precision.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace stsm {
+
+void CastModuleForServing(Module* module, DType dtype) {
+  STSM_CHECK(module != nullptr);
+  for (Tensor& p : module->Parameters()) {
+    STSM_CHECK(p.defined());
+    const auto& impl = p.impl();
+    // Detach() lifts the tensor out of any autograd history so To() accepts
+    // it; To() compacts strided layouts and is a no-copy identity when the
+    // dtype already matches.
+    const Tensor converted = To(p.Detach(), dtype);
+    impl->storage = converted.impl()->storage;
+    impl->strides = impl->shape.Strides();
+    impl->offset = converted.impl()->offset;
+    impl->requires_grad = false;
+    impl->grad_fn = nullptr;
+  }
+}
+
+int64_t ModuleWeightBytes(const Module& module) {
+  int64_t bytes = 0;
+  for (const Tensor& p : module.Parameters()) {
+    if (!p.defined()) continue;
+    bytes += p.numel() * static_cast<int64_t>(ElementSize(p.dtype()));
+  }
+  return bytes;
+}
+
+}  // namespace stsm

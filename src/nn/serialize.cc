@@ -3,14 +3,41 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 
 #include "common/check.h"
+#include "tensor/ops.h"
 
 namespace stsm {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'T', 'S', 'M', 'T', 'N', 'S', 'R'};
-constexpr uint32_t kVersion = 1;
+// v1: per tensor {ndim u32, dims i64[ndim], data f32[numel]} — fp32 only.
+// v2: adds a dtype tag u32 between dims and data; the payload is
+//     numel * ElementSize(dtype) raw element bytes.
+constexpr uint32_t kVersion = 2;
+
+// On-disk dtype tags. Deliberately decoupled from the DType enum values so
+// the serialized format can never drift with an enum reorder.
+constexpr uint32_t kTagF32 = 0;
+constexpr uint32_t kTagBf16 = 1;
+
+uint32_t TagForDType(DType dtype) {
+  return dtype == DType::kBf16 ? kTagBf16 : kTagF32;
+}
+
+bool DTypeForTag(uint32_t tag, DType* dtype) {
+  switch (tag) {
+    case kTagF32:
+      *dtype = DType::kF32;
+      return true;
+    case kTagBf16:
+      *dtype = DType::kBf16;
+      return true;
+    default:
+      return false;
+  }
+}
 
 template <typename T>
 void WritePod(std::ofstream& out, const T& value) {
@@ -39,8 +66,11 @@ bool SaveTensors(const std::vector<Tensor>& tensors, const std::string& path) {
     const auto& dims = tensor.shape().dims();
     WritePod(out, static_cast<uint32_t>(dims.size()));
     for (int64_t d : dims) WritePod(out, d);
-    out.write(reinterpret_cast<const char*>(tensor.data()),
-              static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+    WritePod(out, TagForDType(tensor.dtype()));
+    out.write(static_cast<const char*>(tensor.impl()->raw()),
+              static_cast<std::streamsize>(
+                  tensor.numel() *
+                  static_cast<int64_t>(ElementSize(tensor.dtype()))));
   }
   return static_cast<bool>(out);
 }
@@ -52,7 +82,8 @@ std::vector<Tensor> LoadTensors(const std::string& path) {
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return {};
   uint32_t version = 0, count = 0;
-  if (!ReadPod(in, &version) || version != kVersion) return {};
+  if (!ReadPod(in, &version)) return {};
+  if (version != 1 && version != kVersion) return {};
   if (!ReadPod(in, &count)) return {};
 
   std::vector<Tensor> tensors;
@@ -65,15 +96,35 @@ std::vector<Tensor> LoadTensors(const std::string& path) {
       if (!ReadPod(in, &dims[d]) || dims[d] < 0) return {};
     }
     const Shape shape(dims);
-    std::vector<float> data(shape.numel());
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    // v1 predates dtype tags and is fp32 by definition. A tag this reader
+    // does not know is a hard error, not an fp32 reinterpretation: guessing
+    // the element size would silently load garbage weights.
+    DType dtype = DType::kF32;
+    if (version >= 2) {
+      uint32_t tag = 0;
+      if (!ReadPod(in, &tag)) return {};
+      if (!DTypeForTag(tag, &dtype)) {
+        std::cerr << "LoadTensors(" << path << "): unknown dtype tag " << tag
+                  << " for tensor " << t
+                  << "; this checkpoint needs a newer reader\n";
+        return {};
+      }
+    }
+    auto impl = std::make_shared<TensorImpl>();
+    impl->shape = shape;
+    impl->strides = shape.Strides();
+    impl->storage = Storage::New(shape.numel(), dtype, /*zero=*/false);
+    in.read(static_cast<char*>(impl->storage->raw()),
+            static_cast<std::streamsize>(
+                shape.numel() * static_cast<int64_t>(ElementSize(dtype))));
     if (!in) return {};
-    tensors.push_back(Tensor::FromVector(shape, std::move(data)));
+    tensors.push_back(Tensor(std::move(impl)));
   }
   // The declared tensor payload must account for the whole file: trailing
   // bytes mean a corrupted or mis-declared checkpoint, and silently
-  // accepting one would let a truncated count load "successfully".
+  // accepting one would let a truncated count load "successfully". With
+  // dtype tags the payload size is dtype-dependent, so this check also
+  // catches an fp32 payload behind a bf16 tag (and vice versa).
   if (in.peek() != std::ifstream::traits_type::eof()) return {};
   return tensors;
 }
@@ -91,8 +142,15 @@ bool LoadModule(Module* module, const std::string& path) {
     if (loaded[i].shape() != parameters[i].shape()) return false;
   }
   for (size_t i = 0; i < loaded.size(); ++i) {
-    std::copy(loaded[i].data(), loaded[i].data() + loaded[i].numel(),
-              parameters[i].data());
+    // Dtype-mismatched checkpoints convert at the boundary (bf16 weights
+    // into an fp32 module widen exactly; fp32 into a bf16-cast serving
+    // module rounds RNE), then bytes move verbatim.
+    const Tensor& param = parameters[i];
+    const Tensor src = loaded[i].dtype() == param.dtype()
+                           ? loaded[i]
+                           : To(loaded[i], param.dtype());
+    std::memcpy(param.impl()->raw(), src.impl()->raw(),
+                static_cast<size_t>(param.numel()) * ElementSize(param.dtype()));
   }
   return true;
 }

@@ -2,7 +2,10 @@
 //
 // The format is a simple little-endian binary container:
 //   magic "STSMTNSR", version u32, tensor count u32, then per tensor:
-//   ndim u32, dims i64[ndim], data f32[numel].
+//   ndim u32, dims i64[ndim], dtype tag u32, data bytes[numel * elem_size].
+// Version 1 files (no dtype tag, fp32 payloads) still load; writers emit
+// version 2. A dtype tag the reader does not recognise is a hard load
+// failure — never an fp32 reinterpretation of unknown bytes.
 // Parameters are stored positionally, matching Module::Parameters() order,
 // which is stable for every module in this library.
 

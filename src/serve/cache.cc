@@ -34,8 +34,9 @@ size_t CacheKeyHash::operator()(const CacheKey& key) const {
   return static_cast<size_t>(hash);
 }
 
-ForecastCache::ForecastCache(size_t capacity, CacheProfNames counters)
-    : capacity_(capacity), counters_(counters) {}
+ForecastCache::ForecastCache(size_t capacity, CacheProfNames counters,
+                             DType entry_dtype)
+    : capacity_(capacity), counters_(counters), entry_dtype_(entry_dtype) {}
 
 bool ForecastCache::Lookup(const CacheKey& key, std::vector<float>* out) {
   MutexLock lock(mutex_);
@@ -46,7 +47,15 @@ bool ForecastCache::Lookup(const CacheKey& key, std::vector<float>* out) {
     return false;
   }
   entries_.splice(entries_.begin(), entries_, it->second);
-  *out = it->second->forecast;
+  if (entry_dtype_ == DType::kBf16) {
+    const std::vector<uint16_t>& narrow = it->second->forecast_bf16;
+    out->resize(narrow.size());
+    for (size_t i = 0; i < narrow.size(); ++i) {
+      (*out)[i] = F32FromBf16(narrow[i]);  // Exact widening.
+    }
+  } else {
+    *out = it->second->forecast;
+  }
   ++stats_.hits;
   STSM_PROF_COUNT(counters_.hit, 1);
   return true;
@@ -54,20 +63,36 @@ bool ForecastCache::Lookup(const CacheKey& key, std::vector<float>* out) {
 
 void ForecastCache::Insert(const CacheKey& key, std::vector<float> forecast) {
   if (capacity_ == 0) return;
+  // Narrow outside the lock: the RNE rounding loop is per-element work that
+  // the request fast path should not serialise on.
+  std::vector<uint16_t> narrow;
+  if (entry_dtype_ == DType::kBf16) {
+    narrow.resize(forecast.size());
+    for (size_t i = 0; i < forecast.size(); ++i) {
+      narrow[i] = Bf16FromF32(forecast[i]);
+    }
+    forecast.clear();
+    forecast.shrink_to_fit();
+  }
   MutexLock lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
+    stats_.payload_bytes -= it->second->payload_bytes();
     it->second->forecast = std::move(forecast);
+    it->second->forecast_bf16 = std::move(narrow);
+    stats_.payload_bytes += it->second->payload_bytes();
     entries_.splice(entries_.begin(), entries_, it->second);
     return;
   }
   if (entries_.size() >= capacity_) {
+    stats_.payload_bytes -= entries_.back().payload_bytes();
     index_.erase(entries_.back().key);
     entries_.pop_back();
     ++stats_.evictions;
     STSM_PROF_COUNT(counters_.evict, 1);
   }
-  entries_.push_front(Entry{key, std::move(forecast)});
+  entries_.push_front(Entry{key, std::move(forecast), std::move(narrow)});
+  stats_.payload_bytes += entries_.front().payload_bytes();
   index_[key] = entries_.begin();
 }
 

@@ -73,6 +73,11 @@ class ServedModel {
   const ModelSpec& spec() const { return spec_; }
   bool healthy() const { return model_ != nullptr; }
 
+  // Resident parameter bytes at the serving dtype (0 when unhealthy). For
+  // spec.config.serve_dtype == kBf16 this is half the fp32 figure;
+  // bench_serve_load reports it per registry entry.
+  int64_t weight_bytes() const { return weight_bytes_; }
+
   // Batched no-grad forward. inputs: [B, T, N, 1] normalised windows;
   // time_features: [B, T, 3]. Returns [B, T', N, 1] normalised forecasts.
   // Requires healthy().
@@ -83,6 +88,7 @@ class ServedModel {
 
   ModelSpec spec_;
   std::unique_ptr<StModel> model_;  // Null when the checkpoint failed.
+  int64_t weight_bytes_ = 0;
 };
 
 // Health of the registry entry a Load replaced (the "previous generation"

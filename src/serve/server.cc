@@ -55,7 +55,7 @@ ForecastServer::ForecastServer(const ModelRegistry* registry,
     : registry_(registry),
       config_(ValidatedConfig(config)),
       cache_(static_cast<size_t>(config.cache_capacity),
-             config.cache_counters),
+             config.cache_counters, config.cache_dtype),
       queue_(static_cast<size_t>(config.queue_capacity)),
       batch_size_counts_(
           new std::atomic<uint64_t>[config.batch_max + 1]()) {

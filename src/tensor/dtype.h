@@ -1,0 +1,63 @@
+// Element types for tensor Storage.
+//
+// The tensor core computes in fp32 everywhere — kBf16 is a *storage* format
+// for the no-grad serving path: weights, adjacency values and cached
+// forecasts are held as bfloat16 (the upper 16 bits of an IEEE-754 binary32)
+// and widened back to fp32 at the point of use (GEMM packing, SpMM value
+// loads, cache lookups). Training never sees bf16: gradient buffers are
+// fp32-only (Storage::EnsureGrad checks), autograd node creation on a bf16
+// tensor is a checked error (internal::MakeResult / MakeView), and the
+// `bf16-serve-only` rule in tools/stsm_lint.py confines bf16 construction to
+// the serving/no-grad layers. See DESIGN.md §13 for the taxonomy and how a
+// future int8 path slots into the same axis.
+
+#ifndef STSM_TENSOR_DTYPE_H_
+#define STSM_TENSOR_DTYPE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace stsm {
+
+enum class DType : uint8_t {
+  kF32 = 0,   // IEEE-754 binary32; the compute and training type.
+  kBf16 = 1,  // bfloat16 storage; widened to fp32 for all arithmetic.
+};
+
+inline constexpr size_t ElementSize(DType dtype) {
+  return dtype == DType::kBf16 ? 2 : 4;
+}
+
+inline constexpr const char* DTypeName(DType dtype) {
+  return dtype == DType::kBf16 ? "bf16" : "f32";
+}
+
+// fp32 -> bf16 with round-to-nearest-even on the truncated 16 mantissa bits.
+// NaNs keep their sign and payload top bits but force the quiet bit, so a
+// signalling NaN whose payload lives entirely in the dropped bits cannot
+// collapse to ±Inf. ±Inf, ±0.0 and denormals round like any other value
+// (denormal fp32 inputs are below the smallest bf16 denormal step only in
+// their dropped bits, so RNE applies unchanged).
+inline uint16_t Bf16FromF32(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  if ((bits & 0x7fffffffu) > 0x7f800000u) {  // NaN (any payload).
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+  }
+  // Round to nearest, ties to even: add 0x7fff plus the lowest kept bit.
+  const uint32_t rounding_bias = 0x7fffu + ((bits >> 16) & 1u);
+  return static_cast<uint16_t>((bits + rounding_bias) >> 16);
+}
+
+// bf16 -> fp32 widening is exact: the bf16 pattern *is* the upper half of
+// the corresponding fp32 pattern.
+inline float F32FromBf16(uint16_t value) {
+  const uint32_t bits = static_cast<uint32_t>(value) << 16;
+  float out;
+  std::memcpy(&out, &bits, sizeof(out));
+  return out;
+}
+
+}  // namespace stsm
+
+#endif  // STSM_TENSOR_DTYPE_H_

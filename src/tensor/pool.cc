@@ -26,18 +26,18 @@ constexpr bool kSanitizerBuild = false;
 constexpr bool kSanitizerBuild = false;
 #endif
 
-// Smallest b with 2^b >= n (n >= 1).
-int BucketForRequest(int64_t n) {
+// Smallest b with 2^b >= bytes (bytes >= 1).
+int BucketForRequest(int64_t bytes) {
   int b = 0;
-  while ((int64_t{1} << b) < n) ++b;
+  while ((int64_t{1} << b) < bytes) ++b;
   return b;
 }
 
-// Largest b with 2^b <= capacity (capacity >= 1): every buffer in bucket b
-// can serve any request with ceil(log2(n)) == b.
-int BucketForCapacity(size_t capacity) {
+// Largest b with 2^b <= byte capacity (capacity >= 1): every buffer in
+// bucket b can serve any request with ceil(log2(bytes)) == b.
+int BucketForCapacity(size_t capacity_bytes) {
   int b = 0;
-  while ((size_t{2} << b) <= capacity) ++b;
+  while ((size_t{2} << b) <= capacity_bytes) ++b;
   return b;
 }
 
@@ -55,16 +55,21 @@ BufferPool::BufferPool() {
       !kSanitizerBuild && GetEnvOr("STSM_POOL", 1) != 0;
 }
 
-std::vector<float> BufferPool::Acquire(int64_t n, bool zero) {
-  STSM_CHECK_GE(n, 0);
-  if (n == 0) return {};
+std::vector<float> BufferPool::AcquireBytes(int64_t bytes, bool zero) {
+  STSM_CHECK_GE(bytes, 0);
+  if (bytes == 0) return {};
+  // The carrier vector is float-typed; round the byte request up to whole
+  // floats (a bf16 Storage with an odd element count over-allocates by at
+  // most 2 bytes).
+  const int64_t n = (bytes + static_cast<int64_t>(sizeof(float)) - 1) /
+                    static_cast<int64_t>(sizeof(float));
   std::vector<float> buffer;
   bool hit = false;
   {
     MutexLock lock(mutex_);
     stats_.acquires++;
-    stats_.bytes_requested += static_cast<uint64_t>(n) * sizeof(float);
-    const int first = BucketForRequest(n);
+    stats_.bytes_requested += static_cast<uint64_t>(bytes);
+    const int first = BucketForRequest(bytes);
     const int last = std::min(first + kMaxWasteClasses, kNumBuckets - 1);
     for (int b = first; b <= last && !hit; ++b) {
       auto& bucket = buckets_[b];
@@ -74,7 +79,7 @@ std::vector<float> BufferPool::Acquire(int64_t n, bool zero) {
         stats_.cached_buffers--;
         stats_.cached_bytes -= buffer.capacity() * sizeof(float);
         stats_.hits++;
-        stats_.bytes_reused += static_cast<uint64_t>(n) * sizeof(float);
+        stats_.bytes_reused += static_cast<uint64_t>(bytes);
         hit = true;
       }
     }
@@ -88,9 +93,13 @@ std::vector<float> BufferPool::Acquire(int64_t n, bool zero) {
       buffer.resize(static_cast<size_t>(n));
     }
   } else {
-    // Fresh allocation, rounded up to the bucket size so the buffer recycles
-    // cleanly (capacity stays in its class across resize calls).
-    buffer.reserve(size_t{1} << BucketForRequest(n));
+    // Fresh allocation, rounded up to the bucket's byte size so the buffer
+    // recycles cleanly (capacity stays in its class across resize calls).
+    // Requests below one float still get a one-float carrier.
+    const size_t bucket_floats =
+        std::max<size_t>(1, (size_t{1} << BucketForRequest(bytes)) /
+                                sizeof(float));
+    buffer.reserve(bucket_floats);
     buffer.resize(static_cast<size_t>(n), 0.0f);
   }
   return buffer;
@@ -106,7 +115,7 @@ void BufferPool::Release(std::vector<float>&& buffer) {
     const uint64_t bytes = buffer.capacity() * sizeof(float);
     if (recycling_enabled_ &&
         stats_.cached_bytes + bytes <= max_cached_bytes_) {
-      const int b = BucketForCapacity(buffer.capacity());
+      const int b = BucketForCapacity(bytes);
       buckets_[b].push_back(std::move(buffer));
       stats_.cached_buffers++;
       stats_.cached_bytes += bytes;

@@ -1,11 +1,16 @@
-// BufferPool: a thread-safe, size-bucketed recycler for the float buffers
+// BufferPool: a thread-safe, size-bucketed recycler for the raw buffers
 // behind tensor Storage.
 //
 // Training loops allocate and drop the same handful of buffer sizes every
 // step (op outputs, gradient buffers, saved activations released during the
-// backward walk). The pool keeps freed buffers in power-of-two size buckets
-// and hands them back on the next request of a compatible size, so steady
-// state training performs almost no malloc/free traffic.
+// backward walk). The pool keeps freed buffers in power-of-two *byte* size
+// buckets and hands them back on the next request of a compatible size, so
+// steady state training performs almost no malloc/free traffic. Bucketing on
+// bytes (not element counts) lets the same free lists serve every Storage
+// dtype: an fp32 request for n elements and a bf16 request for 2n elements
+// land in the same class. Buffers are carried as std::vector<float> (the
+// historical type, and what Storage hands back on destruction); a bf16
+// Storage simply reinterprets the byte range — see tensor/storage.h.
 //
 // Thread-safety contract: every public member function may be called from
 // any thread concurrently; the pool serialises free-list access with a
@@ -38,7 +43,7 @@ struct BufferPoolStats {
   uint64_t misses = 0;         // Acquires that had to allocate.
   uint64_t adopts = 0;         // Buffers that entered via Adopt (FromVector).
   uint64_t releases = 0;       // Buffers returned (cached or freed).
-  uint64_t bytes_requested = 0;  // Sum of requested sizes across acquires.
+  uint64_t bytes_requested = 0;  // Sum of requested byte sizes across acquires.
   uint64_t bytes_reused = 0;     // Requested bytes served by hits.
   uint64_t cached_buffers = 0;   // Gauge: buffers sitting in free lists.
   uint64_t cached_bytes = 0;     // Gauge: capacity bytes in free lists.
@@ -57,10 +62,19 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  // Returns a vector with size() == n. When `zero` is set the content is
-  // all zeros; otherwise it is unspecified (fully-overwriting ops skip the
-  // zero-fill). n == 0 returns an empty vector without touching the pool.
-  std::vector<float> Acquire(int64_t n, bool zero) STSM_EXCLUDES(mutex_);
+  // Returns a buffer covering at least `bytes` bytes (size() ==
+  // ceil(bytes / 4) floats). When `zero` is set the content is all zeros;
+  // otherwise it is unspecified (fully-overwriting ops skip the zero-fill).
+  // bytes == 0 returns an empty vector without touching the pool.
+  std::vector<float> AcquireBytes(int64_t bytes, bool zero)
+      STSM_EXCLUDES(mutex_);
+
+  // Element-count convenience for fp32 callers: exactly
+  // AcquireBytes(n * sizeof(float), zero), so an fp32 request hits the same
+  // byte bucket it always did.
+  std::vector<float> Acquire(int64_t n, bool zero) STSM_EXCLUDES(mutex_) {
+    return AcquireBytes(n * static_cast<int64_t>(sizeof(float)), zero);
+  }
 
   // Returns a buffer to the pool. Recycles it into a free list when
   // recycling is on and the cache cap is not exceeded; frees it otherwise.
@@ -98,12 +112,13 @@ class BufferPool {
   void RecordProfCounters() STSM_EXCLUDES(mutex_);
 
  private:
-  // One free list per power-of-two capacity class. Bucket b holds buffers
-  // with capacity in [2^b, 2^(b+1)); Acquire(n) looks in the first bucket
-  // whose every member is guaranteed to fit n, i.e. ceil(log2(n)), and at
-  // most kMaxWasteClasses above it — a small request must not hog a much
-  // larger cached buffer that a later large request would then miss.
-  static constexpr int kNumBuckets = 40;
+  // One free list per power-of-two byte-capacity class. Bucket b holds
+  // buffers with byte capacity in [2^b, 2^(b+1)); AcquireBytes(s) looks in
+  // the first bucket whose every member is guaranteed to fit s, i.e.
+  // ceil(log2(s)), and at most kMaxWasteClasses above it — a small request
+  // must not hog a much larger cached buffer that a later large request
+  // would then miss.
+  static constexpr int kNumBuckets = 42;
   static constexpr int kMaxWasteClasses = 2;
 
   mutable Mutex mutex_;

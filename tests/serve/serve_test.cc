@@ -20,6 +20,7 @@
 #include "serve/queue.h"
 #include "serve/registry.h"
 #include "tensor/autograd.h"
+#include "tensor/dtype.h"
 #include "tensor/storage.h"
 
 namespace stsm {
@@ -65,6 +66,34 @@ TEST(ForecastCacheTest, KeyDistinguishesAllComponents) {
 TEST(ForecastCacheTest, HashWindowSensitiveToValues) {
   EXPECT_NE(HashWindow({1.0f, 2.0f}), HashWindow({2.0f, 1.0f}));
   EXPECT_EQ(HashWindow({1.0f, 2.0f}), HashWindow({1.0f, 2.0f}));
+}
+
+TEST(ForecastCacheTest, Bf16EntriesRoundTripAndHalvePayload) {
+  ForecastCache f32_cache(4);
+  ForecastCache bf16_cache(4, CacheProfNames{"t.hit", "t.miss", "t.evict"},
+                           DType::kBf16);
+  const CacheKey key{"m", 1, 0, {0}};
+  const std::vector<float> forecast = {1.0f, -2.5f, 0.333333f, 1e6f};
+  f32_cache.Insert(key, forecast);
+  bf16_cache.Insert(key, forecast);
+  // The fp32 cache returns the values verbatim; the bf16 cache returns the
+  // RNE-rounded values, widened — never raw bf16 bits.
+  std::vector<float> out;
+  ASSERT_TRUE(bf16_cache.Lookup(key, &out));
+  ASSERT_EQ(out.size(), forecast.size());
+  for (size_t i = 0; i < forecast.size(); ++i) {
+    EXPECT_EQ(out[i], F32FromBf16(Bf16FromF32(forecast[i]))) << i;
+    EXPECT_NEAR(out[i], forecast[i],
+                1e-2f * std::max(1.0f, std::fabs(forecast[i])));
+  }
+  // Payload accounting: bf16 entries hold exactly half the bytes.
+  EXPECT_EQ(f32_cache.stats().payload_bytes,
+            forecast.size() * sizeof(float));
+  EXPECT_EQ(bf16_cache.stats().payload_bytes,
+            forecast.size() * sizeof(uint16_t));
+  // Eviction and replacement keep the gauge exact.
+  bf16_cache.Insert(key, {1.0f, 2.0f});
+  EXPECT_EQ(bf16_cache.stats().payload_bytes, 2 * sizeof(uint16_t));
 }
 
 // ---- Queue ----
@@ -206,6 +235,43 @@ TEST(ModelSpecTest, SparseAdjacencyPredictsLikeDense) {
     const float d = dense_out.data()[i];
     EXPECT_NEAR(sparse_out.data()[i], d,
                 1e-5f * std::max(1.0f, std::fabs(d)))
+        << "element " << i;
+  }
+}
+
+TEST(ModelSpecTest, Bf16ServingParity) {
+  // The end-to-end tolerance gate of DESIGN.md §13: a bf16-served model
+  // (weights and adjacency values rounded, fp32 accumulation) must agree
+  // with the fp32-served model within 1e-2 relative — the same order as
+  // the paper's Table 4 metric resolution.
+  ServeFixture& f = Fixture();
+  StsmConfig bf16_config = f.config;
+  bf16_config.serve_dtype = DType::kBf16;
+  const ModelSpec bf16_spec = BuildModelSpec(
+      "stsm-bf16", f.dataset, f.split, bf16_config, f.checkpoint);
+  EXPECT_EQ(bf16_spec.adj_spatial.values_dtype(), DType::kBf16);
+  EXPECT_EQ(bf16_spec.adj_temporal.values_dtype(), DType::kBf16);
+
+  const auto f32_model = ServedModel::Load(f.spec);
+  const auto bf16_model = ServedModel::Load(bf16_spec);
+  ASSERT_TRUE(f32_model->healthy());
+  ASSERT_TRUE(bf16_model->healthy());
+  // Resident weights shrink by exactly 2x (every parameter converts).
+  EXPECT_EQ(f32_model->weight_bytes(), 2 * bf16_model->weight_bytes());
+
+  Rng rng(57);
+  const int n = f.dataset.num_nodes();
+  const Tensor inputs = Tensor::Uniform(
+      Shape({2, f.config.input_length, n, 1}), -1, 1, &rng);
+  const Tensor time_features =
+      Tensor::Uniform(Shape({2, f.config.input_length, 3}), -1, 1, &rng);
+  const Tensor f32_out = f32_model->Predict(inputs, time_features);
+  const Tensor bf16_out = bf16_model->Predict(inputs, time_features);
+  ASSERT_EQ(f32_out.shape(), bf16_out.shape());
+  for (int64_t i = 0; i < f32_out.numel(); ++i) {
+    const float expected = f32_out.data()[i];
+    EXPECT_NEAR(bf16_out.data()[i], expected,
+                1e-2f * std::max(1.0f, std::fabs(expected)))
         << "element " << i;
   }
 }

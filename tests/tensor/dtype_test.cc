@@ -1,0 +1,256 @@
+// Tests for the bf16 dtype axis (tensor/dtype.h, To()/WidenToF32, the
+// autograd fp32-only boundary, and the widen-in-the-pack mixed GEMM).
+//
+// The conversion contract: fp32 -> bf16 is round-to-nearest-even on the
+// upper 16 bits with NaN quieting; bf16 -> fp32 is exact. Mixed-dtype
+// GEMM must be bitwise identical to pre-widening the narrow operand and
+// running the fp32 GEMM — widening happens in the pack, never in the
+// accumulator.
+
+#include "tensor/dtype.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace stsm {
+namespace {
+
+uint32_t BitsOf(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+float FromBits(uint32_t bits) {
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// ---- scalar conversion properties ----
+
+TEST(Bf16Test, ExactValuesPassThrough) {
+  // Values whose mantissa fits in 7 bits convert without rounding.
+  for (float v : {0.0f, 1.0f, -1.0f, 0.5f, -2.0f, 256.0f, 0.15625f}) {
+    EXPECT_EQ(F32FromBf16(Bf16FromF32(v)), v) << v;
+  }
+}
+
+TEST(Bf16Test, RoundToNearestEvenOnTies) {
+  // 0x3f808000 sits exactly between 0x3f80 and 0x3f81: ties to even 0x3f80.
+  EXPECT_EQ(Bf16FromF32(FromBits(0x3f808000u)), 0x3f80u);
+  // 0x3f818000 sits exactly between 0x3f81 and 0x3f82: ties to even 0x3f82.
+  EXPECT_EQ(Bf16FromF32(FromBits(0x3f818000u)), 0x3f82u);
+  // Just above the tie rounds up regardless of parity.
+  EXPECT_EQ(Bf16FromF32(FromBits(0x3f808001u)), 0x3f81u);
+  // Just below the tie rounds down.
+  EXPECT_EQ(Bf16FromF32(FromBits(0x3f807fffu)), 0x3f80u);
+}
+
+TEST(Bf16Test, SpecialValues) {
+  EXPECT_EQ(Bf16FromF32(INFINITY), 0x7f80u);
+  EXPECT_EQ(Bf16FromF32(-INFINITY), 0xff80u);
+  EXPECT_EQ(F32FromBf16(0x7f80u), INFINITY);
+  EXPECT_EQ(F32FromBf16(0xff80u), -INFINITY);
+  // Signed zero survives (the sign bit is in the kept half).
+  EXPECT_EQ(Bf16FromF32(-0.0f), 0x8000u);
+  EXPECT_EQ(BitsOf(F32FromBf16(0x8000u)), 0x80000000u);
+  // NaN stays NaN — including signalling NaNs whose payload lives entirely
+  // in the discarded low bits; without quieting they would collapse to Inf.
+  const uint16_t quiet = Bf16FromF32(FromBits(0x7f800001u));
+  EXPECT_GT(quiet & 0x7fffu, 0x7f80u) << "sNaN narrowed to a non-NaN";
+  EXPECT_TRUE(std::isnan(F32FromBf16(Bf16FromF32(NAN))));
+  // Rounding must not overflow the largest finite bf16 into Inf ... unless
+  // the value genuinely rounds past the bf16 range, which 0x7f7fffff does.
+  EXPECT_EQ(Bf16FromF32(FromBits(0x7f7f0000u)), 0x7f7fu);
+  EXPECT_EQ(Bf16FromF32(FromBits(0x7f7fffffu)), 0x7f80u);
+  // Denormal fp32 inputs round to (signed) zero at bf16 granularity.
+  EXPECT_EQ(Bf16FromF32(FromBits(0x00000001u)), 0x0000u);
+  EXPECT_EQ(Bf16FromF32(FromBits(0x80000001u)), 0x8000u);
+}
+
+TEST(Bf16Test, WidenThenNarrowIsIdentityForAllPatterns) {
+  // Every one of the 65536 bf16 bit patterns must survive widen -> narrow
+  // unchanged (NaNs keep being NaN; the quiet bit is already set after one
+  // round trip for patterns that carry it).
+  for (uint32_t b = 0; b <= 0xffffu; ++b) {
+    const uint16_t pattern = static_cast<uint16_t>(b);
+    const float widened = F32FromBf16(pattern);
+    if (std::isnan(widened)) {
+      EXPECT_TRUE(std::isnan(F32FromBf16(Bf16FromF32(widened)))) << b;
+      continue;
+    }
+    EXPECT_EQ(Bf16FromF32(widened), pattern) << "pattern " << b;
+  }
+}
+
+TEST(Bf16Test, NarrowingIsIdempotent) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = (rng.Uniform() - 0.5f) *
+                    std::pow(10.0f, static_cast<float>(i % 60) - 30.0f);
+    const uint16_t once = Bf16FromF32(v);
+    EXPECT_EQ(Bf16FromF32(F32FromBf16(once)), once) << v;
+  }
+}
+
+// ---- To() tensor kernels ----
+
+TEST(DtypeToTest, RoundTripMatchesScalarConversion) {
+  Rng rng(13);
+  const Tensor x = Tensor::Uniform(Shape({5, 7}), -100.0f, 100.0f, &rng);
+  const Tensor narrow = To(x, DType::kBf16);
+  ASSERT_EQ(narrow.dtype(), DType::kBf16);
+  const Tensor widened = To(narrow, DType::kF32);
+  ASSERT_EQ(widened.dtype(), DType::kF32);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_EQ(widened.data()[i], F32FromBf16(Bf16FromF32(x.data()[i]))) << i;
+  }
+}
+
+TEST(DtypeToTest, SameDtypeReturnsSameHandle) {
+  Rng rng(17);
+  const Tensor x = Tensor::Uniform(Shape({3, 3}), -1.0f, 1.0f, &rng);
+  EXPECT_EQ(To(x, DType::kF32).impl(), x.impl());
+  EXPECT_EQ(WidenToF32(x).impl(), x.impl());
+}
+
+TEST(DtypeToTest, StridedViewConvertsThroughItsStrides) {
+  Rng rng(19);
+  const Tensor x = Tensor::Uniform(Shape({4, 6}), -10.0f, 10.0f, &rng);
+  const Tensor xt = Transpose(x, 0, 1);  // Zero-copy strided view.
+  ASSERT_FALSE(xt.is_contiguous());
+  const Tensor narrow = To(xt.Detach(), DType::kBf16);
+  // The conversion output is compact in the view's logical order.
+  for (int64_t j = 0; j < 6; ++j) {
+    for (int64_t i = 0; i < 4; ++i) {
+      const float expected =
+          F32FromBf16(Bf16FromF32(x.data()[i * 6 + j]));
+      EXPECT_EQ(F32FromBf16(narrow.impl()->bf16_data()[j * 4 + i]), expected);
+    }
+  }
+}
+
+TEST(DtypeToTest, CloneAndToStringHandleBf16) {
+  Rng rng(23);
+  const Tensor x = Tensor::Uniform(Shape({2, 3}), -4.0f, 4.0f, &rng);
+  const Tensor narrow = To(x, DType::kBf16);
+  const Tensor cloned = narrow.Clone();
+  ASSERT_EQ(cloned.dtype(), DType::kBf16);
+  EXPECT_EQ(std::memcmp(cloned.impl()->bf16_data(),
+                        narrow.impl()->bf16_data(),
+                        sizeof(uint16_t) * narrow.numel()),
+            0);
+  EXPECT_NE(narrow.ToString().find("bf16"), std::string::npos);
+}
+
+// ---- the fp32-only autograd boundary ----
+
+using Bf16DeathTest = ::testing::Test;
+
+TEST(Bf16DeathTest, RequiresGradOnBf16Aborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(29);
+  Tensor narrow = To(Tensor::Uniform(Shape({2, 2}), -1, 1, &rng),
+                     DType::kBf16);
+  EXPECT_DEATH(narrow.set_requires_grad(true), "fp32-only");
+}
+
+TEST(Bf16DeathTest, RecordedOpOnBf16OperandAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(31);
+  const Tensor narrow = To(Tensor::Uniform(Shape({2, 2}), -1, 1, &rng),
+                           DType::kBf16);
+  Tensor grad_leaf = Tensor::Uniform(Shape({2, 2}), -1, 1, &rng);
+  grad_leaf.set_requires_grad(true);
+  EXPECT_DEATH(MatMul(grad_leaf, narrow), "autograd node creation");
+}
+
+TEST(Bf16DeathTest, ToRefusesRecordedTensors) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(37);
+  Tensor x = Tensor::Uniform(Shape({2, 2}), -1, 1, &rng);
+  x.set_requires_grad(true);
+  EXPECT_DEATH(To(x, DType::kBf16), "not differentiable");
+}
+
+TEST(Bf16DeathTest, F32AccessorOnBf16StorageAborts) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Rng rng(41);
+  const Tensor narrow = To(Tensor::Uniform(Shape({2, 2}), -1, 1, &rng),
+                           DType::kBf16);
+  EXPECT_DEATH(narrow.data(), "bf16");
+}
+
+// ---- mixed-dtype GEMM ----
+
+// Bitwise differential: MatMul with a bf16 operand must equal MatMul with
+// that operand pre-widened to fp32. Any drift means the microkernel
+// accumulated in reduced precision.
+void ExpectBitwiseEqual(const Tensor& a, const Tensor& b) {
+  ASSERT_EQ(a.shape(), b.shape());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), sizeof(float) * a.numel()), 0);
+}
+
+TEST(MixedGemmTest, Bf16OperandsMatchPreWidenedBitwise) {
+  NoGradGuard no_grad;
+  Rng rng(43);
+  // Odd sizes exercise the microkernel's edge tiles.
+  const Tensor a = Tensor::Uniform(Shape({13, 37}), -2.0f, 2.0f, &rng);
+  const Tensor b = Tensor::Uniform(Shape({37, 19}), -2.0f, 2.0f, &rng);
+  const Tensor a16 = To(a, DType::kBf16);
+  const Tensor b16 = To(b, DType::kBf16);
+  const Tensor aw = To(a16, DType::kF32);
+  const Tensor bw = To(b16, DType::kF32);
+
+  ExpectBitwiseEqual(MatMul(a16, b), MatMul(aw, b));
+  ExpectBitwiseEqual(MatMul(a, b16), MatMul(a, bw));
+  ExpectBitwiseEqual(MatMul(a16, b16), MatMul(aw, bw));
+}
+
+TEST(MixedGemmTest, BatchedBf16MatMul) {
+  NoGradGuard no_grad;
+  Rng rng(47);
+  const Tensor a = Tensor::Uniform(Shape({3, 8, 12}), -1.0f, 1.0f, &rng);
+  const Tensor b = Tensor::Uniform(Shape({3, 12, 10}), -1.0f, 1.0f, &rng);
+  const Tensor b16 = To(b, DType::kBf16);
+  ExpectBitwiseEqual(MatMul(a, b16), MatMul(a, To(b16, DType::kF32)));
+}
+
+// ---- sparse bf16 values ----
+
+TEST(SparseBf16Test, SpmmOverBf16ValuesMatchesWidenedDense) {
+  NoGradGuard no_grad;
+  Rng rng(53);
+  // A small thresholded matrix with an empty row and column.
+  std::vector<float> dense_values(6 * 6, 0.0f);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      if ((i + j) % 3 == 0 && i != 2 && j != 4) {
+        dense_values[i * 6 + j] = rng.Uniform() + 0.1f;
+      }
+    }
+  }
+  const Tensor dense = Tensor::FromVector(Shape({6, 6}), dense_values);
+  const SparseCsr sparse = SparseCsr::FromDense(dense);
+  const SparseCsr narrow = sparse.CastValues(DType::kBf16);
+  ASSERT_EQ(narrow.values_dtype(), DType::kBf16);
+  EXPECT_EQ(narrow.nnz(), sparse.nnz());
+
+  const Tensor x = Tensor::Uniform(Shape({6, 4}), -1.0f, 1.0f, &rng);
+  const Tensor got = Spmm(narrow, x);
+  // Reference: widen the stored values back and run the fp32 kernel.
+  const SparseCsr widened = narrow.CastValues(DType::kF32);
+  ExpectBitwiseEqual(got, Spmm(widened, x));
+}
+
+}  // namespace
+}  // namespace stsm
